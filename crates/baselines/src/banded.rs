@@ -1,0 +1,149 @@
+//! Classic static banded semi-global extension (Figure 1, left).
+//!
+//! The band is fixed around the main diagonal: only cells with
+//! `|i − j| ≤ w` are computed. Fast and simple, but a long indel
+//! pushes the optimal path out of the band and the aligner silently
+//! returns a worse alignment — the failure mode that motivates
+//! X-Drop's *dynamic* band for indel-rich long reads.
+
+use xdrop_core::scoring::Scorer;
+use xdrop_core::stats::{AlignOutput, AlignResult, AlignStats};
+use xdrop_core::NEG_INF;
+
+/// Semi-global extension restricted to the static band `|i − j| ≤ w`.
+#[allow(clippy::needless_range_loop)] // DP rows indexed at related offsets
+pub fn banded_extend<S: Scorer>(h: &[u8], v: &[u8], scorer: &S, w: usize) -> AlignOutput {
+    let (m, n) = (h.len(), v.len());
+    let gap = scorer.gap();
+    let width = m + 1;
+    // Row-wise DP over the band; rows only need the previous row.
+    let mut prev = vec![NEG_INF; width];
+    let mut cur = vec![NEG_INF; width];
+    prev[0] = 0;
+    for j in 1..=m.min(w) {
+        prev[j] = j as i32 * gap;
+    }
+    let mut best = AlignResult::empty();
+    let mut cells = 1 + m.min(w) as u64;
+    for j in 0..=m.min(w) {
+        consider(&mut best, prev[j], j, 0);
+    }
+    for i in 1..=n {
+        let lo = i.saturating_sub(w);
+        let hi = (i + w).min(m);
+        for c in cur.iter_mut().take(hi + 1).skip(lo) {
+            *c = NEG_INF;
+        }
+        if lo == 0 {
+            cur[0] = i as i32 * gap;
+            consider(&mut best, cur[0], 0, i);
+        }
+        for j in lo.max(1)..=hi {
+            let diag = if prev[j - 1] > NEG_INF / 2 {
+                prev[j - 1] + scorer.sim(v[i - 1], h[j - 1])
+            } else {
+                NEG_INF
+            };
+            let left = if j > lo { cur[j - 1].saturating_add(gap) } else { NEG_INF };
+            let up = if j < i + w { prev[j].saturating_add(gap) } else { NEG_INF };
+            cur[j] = diag.max(left).max(up);
+            cells += 1;
+            consider(&mut best, cur[j], j, i);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let delta = m.min(n) + 1;
+    AlignOutput {
+        result: best,
+        stats: AlignStats {
+            cells_computed: cells,
+            antidiagonals: (m + n) as u64,
+            delta_w: (2 * w + 1).min(delta),
+            delta,
+            work_bytes: 2 * width * 4,
+            cells_dropped: 0,
+            cells_clipped: 0,
+        },
+    }
+}
+
+#[inline]
+fn consider(best: &mut AlignResult, score: i32, j: usize, i: usize) {
+    if score > NEG_INF / 2 && score > best.best_score {
+        *best = AlignResult { best_score: score, end_h: j, end_v: i };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdrop_core::alphabet::encode_dna;
+    use xdrop_core::reference::extend_full;
+    use xdrop_core::scoring::MatchMismatch;
+    use xdrop_core::xdrop3;
+    use xdrop_core::XDropParams;
+
+    fn sc() -> MatchMismatch {
+        MatchMismatch::dna_default()
+    }
+
+    #[test]
+    fn identical_sequences_within_band() {
+        let s = encode_dna(b"ACGTACGTACGTACGT");
+        let out = banded_extend(&s, &s, &sc(), 3);
+        assert_eq!(out.result.best_score, 16);
+    }
+
+    #[test]
+    fn wide_band_matches_full_extension() {
+        let h = encode_dna(b"ACGTACGTTACGTAAGGTACGT");
+        let v = encode_dna(b"ACGTACGATACGTAAGTTACGA");
+        let full = extend_full(&h, &v, &sc());
+        let band = banded_extend(&h, &v, &sc(), h.len().max(v.len()));
+        assert_eq!(band.result.best_score, full.result.best_score);
+    }
+
+    #[test]
+    fn long_indel_defeats_static_band_but_not_xdrop() {
+        // The Figure 1 scenario: a 10-base insertion shifts the
+        // optimal path 10 cells off the diagonal; a band of 4 cannot
+        // reach it, X-Drop with a generous X can.
+        let h = encode_dna(b"ACGTACGTACGTGGGGGGGGGGACGTACGTACGTACGTACGT");
+        let v = encode_dna(b"ACGTACGTACGTACGTACGTACGTACGTACGT"); // no insert
+        let banded = banded_extend(&h, &v, &sc(), 4);
+        let xdrop = xdrop3::align(&h, &v, &sc(), XDropParams::new(15));
+        assert!(
+            xdrop.result.best_score > banded.result.best_score,
+            "xdrop {} must beat static band {}",
+            xdrop.result.best_score,
+            banded.result.best_score
+        );
+    }
+
+    #[test]
+    fn band_work_is_linear_not_quadratic() {
+        let s = encode_dna([b'A'; 400].as_ref());
+        let out = banded_extend(&s, &s, &sc(), 5);
+        // ~ (2w+1) × n cells, far less than n².
+        assert!(out.stats.cells_computed < 20 * 400);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = encode_dna(b"ACGT");
+        let out = banded_extend(&s, &[], &sc(), 3);
+        assert_eq!(out.result.best_score, 0);
+        let out = banded_extend(&[], &[], &sc(), 3);
+        assert_eq!(out.result.best_score, 0);
+    }
+
+    #[test]
+    fn zero_band_is_pure_diagonal() {
+        let h = encode_dna(b"ACGTACGT");
+        let out = banded_extend(&h, &h, &sc(), 0);
+        assert_eq!(out.result.best_score, 8);
+        let v = encode_dna(b"AACGTACG"); // shifted by one: diagonal mismatches
+        let out = banded_extend(&h, &v, &sc(), 0);
+        assert!(out.result.best_score < 4);
+    }
+}

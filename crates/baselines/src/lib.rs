@@ -1,0 +1,30 @@
+//! # xdrop-baselines
+//!
+//! The comparator implementations of the paper's evaluation (§5.1):
+//!
+//! * [`seqan`] — the SeqAn-style CPU X-Drop (the three-antidiagonal
+//!   Zhang formulation), the strongest CPU baseline in Figure 5.
+//! * [`ksw2`] — a ksw2-style affine-gap extension with z-drop;
+//!   because it penalizes long gaps less, its search space is larger
+//!   and its effective GCUPS lower (§6.2).
+//! * [`logan`] — the LOGAN GPU X-Drop: a fixed-width re-centered
+//!   band processed in warp-lockstep, run under an A100-class SIMT
+//!   cost model.
+//! * [`banded`] — the classic *static* banded aligner of Figure 1
+//!   (left), kept to demonstrate why a static band fails on
+//!   indel-rich long reads.
+//! * [`models`] — the calibrated CPU/GPU throughput models that
+//!   convert measured kernel work into the paper's GCUPS metric
+//!   (constants documented in `EXPERIMENTS.md`).
+//! * [`runner`] — the multi-threaded benchmark runner (the paper's
+//!   OpenMP harness) executing a workload through any comparator.
+
+pub mod banded;
+pub mod ksw2;
+pub mod logan;
+pub mod models;
+pub mod runner;
+pub mod seqan;
+
+pub use models::{CpuModel, GpuModel};
+pub use runner::{run_workload, ToolReport};

@@ -1,0 +1,187 @@
+//! Calibrated CPU and GPU throughput models.
+//!
+//! The paper measures its baselines on an AMD EPYC 7763 (64 cores,
+//! AVX2 SeqAn) and an NVIDIA A100 (LOGAN). We reimplement the
+//! *algorithms* exactly and count their work; these models convert
+//! that work into seconds on the paper's machines. All constants
+//! are calibration values chosen once (documented in
+//! `EXPERIMENTS.md`) — the reproduced quantities are the *ratios*
+//! between tools and their trends in `X`, not absolute wall-clocks.
+
+/// A multicore SIMD CPU (EPYC-7763-class).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CpuModel {
+    /// Physical cores.
+    pub cores: usize,
+    /// Sustained all-core clock in Hz.
+    pub clock_hz: f64,
+    /// SIMD lanes per core for 32-bit scores (AVX2 = 8).
+    pub simd_lanes: usize,
+    /// DP cells retired per lane per cycle (vectorization
+    /// efficiency; < 1 because of band bookkeeping and loads).
+    pub cells_per_lane_cycle: f64,
+    /// Per-alignment scheduling/setup overhead in seconds.
+    pub per_alignment_overhead_s: f64,
+    /// Work multiplier ≥ 1 for algorithms whose per-cell recurrence
+    /// is heavier (affine gaps track three matrices: ksw2 ≈ 3).
+    pub cell_cost_factor: f64,
+    /// Machine scale factor (1.0 = the paper's full node); used by
+    /// the scale-model experiments, which shrink all platforms by
+    /// the same factor to keep their ratios.
+    pub machine_scale: f64,
+}
+
+impl CpuModel {
+    /// SeqAn on the EPYC 7763 node.
+    pub fn epyc7763_seqan() -> Self {
+        Self {
+            cores: 64,
+            clock_hz: 2.45e9,
+            simd_lanes: 8,
+            cells_per_lane_cycle: 0.11,
+            per_alignment_overhead_s: 2.0e-7,
+            cell_cost_factor: 1.0,
+            machine_scale: 1.0,
+        }
+    }
+
+    /// Proportionally scaled-down node (see the scale-model note on
+    /// [`CpuModel::machine_scale`]).
+    pub fn scaled(self, s: f64) -> Self {
+        Self { machine_scale: self.machine_scale * s, ..self }
+    }
+
+    /// ksw2 on the same node: affine-gap recurrence, three matrices.
+    pub fn epyc7763_ksw2() -> Self {
+        Self { cell_cost_factor: 2.2, ..Self::epyc7763_seqan() }
+    }
+
+    /// Aggregate DP-cell throughput in cells/second.
+    pub fn cells_per_second(&self) -> f64 {
+        self.cores as f64 * self.clock_hz * self.simd_lanes as f64 * self.cells_per_lane_cycle
+            * self.machine_scale
+            / self.cell_cost_factor
+    }
+
+    /// Modeled wall-clock for a workload of `cells` DP cells across
+    /// `alignments` alignments, on `nodes` nodes.
+    pub fn seconds(&self, cells: u64, alignments: usize, nodes: usize) -> f64 {
+        let nodes = nodes.max(1) as f64;
+        cells as f64 / (self.cells_per_second() * nodes)
+            + alignments as f64 * self.per_alignment_overhead_s
+                / (self.cores as f64 * self.machine_scale * nodes)
+    }
+}
+
+/// A SIMT GPU (A100-class) running LOGAN.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GpuModel {
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// Boost clock in Hz.
+    pub clock_hz: f64,
+    /// Concurrent thread blocks (alignments) per SM.
+    pub blocks_per_sm: usize,
+    /// Padded DP cells retired per SM per cycle (all lanes counted,
+    /// live or not — the padding is already in the cell count).
+    pub cells_per_sm_cycle: f64,
+    /// Per-alignment overhead in cycles (block scheduling, global
+    /// memory staging of sequences — LOGAN stages through HBM).
+    pub overhead_cycles_per_alignment: f64,
+    /// Machine scale factor (see [`CpuModel::machine_scale`]).
+    pub machine_scale: f64,
+}
+
+impl GpuModel {
+    /// LOGAN on one NVIDIA A100.
+    pub fn a100_logan() -> Self {
+        Self {
+            sms: 108,
+            clock_hz: 1.41e9,
+            blocks_per_sm: 2,
+            cells_per_sm_cycle: 4.0,
+            overhead_cycles_per_alignment: 1.0e6,
+            machine_scale: 1.0,
+        }
+    }
+
+    /// Proportionally scaled-down device (see the scale-model note
+    /// on [`CpuModel::machine_scale`]).
+    pub fn scaled(self, s: f64) -> Self {
+        Self { machine_scale: self.machine_scale * s, ..self }
+    }
+
+    /// Aggregate padded-cell throughput in cells/second.
+    pub fn cells_per_second(&self) -> f64 {
+        self.sms as f64 * self.clock_hz * self.cells_per_sm_cycle * self.machine_scale
+    }
+
+    /// Modeled wall-clock for `padded_cells` of lane work across
+    /// `alignments` alignments on `gpus` devices.
+    pub fn seconds(&self, padded_cells: u64, alignments: usize, gpus: usize) -> f64 {
+        let gpus = gpus.max(1) as f64;
+        let compute = padded_cells as f64 / (self.cells_per_second() * gpus);
+        let parallel_blocks =
+            (self.sms * self.blocks_per_sm) as f64 * self.machine_scale * gpus;
+        let overhead = alignments as f64 * self.overhead_cycles_per_alignment
+            / (self.clock_hz * parallel_blocks);
+        compute + overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_throughput_order_of_magnitude() {
+        // EPYC SeqAn model should land in the 10^11 cells/s range —
+        // consistent with the ~50 TCUPS effective rates behind the
+        // paper's Figure 5 at X = 5.
+        let m = CpuModel::epyc7763_seqan();
+        let r = m.cells_per_second();
+        assert!(r > 5e10 && r < 5e11, "rate {r}");
+    }
+
+    #[test]
+    fn ksw2_slower_per_cell() {
+        let seqan = CpuModel::epyc7763_seqan();
+        let ksw2 = CpuModel::epyc7763_ksw2();
+        assert!(ksw2.cells_per_second() < seqan.cells_per_second());
+        assert!(ksw2.seconds(1 << 30, 100, 1) > seqan.seconds(1 << 30, 100, 1));
+    }
+
+    #[test]
+    fn nodes_scale_linearly() {
+        let m = CpuModel::epyc7763_seqan();
+        let t1 = m.seconds(1 << 34, 1000, 1);
+        let t4 = m.seconds(1 << 34, 1000, 4);
+        assert!((t1 / t4 - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gpu_overhead_dominates_small_alignments() {
+        // Many tiny alignments: overhead term dwarfs compute — the
+        // reason LOGAN trails on HiFi data at small X.
+        let g = GpuModel::a100_logan();
+        let tiny = g.seconds(1_000_000, 100_000, 1);
+        let compute_only = g.seconds(1_000_000, 0, 1);
+        assert!(tiny > 10.0 * compute_only);
+    }
+
+    #[test]
+    fn gpu_compute_dominates_big_alignments() {
+        let g = GpuModel::a100_logan();
+        let big = g.seconds(10_u64.pow(13), 100_000, 1);
+        let overhead_only = g.seconds(0, 100_000, 1);
+        assert!(big > 5.0 * overhead_only);
+    }
+
+    #[test]
+    fn multiple_gpus_scale() {
+        let g = GpuModel::a100_logan();
+        let t1 = g.seconds(10_u64.pow(12), 1000, 1);
+        let t4 = g.seconds(10_u64.pow(12), 1000, 4);
+        assert!((t1 / t4 - 4.0).abs() < 1e-6);
+    }
+}

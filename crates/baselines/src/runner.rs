@@ -1,0 +1,291 @@
+//! The multi-threaded benchmark runner (§5.1): executes a workload
+//! through one of the comparator tools and reports both real wall
+//! time (of this host) and the modeled time on the paper's machines.
+
+use crate::ksw2::{ksw2_extend, Ksw2Params};
+use crate::logan::logan_extend;
+use crate::models::{CpuModel, GpuModel};
+use crate::seqan::SeqAnAligner;
+use crossbeam::thread;
+use xdrop_core::scoring::Scorer;
+use xdrop_core::workload::Workload;
+
+/// Which comparator to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ToolKind {
+    /// SeqAn-style X-Drop (CPU).
+    SeqAn,
+    /// ksw2-style affine z-drop (CPU).
+    Ksw2,
+    /// LOGAN-style X-Drop (GPU model).
+    Logan,
+}
+
+impl ToolKind {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ToolKind::SeqAn => "SeqAn",
+            ToolKind::Ksw2 => "ksw2",
+            ToolKind::Logan => "LOGAN",
+        }
+    }
+}
+
+/// Result of running one tool over one workload.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ToolReport {
+    /// Tool name.
+    pub tool: String,
+    /// Real wall-clock on this host (informational only).
+    pub wall_seconds: f64,
+    /// Modeled time on the paper's hardware.
+    pub modeled_seconds: f64,
+    /// The paper's GCUPS metric: theoretical cells / modeled time.
+    pub gcups: f64,
+    /// DP cells the algorithm really evaluated.
+    pub cells_computed: u64,
+    /// Lane work including SIMT padding (equals `cells_computed`
+    /// for CPU tools).
+    pub padded_cells: u64,
+    /// Per-comparison total scores (left + seed + right), in each
+    /// tool's own scoring scale.
+    pub scores: Vec<i32>,
+}
+
+fn run_range<S: Scorer>(
+    w: &Workload,
+    tool: ToolKind,
+    x: i32,
+    scorer: &S,
+    range: std::ops::Range<usize>,
+) -> (Vec<i32>, u64, u64) {
+    let mut scores = Vec::with_capacity(range.len());
+    let mut cells = 0u64;
+    let mut padded = 0u64;
+    let mut seqan = SeqAnAligner::new(x);
+    let kp = Ksw2Params::from_x(x);
+    for ci in range {
+        let c = w.comparisons[ci];
+        let h = w.seqs.get(c.h);
+        let v = w.seqs.get(c.v);
+        match tool {
+            ToolKind::SeqAn => {
+                let out = seqan.extend(h, v, c.seed, scorer);
+                let st = out.stats();
+                scores.push(out.score);
+                cells += st.cells_computed;
+                padded += st.cells_computed;
+            }
+            ToolKind::Ksw2 => {
+                // ksw2 is an extension aligner; extend right from the
+                // seed end and left from the seed start on reversed
+                // flanks (materialized — ksw2 has no op() transform).
+                let hl: Vec<u8> = h[..c.seed.h_pos].iter().rev().copied().collect();
+                let vl: Vec<u8> = v[..c.seed.v_pos].iter().rev().copied().collect();
+                let left = ksw2_extend(&hl, &vl, &kp);
+                let right =
+                    ksw2_extend(&h[c.seed.h_pos + c.seed.k..], &v[c.seed.v_pos + c.seed.k..], &kp);
+                let seed_score = c.seed.k as i32 * kp.mat;
+                scores.push(left.result.best_score + seed_score + right.result.best_score);
+                let cc = left.stats.cells_computed + right.stats.cells_computed;
+                cells += cc;
+                padded += cc;
+            }
+            ToolKind::Logan => {
+                let hl: Vec<u8> = h[..c.seed.h_pos].iter().rev().copied().collect();
+                let vl: Vec<u8> = v[..c.seed.v_pos].iter().rev().copied().collect();
+                let left = logan_extend(&hl, &vl, scorer, x);
+                let right = logan_extend(
+                    &h[c.seed.h_pos + c.seed.k..],
+                    &v[c.seed.v_pos + c.seed.k..],
+                    scorer,
+                    x,
+                );
+                let seed_score =
+                    scorer.seed_score(&h[c.seed.h_pos..c.seed.h_pos + c.seed.k], &v[c.seed.v_pos..c.seed.v_pos + c.seed.k]);
+                scores.push(
+                    left.output.result.best_score + seed_score + right.output.result.best_score,
+                );
+                cells += left.output.stats.cells_computed + right.output.stats.cells_computed;
+                padded += left.padded_cells + right.padded_cells;
+            }
+        }
+    }
+    (scores, cells, padded)
+}
+
+/// Runs `tool` over the whole workload with `host_threads` runner
+/// threads, modeling `devices` CPU nodes / GPUs.
+pub fn run_workload<S: Scorer + Sync>(
+    w: &Workload,
+    tool: ToolKind,
+    x: i32,
+    scorer: &S,
+    host_threads: usize,
+    devices: usize,
+) -> ToolReport {
+    run_workload_scaled(w, tool, x, scorer, host_threads, devices, 1.0)
+}
+
+/// [`run_workload`] on proportionally scaled-down machines
+/// (`machine_scale < 1`) — used by the scale-model experiments so
+/// that bench-sized workloads exercise the same machine-to-data
+/// ratios as the paper's full-size runs.
+pub fn run_workload_scaled<S: Scorer + Sync>(
+    w: &Workload,
+    tool: ToolKind,
+    x: i32,
+    scorer: &S,
+    host_threads: usize,
+    devices: usize,
+    machine_scale: f64,
+) -> ToolReport {
+    let n = w.comparisons.len();
+    let started = std::time::Instant::now();
+    let threads = host_threads.clamp(1, 64).min(n.max(1));
+    let (scores, cells, padded) = if threads <= 1 || n < 32 {
+        run_range(w, tool, x, scorer, 0..n)
+    } else {
+        let chunk = n.div_ceil(threads);
+        let pieces: Vec<(Vec<i32>, u64, u64)> = thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    break;
+                }
+                handles.push(s.spawn(move |_| run_range(w, tool, x, scorer, lo..hi)));
+            }
+            handles.into_iter().map(|h| h.join().expect("runner thread")).collect()
+        })
+        .expect("scope");
+        let mut scores = Vec::with_capacity(n);
+        let (mut cells, mut padded) = (0u64, 0u64);
+        for (s, c, p) in pieces {
+            scores.extend(s);
+            cells += c;
+            padded += p;
+        }
+        (scores, cells, padded)
+    };
+    let wall_seconds = started.elapsed().as_secs_f64();
+    // Units of work per comparison for overhead modeling: left +
+    // right extension.
+    let alignments = 2 * n;
+    let modeled_seconds = match tool {
+        ToolKind::SeqAn => {
+            CpuModel::epyc7763_seqan().scaled(machine_scale).seconds(cells, alignments, devices)
+        }
+        ToolKind::Ksw2 => {
+            CpuModel::epyc7763_ksw2().scaled(machine_scale).seconds(cells, alignments, devices)
+        }
+        ToolKind::Logan => {
+            GpuModel::a100_logan().scaled(machine_scale).seconds(padded, alignments, devices)
+        }
+    };
+    let theoretical = w.theoretical_cells();
+    ToolReport {
+        tool: tool.name().to_string(),
+        wall_seconds,
+        modeled_seconds,
+        gcups: if modeled_seconds > 0.0 {
+            theoretical as f64 / modeled_seconds / 1e9
+        } else {
+            0.0
+        },
+        cells_computed: cells,
+        padded_cells: padded,
+        scores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use xdrop_core::alphabet::Alphabet;
+    use xdrop_core::extension::SeedMatch;
+    use xdrop_core::scoring::MatchMismatch;
+    use xdrop_core::workload::Comparison;
+
+    fn workload() -> Workload {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut w = Workload::new(Alphabet::Dna);
+        for _ in 0..30 {
+            let root: Vec<u8> = (0..800).map(|_| rng.gen_range(0..4)).collect();
+            let mut other = root.clone();
+            for b in other.iter_mut() {
+                if rng.gen_bool(0.03) {
+                    *b = (*b + 1) % 4;
+                }
+            }
+            let pos = rng.gen_range(100..700);
+            other[pos..pos + 17].copy_from_slice(&root[pos..pos + 17]);
+            let h = w.seqs.push(root);
+            let v = w.seqs.push(other);
+            w.comparisons.push(Comparison::new(h, v, SeedMatch::new(pos, pos, 17)));
+        }
+        w
+    }
+
+    #[test]
+    fn all_tools_produce_scores() {
+        let w = workload();
+        let sc = MatchMismatch::dna_default();
+        for tool in [ToolKind::SeqAn, ToolKind::Ksw2, ToolKind::Logan] {
+            let r = run_workload(&w, tool, 15, &sc, 2, 1);
+            assert_eq!(r.scores.len(), w.comparisons.len());
+            assert!(r.scores.iter().all(|&s| s > 0), "{} scores positive", r.tool);
+            assert!(r.modeled_seconds > 0.0);
+            assert!(r.gcups > 0.0);
+        }
+    }
+
+    #[test]
+    fn seqan_and_logan_agree_on_easy_data() {
+        // Small X, generous LOGAN band: same linear-gap scoring →
+        // identical scores.
+        let w = workload();
+        let sc = MatchMismatch::dna_default();
+        let a = run_workload(&w, ToolKind::SeqAn, 10, &sc, 2, 1);
+        let b = run_workload(&w, ToolKind::Logan, 10, &sc, 2, 1);
+        assert_eq!(a.scores, b.scores);
+    }
+
+    #[test]
+    fn logan_pads_cpu_does_not() {
+        let w = workload();
+        let sc = MatchMismatch::dna_default();
+        let cpu = run_workload(&w, ToolKind::SeqAn, 10, &sc, 2, 1);
+        let gpu = run_workload(&w, ToolKind::Logan, 10, &sc, 2, 1);
+        assert_eq!(cpu.padded_cells, cpu.cells_computed);
+        assert!(gpu.padded_cells > gpu.cells_computed);
+    }
+
+    #[test]
+    fn parallel_runner_deterministic() {
+        let w = workload();
+        let sc = MatchMismatch::dna_default();
+        let a = run_workload(&w, ToolKind::SeqAn, 15, &sc, 1, 1);
+        let b = run_workload(&w, ToolKind::SeqAn, 15, &sc, 8, 1);
+        assert_eq!(a.scores, b.scores);
+        assert_eq!(a.cells_computed, b.cells_computed);
+    }
+
+    #[test]
+    fn ksw2_runs_and_scales_scores_by_two() {
+        // Same easy data: ksw2 at mat=2 should roughly double the
+        // SeqAn score on high-identity pairs.
+        let w = workload();
+        let sc = MatchMismatch::dna_default();
+        let a = run_workload(&w, ToolKind::SeqAn, 20, &sc, 2, 1);
+        let k = run_workload(&w, ToolKind::Ksw2, 20, &sc, 2, 1);
+        for (sa, sk) in a.scores.iter().zip(&k.scores) {
+            let ratio = *sk as f64 / (*sa as f64);
+            assert!(ratio > 1.2 && ratio < 2.4, "ratio {ratio}");
+        }
+    }
+}

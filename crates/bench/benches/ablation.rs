@@ -1,0 +1,47 @@
+//! Criterion bench over the Table 1 ablation axis: how long the
+//! *simulator* takes to schedule and time a fixed workload under
+//! each optimization configuration (the modeled device time is
+//! deterministic; this measures the planning/scheduling machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipu_sim::cost::OptFlags;
+use ipu_sim::spec::IpuSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqdata::gen::{generate_pair_workload, MutationProfile, PairSpec};
+use xdrop_bench::{exec_for, run_ipu_from_exec, IpuRunConfig};
+use xdrop_core::alphabet::Alphabet;
+use xdrop_core::scoring::MatchMismatch;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let spec = PairSpec {
+        len: 2_000,
+        seed_len: 17,
+        seed_frac: 0.5,
+        errors: MutationProfile::uniform_mismatch(0.15),
+        alphabet: Alphabet::Dna,
+    };
+    let w = generate_pair_workload(&mut rng, &spec, 400);
+    let sc = MatchMismatch::dna_default();
+    let base = IpuRunConfig { partitioned: false, ..IpuRunConfig::full_gc200(15) };
+    let exec_split = exec_for(&w, &sc, &base);
+    let exec_fused = exec_for(
+        &w,
+        &sc,
+        &IpuRunConfig { flags: OptFlags { lr_split: false, ..OptFlags::full() }, ..base },
+    );
+
+    let mut group = c.benchmark_group("table1_scheduling");
+    for (step, flags) in OptFlags::ablation_ladder() {
+        let exec = if flags.lr_split { &exec_split } else { &exec_fused };
+        let cfg = IpuRunConfig { flags, spec: IpuSpec::gc200(), ..base };
+        group.bench_with_input(BenchmarkId::from_parameter(step), &cfg, |b, cfg| {
+            b.iter(|| run_ipu_from_exec(&w, exec, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

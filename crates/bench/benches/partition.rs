@@ -1,0 +1,52 @@
+//! Criterion bench of the graph partitioner: the paper budgets
+//! *"usually less than one second"* for partitioning even on
+//! millions of comparisons (§4.3); this measures our greedy walk's
+//! throughput on a large synthetic comparison graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xdrop_core::alphabet::Alphabet;
+use xdrop_core::extension::SeedMatch;
+use xdrop_core::workload::{Comparison, Workload};
+use xdrop_partition::graph::ComparisonGraph;
+use xdrop_partition::greedy::greedy_partitions;
+
+/// Overlap-graph-shaped workload: sequences connected to near
+/// neighbours (reads along a genome).
+fn neighbour_workload(n_seqs: usize, degree: usize, len: usize) -> Workload {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut w = Workload::new(Alphabet::Dna);
+    for _ in 0..n_seqs {
+        w.seqs.push(vec![0u8; len]);
+    }
+    for i in 0..n_seqs {
+        for _ in 0..degree {
+            let j = (i + 1 + rng.gen_range(0..degree.max(1))) % n_seqs;
+            w.comparisons.push(Comparison::new(i as u32, j as u32, SeedMatch::new(0, 0, 1)));
+        }
+    }
+    w
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioner");
+    for (n_seqs, degree) in [(2_000usize, 10usize), (10_000, 10)] {
+        let w = neighbour_workload(n_seqs, degree, 2_000);
+        let n_cmp = w.comparisons.len();
+        group.bench_with_input(
+            BenchmarkId::new("graph_build", n_cmp),
+            &w,
+            |b, w| b.iter(|| ComparisonGraph::build(w)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy_partitions", n_cmp),
+            &w,
+            |b, w| b.iter(|| greedy_partitions(w, 500_000, 6, 256)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,232 @@
+//! Figure 7 — strong scaling over 1–32 IPUs, with and without graph
+//! partitioning — plus the §4.3 partitioning statistics.
+
+use crate::exp::dna_scorer;
+use crate::harness::{exec_for, run_ipu_from_exec, IpuRunConfig};
+use ipu_sim::spec::IpuSpec;
+use seqdata::Dataset;
+use xdrop_partition::greedy::greedy_partitions;
+use xdrop_partition::plan::{reuse_stats, PlanConfig};
+
+/// Machine scale for the strong-scaling experiment (see
+/// [`crate::exp::compare::FIG5_MACHINE_SCALE`] for the rationale;
+/// all devices and the shared host link shrink together, so the
+/// compute-versus-link crossover that Figure 7 measures is
+/// preserved).
+pub const FIG7_MACHINE_SCALE: f64 = 1.0 / 64.0;
+
+/// One scaling measurement.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Fig7Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// X-Drop factor.
+    pub x: i32,
+    /// IPU devices.
+    pub devices: usize,
+    /// Graph partitioning ("multicomparison") enabled.
+    pub partitioned: bool,
+    /// Modeled time in seconds.
+    pub seconds: f64,
+    /// Speedup over the 1-device run of the same configuration.
+    pub speedup: f64,
+    /// Host-link busy fraction (1.0 = saturated).
+    pub link_busy: f64,
+}
+
+/// Runs the scaling grid on machines scaled by
+/// [`FIG7_MACHINE_SCALE`].
+pub fn run(datasets: &[Dataset], xs: &[i32], device_counts: &[usize]) -> Vec<Fig7Row> {
+    let sc = dna_scorer();
+    let mut rows = Vec::new();
+    for ds in datasets {
+        let w = ds.generate();
+        let name = ds.kind.name().to_string();
+        for &x in xs {
+            let spec = IpuSpec::bow().scaled(FIG7_MACHINE_SCALE);
+            let base_cfg = IpuRunConfig { spec, ..IpuRunConfig::full(x) };
+            let exec = exec_for(&w, &sc, &base_cfg);
+            // Per device count: enough batches to keep every device
+            // pipelined (≥ 2 per device), but never so many that a
+            // batch has fewer units than the machine has threads
+            // (single-alignment stragglers would dominate).
+            let occupancy_cap =
+                exec.units.len() / (spec.tiles * spec.threads_per_tile).max(1);
+            for partitioned in [false, true] {
+                let mut base_seconds = None;
+                for &devices in device_counts {
+                    // The driver plans batches offline and knows both
+                    // layouts' costs; it submits whichever wins —
+                    // fine-grained batches to feed every device, or
+                    // coarse batches with maximal sequence reuse.
+                    let fine = (2 * devices).min(occupancy_cap.max(2)).max(2);
+                    let r = [2usize, fine]
+                        .into_iter()
+                        .map(|min_batches| {
+                            let cfg = IpuRunConfig {
+                                devices,
+                                partitioned,
+                                min_batches,
+                                ..base_cfg
+                            };
+                            run_ipu_from_exec(&w, &exec, &cfg)
+                        })
+                        .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
+                        .expect("two plans");
+                    let base = *base_seconds.get_or_insert(r.seconds);
+                    rows.push(Fig7Row {
+                        dataset: name.clone(),
+                        x,
+                        devices,
+                        partitioned,
+                        seconds: r.seconds,
+                        speedup: base / r.seconds,
+                        link_busy: r.link_busy_fraction,
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// §4.3: batch-count and transfer statistics, naive vs partitioned.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PartitionRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Batches under the naive per-comparison layout.
+    pub naive_batches: usize,
+    /// Batches with graph partitioning.
+    pub partitioned_batches: usize,
+    /// Batch-count change (paper: −52 % ecoli100, −44 % elegans).
+    pub batch_reduction: f64,
+    /// Host bytes naive.
+    pub naive_bytes: u64,
+    /// Host bytes partitioned.
+    pub partitioned_bytes: u64,
+    /// Sequence-reuse factor (≥ 2 expected on same-length data).
+    pub reuse_factor: f64,
+    /// Most sequences co-resident in one partition (paper: 41).
+    pub max_seqs_per_partition: usize,
+}
+
+/// Computes the §4.3 statistics for each dataset.
+pub fn partition43(datasets: &[Dataset], x: i32) -> Vec<PartitionRow> {
+    let sc = dna_scorer();
+    let mut rows = Vec::new();
+    for ds in datasets {
+        let w = ds.generate();
+        let cfg = IpuRunConfig {
+            spec: IpuSpec::bow().scaled(FIG7_MACHINE_SCALE),
+            min_batches: 1,
+            ..IpuRunConfig::full(x)
+        };
+        let exec = exec_for(&w, &sc, &cfg);
+        let naive = run_ipu_from_exec(&w, &exec, &IpuRunConfig { partitioned: false, ..cfg });
+        let parted = run_ipu_from_exec(&w, &exec, &IpuRunConfig { partitioned: true, ..cfg });
+        let plan = PlanConfig::partitioned(cfg.delta_b);
+        let parts = greedy_partitions(
+            &w,
+            plan.batch.tile_budget(&cfg.spec),
+            plan.batch.threads,
+            plan.batch.delta_b,
+        );
+        let rs = reuse_stats(&w, &parts);
+        rows.push(PartitionRow {
+            dataset: ds.kind.name().to_string(),
+            naive_batches: naive.batches,
+            partitioned_batches: parted.batches,
+            batch_reduction: 1.0 - parted.batches as f64 / naive.batches.max(1) as f64,
+            naive_bytes: naive.host_bytes,
+            partitioned_bytes: parted.host_bytes,
+            reuse_factor: rs.reuse_factor,
+            max_seqs_per_partition: rs.max_seqs_per_partition,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqdata::DatasetKind;
+
+    fn tiny() -> Dataset {
+        Dataset::new(DatasetKind::Ecoli100, 0.06).with_max_comparisons(400)
+    }
+
+    #[test]
+    fn scaling_shape() {
+        let rows = run(&[tiny()], &[15], &[1, 4, 16]);
+        let get = |devices: usize, parted: bool| {
+            rows.iter()
+                .find(|r| r.devices == devices && r.partitioned == parted)
+                .expect("row")
+        };
+        // More devices never slower.
+        for parted in [false, true] {
+            assert!(get(4, parted).seconds <= get(1, parted).seconds);
+            assert!(get(16, parted).seconds <= get(4, parted).seconds * 1.01);
+        }
+        // Partitioning always moves fewer bytes, so it can't lose by
+        // much at 1 device (some BSP imbalance slack allowed at this
+        // tiny scale) and must win on link pressure at 16.
+        assert!(get(1, true).seconds <= get(1, false).seconds * 1.25);
+        assert!(
+            get(16, true).seconds <= get(16, false).seconds * 1.02,
+            "partitioned {} vs naive {} at 16 devices",
+            get(16, true).seconds,
+            get(16, false).seconds
+        );
+        // Speedup grows with devices when partitioned.
+        assert!(get(16, true).speedup > get(4, true).speedup * 0.99);
+    }
+
+    /// Figure 7 shape at bench scale (saturated machine + loaded
+    /// host link). Run with `cargo test --release -- --ignored`.
+    #[test]
+    #[ignore = "bench-scale shape check; run in release"]
+    fn scaling_shape_full() {
+        // X = 50: the regime where the paper reports linear scaling
+        // to 16–32 devices (compute per transferred byte is highest).
+        let ds = Dataset::bench_default(DatasetKind::Ecoli100);
+        let rows = run(&[ds], &[50], &[1, 2, 4, 8, 16, 32]);
+        let get = |devices: usize, parted: bool| {
+            rows.iter()
+                .find(|r| r.devices == devices && r.partitioned == parted)
+                .expect("row")
+        };
+        // The naive plan saturates the shared host link almost
+        // immediately and stops scaling.
+        assert!(get(2, false).link_busy > 0.9, "naive link {}", get(2, false).link_busy);
+        let naive8 = get(8, false).speedup;
+        assert!(naive8 < 1.6, "naive must flatline, got {naive8}");
+        // The partitioned plan keeps scaling well past it (our
+        // synthetic data carries ~3–10× less computed work per
+        // transferred byte than the paper's, so saturation arrives
+        // around 4–8 devices instead of 16 — see EXPERIMENTS.md).
+        let parted8 = get(8, true).speedup;
+        assert!(parted8 > 1.6, "partitioned 8-dev speedup {parted8}");
+        assert!(parted8 > naive8 * 1.25, "partitioned {parted8} vs naive {naive8}");
+        // Partitioning beats naive at every device count …
+        for d in [1, 2, 4, 8, 16, 32] {
+            assert!(get(d, true).seconds < get(d, false).seconds, "at {d} devices");
+        }
+        // … and its advantage grows with devices (the paper's
+        // 1.46× → 3.59× trend on ecoli100).
+        let adv1 = get(1, false).seconds / get(1, true).seconds;
+        let adv32 = get(32, false).seconds / get(32, true).seconds;
+        assert!(adv32 > adv1, "advantage must grow: 1dev {adv1:.2} 32dev {adv32:.2}");
+    }
+
+    #[test]
+    fn partition_stats_shape() {
+        let rows = partition43(&[tiny()], 15);
+        let r = &rows[0];
+        assert!(r.partitioned_batches <= r.naive_batches);
+        assert!(r.partitioned_bytes < r.naive_bytes);
+        assert!(r.reuse_factor > 1.5, "reuse {}", r.reuse_factor);
+        assert!(r.max_seqs_per_partition >= 3);
+    }
+}

@@ -1,0 +1,171 @@
+//! Table 1 — the optimization-ablation ladder.
+//!
+//! Reproduces the cumulative speedup ladder (single tile → 1472
+//! tiles → 6 threads → LR splitting → work stealing → dual issue)
+//! on a 15 %-error synthetic dataset and an ELBA-E.coli-shaped one.
+//! Expected shape (paper): tiles ≈ 600–1200×, threads ≈ 2.6–4.8×,
+//! LR split and work stealing mattering on the skewed real data but
+//! not on the uniform synthetic one, dual issue ≈ 1.30×.
+
+use crate::exp::dna_scorer;
+use crate::harness::{exec_for, run_ipu_from_exec, IpuRunConfig};
+use ipu_sim::cost::OptFlags;
+use ipu_sim::spec::IpuSpec;
+use seqdata::{Dataset, DatasetKind};
+use xdrop_core::workload::Workload;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Table1Row {
+    /// Dataset label.
+    pub dataset: String,
+    /// Optimization step label.
+    pub step: String,
+    /// Modeled on-device time in milliseconds.
+    pub time_ms: f64,
+    /// GCUPS at this step.
+    pub gcups: f64,
+    /// Speedup over the previous row.
+    pub to_prev: f64,
+    /// Cumulative speedup over the first row.
+    pub total: f64,
+}
+
+/// Runs the ablation ladder on the given labelled workloads and
+/// machine.
+pub fn run_on(workloads: &[(&str, Workload)], x: i32, spec: IpuSpec) -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    for (label, w) in workloads {
+        // The kernels only depend on the LR-splitting flag; run them
+        // once per variant and reuse across ladder rows.
+        let base_cfg =
+            IpuRunConfig { spec, partitioned: false, ..IpuRunConfig::full_gc200(x) };
+        let mk_cfg = |flags: OptFlags| IpuRunConfig { flags, ..base_cfg };
+        let exec_fused =
+            exec_for(w, &dna_scorer(), &mk_cfg(OptFlags { lr_split: false, ..OptFlags::full() }));
+        let exec_split = exec_for(w, &dna_scorer(), &mk_cfg(OptFlags::full()));
+        let mut base_time = None;
+        let mut prev_time = None;
+        for (step, flags) in OptFlags::ablation_ladder() {
+            let cfg = mk_cfg(flags);
+            let exec = if flags.lr_split { &exec_split } else { &exec_fused };
+            let r = run_ipu_from_exec(w, exec, &cfg);
+            // Table 1 reports on-device time (cycle counting, §5.1).
+            let time_ms = r.device_seconds * 1e3;
+            let base = *base_time.get_or_insert(time_ms);
+            let prev = prev_time.replace(time_ms).unwrap_or(time_ms);
+            rows.push(Table1Row {
+                dataset: label.to_string(),
+                step: step.to_string(),
+                time_ms,
+                gcups: r.gcups_device,
+                to_prev: prev / time_ms,
+                total: base / time_ms,
+            });
+        }
+    }
+    rows
+}
+
+/// Runs the ablation on both Table 1 datasets at bench scale (or
+/// `scale` if nonzero) on a full GC200.
+pub fn run(scale: f64, x: i32) -> Vec<Table1Row> {
+    let mut workloads = Vec::new();
+    for (label, kind) in
+        [("15% error", DatasetKind::Simulated85), ("ELBA Ecoli", DatasetKind::Ecoli)]
+    {
+        let ds = if scale > 0.0 {
+            Dataset::new(kind, scale)
+        } else {
+            Dataset::bench_default(kind)
+        };
+        workloads.push((label, ds.generate()));
+    }
+    let refs: Vec<(&str, Workload)> = workloads.into_iter().collect();
+    run_on(&refs, x, IpuSpec::gc200())
+}
+
+/// Renders the rows as a text table.
+pub fn render(rows: &[Table1Row]) -> String {
+    let mut out = String::from(
+        "Table 1: optimization ablation (GC200)\n\
+         dataset      step                  time[ms]      GCUPS   to-prev     total\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:<20} {:>10.3} {:>10.1} {:>8.2}x {:>8.1}x\n",
+            r.dataset, r.step, r.time_ms, r.gcups, r.to_prev, r.total
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use seqdata::gen::{generate_pair_workload, MutationProfile, PairSpec};
+    use xdrop_core::alphabet::Alphabet;
+
+    /// A miniature machine (8 tiles) and a workload that saturates
+    /// it (96 pairs of short 15 %-error sequences → 192 split
+    /// units, 24 per tile), so every ladder step has headroom to
+    /// show its effect while the test stays debug-fast.
+    fn mini() -> (Vec<(&'static str, Workload)>, IpuSpec) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let spec = PairSpec {
+            len: 900,
+            seed_len: 17,
+            seed_frac: 0.5,
+            errors: MutationProfile::uniform_mismatch(0.15),
+            alphabet: Alphabet::Dna,
+        };
+        let w = generate_pair_workload(&mut rng, &spec, 96);
+        (vec![("15% error", w)], IpuSpec { tiles: 8, ..IpuSpec::gc200() })
+    }
+
+    #[test]
+    fn ablation_shape_holds() {
+        let (workloads, spec) = mini();
+        let rows = run_on(&workloads, 15, spec);
+        assert_eq!(rows.len(), 6);
+        // Scaling from one tile to eight is the dominant step.
+        assert!(rows[1].to_prev > 4.0, "tile scaling {}", rows[1].to_prev);
+        // Six threads help by >2x on a saturated tile.
+        assert!(rows[2].to_prev > 2.0, "threads {}", rows[2].to_prev);
+        // Dual issue ≈ 1.3x.
+        assert!((rows[5].to_prev - 1.30).abs() < 0.12, "dual issue {}", rows[5].to_prev);
+        // Cumulative speedup is (almost) monotone.
+        for w in rows.windows(2) {
+            assert!(w[1].total >= w[0].total * 0.9);
+        }
+        // GCUPS at the final step dwarfs the first step.
+        assert!(rows[5].gcups > rows[0].gcups * 10.0);
+        // Rendering covers every step.
+        let text = render(&rows);
+        for step in ["Single tile", "Use 6 threads", "Dual issue"] {
+            assert!(text.contains(step));
+        }
+    }
+
+    /// The full Table 1 at bench scale — heavyweight; run with
+    /// `cargo test --release -- --ignored`.
+    #[test]
+    #[ignore = "bench-scale shape check; run in release"]
+    fn ablation_full_scale() {
+        let rows = run(0.0, 15);
+        assert_eq!(rows.len(), 12);
+        let sim: Vec<&Table1Row> = rows.iter().filter(|r| r.dataset == "15% error").collect();
+        let ecoli: Vec<&Table1Row> = rows.iter().filter(|r| r.dataset == "ELBA Ecoli").collect();
+        // Tile scaling dominates (hundreds of ×).
+        assert!(sim[1].to_prev > 200.0);
+        // Threads give 2.5–6×.
+        assert!(sim[2].to_prev > 2.0 && sim[2].to_prev < 6.5);
+        // Work stealing matters more on the skewed real data than on
+        // the uniform synthetic data (Table 1: 1.00× vs 1.44×).
+        assert!(ecoli[4].to_prev >= sim[4].to_prev - 0.05);
+        // Dual issue ≈ 1.3× on both.
+        assert!((ecoli[5].to_prev - 1.30).abs() < 0.1);
+    }
+}

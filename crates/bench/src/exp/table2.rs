@@ -1,0 +1,101 @@
+//! Table 2 — dataset statistics.
+//!
+//! Regenerates the dataset-characteristics table: comparison count,
+//! sequence-length mean, P10/avg/P90 of the left and right
+//! extension lengths, and average quadratic complexity — next to
+//! the paper's published values for reference.
+
+use seqdata::stats::WorkloadStats;
+use seqdata::{Dataset, DatasetKind};
+
+/// One dataset's row plus the paper's reference numbers.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Table2Row {
+    /// Dataset name.
+    pub name: String,
+    /// Scale the synthetic instance was generated at.
+    pub scale: f64,
+    /// Measured statistics of the generated instance.
+    pub stats: WorkloadStats,
+    /// Paper's comparison count (scale 1.0).
+    pub paper_cmp_count: u64,
+    /// Paper's average sequence length.
+    pub paper_seqlen_avg: u64,
+}
+
+/// Generates all four DNA datasets and computes their stats.
+pub fn run(scale_mult: f64) -> Vec<Table2Row> {
+    DatasetKind::table2()
+        .into_iter()
+        .map(|kind| {
+            let mut ds = Dataset::bench_default(kind);
+            if scale_mult > 0.0 {
+                ds.scale *= scale_mult;
+            }
+            let w = ds.generate();
+            Table2Row {
+                name: kind.name().to_string(),
+                scale: ds.scale,
+                stats: WorkloadStats::of(&w),
+                paper_cmp_count: kind.paper_cmp_count(),
+                paper_seqlen_avg: kind.paper_seqlen_avg(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows like the paper's Table 2.
+pub fn render(rows: &[Table2Row]) -> String {
+    let mut out = String::from("Table 2: dataset statistics (generated at bench scale)\n");
+    out.push_str(&WorkloadStats::table2_header());
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.stats.table2_row(&r.name));
+        out.push('\n');
+    }
+    out.push_str("\npaper reference (scale 1.0):\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} cmp={:<10} seqlen_avg={}\n",
+            r.name, r.paper_cmp_count, r.paper_seqlen_avg
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper_ordering() {
+        // Small multiplier for test speed.
+        let rows = run(0.25);
+        assert_eq!(rows.len(), 4);
+        let by_name = |n: &str| rows.iter().find(|r| r.name == n).expect("row");
+        let sim = by_name("simulated85");
+        let ecoli = by_name("ecoli");
+        let ecoli100 = by_name("ecoli100");
+        // simulated85: fixed-length ~10 kb pairs.
+        assert_eq!(sim.stats.seqlen.avg as u64, 9_992);
+        assert!(sim.stats.seqlen.p10 == sim.stats.seqlen.p90);
+        // ecoli100 reads are markedly shorter than ecoli reads —
+        // the key Table 2 contrast.
+        assert!(
+            ecoli100.stats.seqlen.avg < 0.75 * ecoli.stats.seqlen.avg,
+            "ecoli100 {} vs ecoli {}",
+            ecoli100.stats.seqlen.avg,
+            ecoli.stats.seqlen.avg
+        );
+        // Real datasets have skew: P10 well below P90.
+        assert!(ecoli.stats.left_len.p10 < ecoli.stats.left_len.p90);
+        // Complexity tracks length²: ecoli > ecoli100.
+        assert!(ecoli.stats.complexity_avg > ecoli100.stats.complexity_avg);
+        // Pipeline datasets have sequence reuse; synthetic does not.
+        assert!(ecoli.stats.seq_degree_avg > 1.5);
+        assert!((sim.stats.seq_degree_avg - 1.0).abs() < 1e-9);
+        // Rendering sanity.
+        let text = render(&rows);
+        assert!(text.contains("simulated85") && text.contains("elegans"));
+    }
+}

@@ -1,0 +1,15 @@
+//! # xdrop-bench
+//!
+//! The experiment harness: one module per table/figure of the
+//! paper's evaluation (see `DESIGN.md` §4 for the index), shared by
+//! the `experiments` binary and the criterion benches.
+//!
+//! Every experiment returns serializable rows; the binary prints a
+//! text table *and* writes `results/<experiment>.json` so that
+//! `EXPERIMENTS.md` can be checked against re-runs.
+
+pub mod exp;
+pub mod harness;
+pub mod svg;
+
+pub use harness::{exec_for, run_ipu, run_ipu_from_exec, IpuRunConfig, IpuRunReport};

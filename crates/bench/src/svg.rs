@@ -1,0 +1,299 @@
+//! Minimal dependency-free SVG charts for the figure reproductions.
+//!
+//! The `experiments` binary writes `results/<name>.svg` next to each
+//! JSON so the reproduced figures can be eyeballed against the
+//! paper's. Only what the figures need: line series with log/linear
+//! axes and grouped bars.
+
+use std::fmt::Write as _;
+
+/// One named line series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Log₁₀ axis (all values must be positive).
+    Log,
+}
+
+/// Chart description.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X-axis scale.
+    pub x_scale: Scale,
+    /// Y-axis scale.
+    pub y_scale: Scale,
+    /// The series to draw.
+    pub series: Vec<Series>,
+}
+
+const W: f64 = 760.0;
+const H: f64 = 480.0;
+const ML: f64 = 70.0; // margins
+const MR: f64 = 160.0;
+const MT: f64 = 46.0;
+const MB: f64 = 56.0;
+const PALETTE: [&str; 8] =
+    ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f"];
+
+fn tx(scale: Scale, v: f64, lo: f64, hi: f64) -> f64 {
+    let (v, lo, hi) = match scale {
+        Scale::Linear => (v, lo, hi),
+        Scale::Log => (v.max(1e-12).log10(), lo.max(1e-12).log10(), hi.max(1e-12).log10()),
+    };
+    if (hi - lo).abs() < 1e-12 {
+        0.5
+    } else {
+        (v - lo) / (hi - lo)
+    }
+}
+
+impl LineChart {
+    /// Renders the chart to an SVG string.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> =
+            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pts {
+            x_lo = x_lo.min(x);
+            x_hi = x_hi.max(x);
+            y_lo = y_lo.min(y);
+            y_hi = y_hi.max(y);
+        }
+        if pts.is_empty() {
+            x_lo = 0.0;
+            x_hi = 1.0;
+            y_lo = 0.0;
+            y_hi = 1.0;
+        }
+        if self.y_scale == Scale::Linear {
+            y_lo = y_lo.min(0.0);
+        }
+        let px = |x: f64| ML + tx(self.x_scale, x, x_lo, x_hi) * (W - ML - MR);
+        let py = |y: f64| H - MB - tx(self.y_scale, y, y_lo, y_hi) * (H - MT - MB);
+
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+        );
+        let _ = write!(s, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+        let _ = write!(
+            s,
+            r#"<text x="{}" y="24" font-family="sans-serif" font-size="16" font-weight="bold">{}</text>"#,
+            ML,
+            esc(&self.title)
+        );
+        // Axes.
+        let _ = write!(
+            s,
+            r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#,
+            H - MB
+        );
+        let _ = write!(
+            s,
+            r#"<line x1="{ML}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            H - MB,
+            W - MR,
+            H - MB
+        );
+        // Axis labels.
+        let _ = write!(
+            s,
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="12" text-anchor="middle">{}</text>"#,
+            (ML + W - MR) / 2.0,
+            H - 14.0,
+            esc(&self.x_label)
+        );
+        let _ = write!(
+            s,
+            r#"<text x="16" y="{}" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            (MT + H - MB) / 2.0,
+            (MT + H - MB) / 2.0,
+            esc(&self.y_label)
+        );
+        // Min/max tick labels.
+        for (v, anchor, x, y) in [
+            (x_lo, "middle", px(x_lo), H - MB + 18.0),
+            (x_hi, "middle", px(x_hi), H - MB + 18.0),
+        ] {
+            let _ = write!(
+                s,
+                r#"<text x="{x}" y="{y}" font-family="sans-serif" font-size="11" text-anchor="{anchor}">{}</text>"#,
+                fmt_num(v)
+            );
+        }
+        for v in [y_lo, y_hi] {
+            let _ = write!(
+                s,
+                r#"<text x="{}" y="{}" font-family="sans-serif" font-size="11" text-anchor="end">{}</text>"#,
+                ML - 6.0,
+                py(v) + 4.0,
+                fmt_num(v)
+            );
+        }
+        // Series.
+        for (si, series) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            let mut path = String::new();
+            for (pi, &(x, y)) in series.points.iter().enumerate() {
+                let _ = write!(path, "{}{:.1},{:.1} ", if pi == 0 { "M" } else { "L" }, px(x), py(y));
+            }
+            let _ = write!(
+                s,
+                r#"<path d="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                path.trim_end()
+            );
+            for &(x, y) in &series.points {
+                let _ = write!(
+                    s,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                    px(x),
+                    py(y)
+                );
+            }
+            // Legend.
+            let ly = MT + 18.0 * si as f64;
+            let _ = write!(
+                s,
+                r#"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="3"/>"#,
+                W - MR + 10.0,
+                W - MR + 34.0
+            );
+            let _ = write!(
+                s,
+                r#"<text x="{}" y="{}" font-family="sans-serif" font-size="12">{}</text>"#,
+                W - MR + 40.0,
+                ly + 4.0,
+                esc(&series.label)
+            );
+        }
+        s.push_str("</svg>");
+        s
+    }
+}
+
+fn esc(t: &str) -> String {
+    t.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.1e}")
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Writes a chart to `results/<name>.svg` (best effort).
+pub fn save_svg(name: &str, chart: &LineChart) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let _ = std::fs::write(dir.join(format!("{name}.svg")), chart.render());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> LineChart {
+        LineChart {
+            title: "δ_w vs error".into(),
+            x_label: "error %".into(),
+            y_label: "δ_w".into(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Log,
+            series: vec![
+                Series { label: "X=10".into(), points: vec![(0.0, 8.0), (50.0, 41.0), (100.0, 63.0)] },
+                Series { label: "X=50".into(), points: vec![(0.0, 35.0), (50.0, 138.0)] },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let svg = chart().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 5);
+        assert!(svg.contains("X=10") && svg.contains("X=50"));
+        assert!(svg.contains("δ_w vs error"));
+    }
+
+    #[test]
+    fn escapes_markup() {
+        let mut c = chart();
+        c.title = "a < b & c".into();
+        let svg = c.render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn empty_chart_does_not_panic() {
+        let c = LineChart {
+            title: "empty".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            series: vec![],
+        };
+        let svg = c.render();
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn log_scale_positions_monotone() {
+        let c = LineChart {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Log,
+            series: vec![Series {
+                label: "s".into(),
+                points: vec![(1.0, 1.0), (2.0, 10.0), (3.0, 100.0)],
+            }],
+        };
+        let svg = c.render();
+        // Extract circle cy values; with log scaling they should be
+        // equally spaced and decreasing (SVG y grows downward).
+        let cys: Vec<f64> = svg
+            .match_indices("cy=\"")
+            .map(|(i, _)| {
+                let rest = &svg[i + 4..];
+                let end = rest.find('"').unwrap();
+                rest[..end].parse::<f64>().unwrap()
+            })
+            .collect();
+        assert_eq!(cys.len(), 3);
+        assert!(cys[0] > cys[1] && cys[1] > cys[2]);
+        let d1 = cys[0] - cys[1];
+        let d2 = cys[1] - cys[2];
+        assert!((d1 - d2).abs() < 0.5, "log spacing uneven: {d1} vs {d2}");
+    }
+}

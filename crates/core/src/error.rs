@@ -1,0 +1,92 @@
+//! Error types shared by the aligners.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, AlignError>;
+
+/// Errors produced by the aligners in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignError {
+    /// The live antidiagonal band grew beyond the configured `δ_b`
+    /// under [`crate::xdrop2::BandPolicy::Exact`].
+    ///
+    /// `needed` is the band width that would have been required to
+    /// continue, `delta_b` the configured bound. Re-run with
+    /// `δ_b ≥ needed` (or a `Grow`/`Saturate` policy) to complete the
+    /// alignment.
+    BandExceeded {
+        /// Band width required at the failing antidiagonal.
+        needed: usize,
+        /// Configured band bound.
+        delta_b: usize,
+        /// Antidiagonal index at which the overflow occurred.
+        antidiagonal: usize,
+    },
+    /// A sequence contained a symbol outside its alphabet.
+    InvalidSymbol {
+        /// Raw byte that failed to encode.
+        byte: u8,
+        /// Position of the offending byte in the input.
+        position: usize,
+    },
+    /// A seed match referenced positions outside its sequences.
+    SeedOutOfBounds {
+        /// Offending coordinate, as `(h_pos, v_pos)`.
+        seed: (usize, usize),
+        /// Sequence lengths, as `(h_len, v_len)`.
+        lens: (usize, usize),
+    },
+    /// `δ_b = 0` or another degenerate configuration was supplied.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for AlignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlignError::BandExceeded { needed, delta_b, antidiagonal } => write!(
+                f,
+                "band overflow on antidiagonal {antidiagonal}: needed width {needed} \
+                 but δ_b = {delta_b}"
+            ),
+            AlignError::InvalidSymbol { byte, position } => {
+                write!(f, "invalid symbol {byte:#04x} at position {position}")
+            }
+            AlignError::SeedOutOfBounds { seed, lens } => write!(
+                f,
+                "seed at (h={}, v={}) outside sequences of length (h={}, v={})",
+                seed.0, seed.1, lens.0, lens.1
+            ),
+            AlignError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = AlignError::BandExceeded { needed: 100, delta_b: 64, antidiagonal: 42 };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("64") && s.contains("42"));
+
+        let e = AlignError::InvalidSymbol { byte: 0x58, position: 7 };
+        assert!(e.to_string().contains("0x58"));
+
+        let e = AlignError::SeedOutOfBounds { seed: (10, 20), lens: (5, 5) };
+        assert!(e.to_string().contains("h=10"));
+
+        let e = AlignError::InvalidConfig("δ_b must be nonzero");
+        assert!(e.to_string().contains("nonzero"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<AlignError>();
+    }
+}

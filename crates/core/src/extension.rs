@@ -1,0 +1,373 @@
+//! Seed-and-extend alignment.
+//!
+//! ELBA and PASTIS hand the aligner a pair of sequences plus the
+//! position of a k-mer seed shared by both. The pairwise alignment is
+//! then the *left extension* (backwards from the seed start) plus the
+//! seed itself plus the *right extension* (forwards from the seed
+//! end). The backwards pass uses the [`crate::seqview::Rev`] view —
+//! the paper's `op(·)` transform — so the sequences are never copied
+//! or reversed, and a single resident copy serves any number of seeds
+//! (§4.1.1).
+
+use crate::error::{AlignError, Result};
+use crate::scoring::Scorer;
+use crate::seqview::{Fwd, Rev};
+use crate::stats::{AlignOutput, AlignStats};
+use crate::xdrop2::{self, BandPolicy};
+use crate::xdrop3;
+use crate::XDropParams;
+
+/// A k-mer seed shared by two sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct SeedMatch {
+    /// Start of the seed on `H`.
+    pub h_pos: usize,
+    /// Start of the seed on `V`.
+    pub v_pos: usize,
+    /// Seed length `k`.
+    pub k: usize,
+}
+
+impl SeedMatch {
+    /// A seed of length `k` at `(h_pos, v_pos)`.
+    pub fn new(h_pos: usize, v_pos: usize, k: usize) -> Self {
+        Self { h_pos, v_pos, k }
+    }
+
+    /// Checks the seed fits inside both sequences.
+    pub fn validate(&self, h_len: usize, v_len: usize) -> Result<()> {
+        if self.h_pos + self.k > h_len || self.v_pos + self.k > v_len {
+            Err(AlignError::SeedOutOfBounds {
+                seed: (self.h_pos, self.v_pos),
+                lens: (h_len, v_len),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Which antidiagonal kernel performs the extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The memory-restricted two-antidiagonal kernel (Algorithm 1).
+    TwoDiag(BandPolicy),
+    /// The classical three-antidiagonal kernel.
+    ThreeDiag,
+}
+
+/// Result of extending one seed in both directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ExtendOutcome {
+    /// Total alignment score: left + seed + right.
+    pub score: i32,
+    /// Score of the seed region itself.
+    pub seed_score: i32,
+    /// Left extension outcome.
+    pub left: AlignOutput,
+    /// Right extension outcome.
+    pub right: AlignOutput,
+    /// Aligned interval on `H`, half-open `[start, end)`.
+    pub h_span: (usize, usize),
+    /// Aligned interval on `V`, half-open `[start, end)`.
+    pub v_span: (usize, usize),
+}
+
+impl ExtendOutcome {
+    /// Combined work/memory statistics of both extensions.
+    pub fn stats(&self) -> AlignStats {
+        let mut s = self.left.stats;
+        s.merge(&self.right.stats);
+        s
+    }
+
+    /// Length of the aligned region on `H`.
+    pub fn h_len(&self) -> usize {
+        self.h_span.1 - self.h_span.0
+    }
+
+    /// Length of the aligned region on `V`.
+    pub fn v_len(&self) -> usize {
+        self.v_span.1 - self.v_span.0
+    }
+}
+
+/// A reusable seed extender: owns the kernel workspaces so thousands
+/// of extensions in a batch share two (or three) band buffers —
+/// exactly the memory discipline of one IPU hardware thread.
+#[derive(Debug)]
+pub struct Extender {
+    params: XDropParams,
+    backend: Backend,
+    ws2: xdrop2::Workspace<i32>,
+    ws3: xdrop3::Workspace<i32>,
+}
+
+impl Extender {
+    /// Creates an extender with the given X-Drop parameters and
+    /// kernel backend.
+    pub fn new(params: XDropParams, backend: Backend) -> Self {
+        Self { params, backend, ws2: xdrop2::Workspace::new(), ws3: xdrop3::Workspace::new() }
+    }
+
+    /// The configured X-Drop parameters.
+    pub fn params(&self) -> XDropParams {
+        self.params
+    }
+
+    /// Extends `seed` on `h` × `v` in both directions.
+    pub fn extend<S: Scorer>(
+        &mut self,
+        h: &[u8],
+        v: &[u8],
+        seed: SeedMatch,
+        scorer: &S,
+    ) -> Result<ExtendOutcome> {
+        seed.validate(h.len(), v.len())?;
+        let (h_left, h_seed, h_right) = split3(h, seed.h_pos, seed.k);
+        let (v_left, v_seed, v_right) = split3(v, seed.v_pos, seed.k);
+
+        let (left, right) = match self.backend {
+            Backend::TwoDiag(policy) => (
+                xdrop2::align_views_ty(
+                    &Rev(h_left),
+                    &Rev(v_left),
+                    scorer,
+                    self.params,
+                    policy,
+                    &mut self.ws2,
+                )?,
+                xdrop2::align_views_ty(
+                    &Fwd(h_right),
+                    &Fwd(v_right),
+                    scorer,
+                    self.params,
+                    policy,
+                    &mut self.ws2,
+                )?,
+            ),
+            Backend::ThreeDiag => (
+                xdrop3::align_views_ty(
+                    &Rev(h_left),
+                    &Rev(v_left),
+                    scorer,
+                    self.params,
+                    &mut self.ws3,
+                ),
+                xdrop3::align_views_ty(
+                    &Fwd(h_right),
+                    &Fwd(v_right),
+                    scorer,
+                    self.params,
+                    &mut self.ws3,
+                ),
+            ),
+        };
+
+        let seed_score = scorer.seed_score(h_seed, v_seed);
+        Ok(ExtendOutcome {
+            score: left.result.best_score + seed_score + right.result.best_score,
+            seed_score,
+            left,
+            right,
+            h_span: (seed.h_pos - left.result.end_h, seed.h_pos + seed.k + right.result.end_h),
+            v_span: (seed.v_pos - left.result.end_v, seed.v_pos + seed.k + right.result.end_v),
+        })
+    }
+
+    /// Extends a single direction only — used by the LR-splitting
+    /// optimization (§4.1.2), where left and right extensions are
+    /// independent work units assigned to different threads.
+    pub fn extend_one_side<S: Scorer>(
+        &mut self,
+        h: &[u8],
+        v: &[u8],
+        seed: SeedMatch,
+        scorer: &S,
+        side: Side,
+    ) -> Result<AlignOutput> {
+        seed.validate(h.len(), v.len())?;
+        let (h_left, _, h_right) = split3(h, seed.h_pos, seed.k);
+        let (v_left, _, v_right) = split3(v, seed.v_pos, seed.k);
+        match (side, self.backend) {
+            (Side::Left, Backend::TwoDiag(policy)) => xdrop2::align_views_ty(
+                &Rev(h_left),
+                &Rev(v_left),
+                scorer,
+                self.params,
+                policy,
+                &mut self.ws2,
+            ),
+            (Side::Right, Backend::TwoDiag(policy)) => xdrop2::align_views_ty(
+                &Fwd(h_right),
+                &Fwd(v_right),
+                scorer,
+                self.params,
+                policy,
+                &mut self.ws2,
+            ),
+            (Side::Left, Backend::ThreeDiag) => Ok(xdrop3::align_views_ty(
+                &Rev(h_left),
+                &Rev(v_left),
+                scorer,
+                self.params,
+                &mut self.ws3,
+            )),
+            (Side::Right, Backend::ThreeDiag) => Ok(xdrop3::align_views_ty(
+                &Fwd(h_right),
+                &Fwd(v_right),
+                scorer,
+                self.params,
+                &mut self.ws3,
+            )),
+        }
+    }
+}
+
+/// One direction of a seed extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Side {
+    /// Extension to the left of the seed (backwards access).
+    Left,
+    /// Extension to the right of the seed (forwards access).
+    Right,
+}
+
+fn split3(s: &[u8], pos: usize, k: usize) -> (&[u8], &[u8], &[u8]) {
+    (&s[..pos], &s[pos..pos + k], &s[pos + k..])
+}
+
+/// One-shot convenience wrapper around [`Extender::extend`] using the
+/// memory-restricted kernel with a growing band.
+pub fn extend_seed<S: Scorer>(
+    h: &[u8],
+    v: &[u8],
+    seed: SeedMatch,
+    scorer: &S,
+    params: XDropParams,
+    policy: BandPolicy,
+) -> Result<ExtendOutcome> {
+    Extender::new(params, Backend::TwoDiag(policy)).extend(h, v, seed, scorer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::encode_dna;
+    use crate::scoring::MatchMismatch;
+
+    fn sc() -> MatchMismatch {
+        MatchMismatch::dna_default()
+    }
+
+    fn params() -> XDropParams {
+        XDropParams::new(10)
+    }
+
+    #[test]
+    fn identical_sequences_full_span() {
+        let s = encode_dna(b"ACGTACGTACGTACGTACGT");
+        let seed = SeedMatch::new(8, 8, 4);
+        let out = extend_seed(&s, &s, seed, &sc(), params(), BandPolicy::Grow(8)).unwrap();
+        assert_eq!(out.score, s.len() as i32);
+        assert_eq!(out.h_span, (0, s.len()));
+        assert_eq!(out.v_span, (0, s.len()));
+        assert_eq!(out.seed_score, 4);
+    }
+
+    #[test]
+    fn seed_at_origin_has_empty_left() {
+        let s = encode_dna(b"ACGTACGT");
+        let seed = SeedMatch::new(0, 0, 4);
+        let out = extend_seed(&s, &s, seed, &sc(), params(), BandPolicy::Grow(8)).unwrap();
+        assert_eq!(out.left.result.best_score, 0);
+        assert_eq!(out.score, 8);
+    }
+
+    #[test]
+    fn seed_at_end_has_empty_right() {
+        let s = encode_dna(b"ACGTACGT");
+        let seed = SeedMatch::new(4, 4, 4);
+        let out = extend_seed(&s, &s, seed, &sc(), params(), BandPolicy::Grow(8)).unwrap();
+        assert_eq!(out.right.result.best_score, 0);
+        assert_eq!(out.score, 8);
+    }
+
+    #[test]
+    fn out_of_bounds_seed_rejected() {
+        let s = encode_dna(b"ACGT");
+        let err = extend_seed(&s, &s, SeedMatch::new(2, 2, 4), &sc(), params(), BandPolicy::Grow(8))
+            .unwrap_err();
+        assert!(matches!(err, AlignError::SeedOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn divergent_flanks_stop_extension() {
+        // Common 6-mer seed, flanks completely different.
+        let h = encode_dna(b"AAAAAAACGTCGTTTTTTT");
+        let v = encode_dna(b"CCCCCCCGTCGTGGGGGGG");
+        let seed = SeedMatch::new(7, 6, 6);
+        assert_eq!(&h[7..13], &v[6..12]);
+        let out = extend_seed(&h, &v, seed, &sc(), XDropParams::new(2), BandPolicy::Grow(8))
+            .unwrap();
+        assert_eq!(out.score, 6);
+        assert_eq!(out.h_span, (7, 13));
+        assert_eq!(out.v_span, (6, 12));
+    }
+
+    #[test]
+    fn backends_agree() {
+        let h = encode_dna(b"ACGTACGTAAGGTACGTACGTACGTTTGGACGT");
+        let v = encode_dna(b"ACGTACGAAAGGTACGTACGTACTTTTGGACGA");
+        let seed = SeedMatch::new(12, 12, 8);
+        let mut two = Extender::new(params(), Backend::TwoDiag(BandPolicy::Grow(8)));
+        let mut three = Extender::new(params(), Backend::ThreeDiag);
+        let a = two.extend(&h, &v, seed, &sc()).unwrap();
+        let b = three.extend(&h, &v, seed, &sc()).unwrap();
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.h_span, b.h_span);
+        assert_eq!(a.v_span, b.v_span);
+    }
+
+    #[test]
+    fn one_side_matches_both_sides() {
+        let h = encode_dna(b"ACGTACGTAAGGTACGTACGTACGTTTGGACGT");
+        let v = encode_dna(b"ACGTACGAAAGGTACGTACGTACTTTTGGACGA");
+        let seed = SeedMatch::new(12, 12, 8);
+        let mut e = Extender::new(params(), Backend::TwoDiag(BandPolicy::Grow(8)));
+        let both = e.extend(&h, &v, seed, &sc()).unwrap();
+        let l = e.extend_one_side(&h, &v, seed, &sc(), Side::Left).unwrap();
+        let r = e.extend_one_side(&h, &v, seed, &sc(), Side::Right).unwrap();
+        assert_eq!(l.result, both.left.result);
+        assert_eq!(r.result, both.right.result);
+    }
+
+    #[test]
+    fn stats_merge_left_right() {
+        let s = encode_dna(b"ACGTACGTACGTACGTACGT");
+        let out =
+            extend_seed(&s, &s, SeedMatch::new(8, 8, 4), &sc(), params(), BandPolicy::Grow(8))
+                .unwrap();
+        let merged = out.stats();
+        assert_eq!(
+            merged.cells_computed,
+            out.left.stats.cells_computed + out.right.stats.cells_computed
+        );
+        assert_eq!(out.h_len(), 20);
+        assert_eq!(out.v_len(), 20);
+    }
+
+    #[test]
+    fn indel_shifts_span() {
+        // V has a 2-base insertion left of the seed.
+        let h = encode_dna(b"TTTTACGTACGTGGGG");
+        let v = encode_dna(b"TTTTGAACGTACGTGGGG");
+        let seed = SeedMatch::new(8, 10, 4);
+        let out = extend_seed(&h, &v, seed, &sc(), params(), BandPolicy::Grow(8)).unwrap();
+        // Full H consumed; V consumed fully too (16 vs 18 symbols).
+        assert_eq!(out.h_span, (0, 16));
+        assert_eq!(out.v_span, (0, 18));
+        // 16 matches - 2 gaps
+        assert_eq!(out.score, 16 - 2);
+    }
+}

@@ -1,0 +1,204 @@
+//! Bit-packed sequence storage.
+//!
+//! Tile SRAM is the scarcest resource in the whole design (§4): the
+//! byte-per-symbol layout the kernel uses is simple, but packing DNA
+//! two bits per base quarters the sequence footprint — trading
+//! per-access shift/mask instructions for capacity. Because every
+//! aligner in this crate is generic over [`SeqView`], a packed
+//! sequence drops straight into the kernels; this module provides
+//! the container and the capacity arithmetic so the trade-off can be
+//! evaluated (see `mem` in `ipu-sim` for the byte-per-symbol
+//! accounting the paper's implementation uses).
+
+use crate::alphabet::Alphabet;
+use crate::seqview::SeqView;
+
+/// A bit-packed immutable sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedSeq {
+    data: Vec<u64>,
+    len: usize,
+    bits: u32,
+}
+
+impl PackedSeq {
+    /// Packs symbol codes at the alphabet's natural width (2 bits
+    /// for DNA without ambiguity codes, 5 for protein).
+    ///
+    /// # Panics
+    /// If a code does not fit the symbol width (e.g. `N` in strict
+    /// 2-bit DNA packing).
+    pub fn pack(codes: &[u8], alphabet: Alphabet) -> Self {
+        let bits: u32 = match alphabet {
+            Alphabet::Dna => 2,
+            Alphabet::Protein => 5,
+        };
+        Self::pack_with_width(codes, bits)
+    }
+
+    /// Packs with an explicit symbol width (1 ≤ `bits` ≤ 8).
+    pub fn pack_with_width(codes: &[u8], bits: u32) -> Self {
+        assert!((1..=8).contains(&bits), "symbol width out of range");
+        let per_word = 64 / bits as usize;
+        let mut data = vec![0u64; codes.len().div_ceil(per_word)];
+        for (idx, &c) in codes.iter().enumerate() {
+            assert!(
+                (c as u64) < (1u64 << bits),
+                "code {c} does not fit {bits}-bit packing"
+            );
+            let w = idx / per_word;
+            let off = (idx % per_word) as u32 * bits;
+            data[w] |= (c as u64) << off;
+        }
+        Self { data, len: codes.len(), bits }
+    }
+
+    /// Unpacks back into plain codes.
+    pub fn unpack(&self) -> Vec<u8> {
+        (0..self.len).map(|i| self.at(i)).collect()
+    }
+
+    /// Bytes of storage used for the symbols.
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+
+    /// Symbol width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Storage a packed sequence of `len` symbols needs, in bytes.
+    pub fn bytes_for(len: usize, bits: u32) -> usize {
+        let per_word = 64 / bits as usize;
+        len.div_ceil(per_word) * 8
+    }
+}
+
+impl SeqView for PackedSeq {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline(always)]
+    fn at(&self, idx: usize) -> u8 {
+        debug_assert!(idx < self.len);
+        let per_word = (64 / self.bits) as usize;
+        let w = idx / per_word;
+        let off = (idx % per_word) as u32 * self.bits;
+        ((self.data[w] >> off) & ((1u64 << self.bits) - 1)) as u8
+    }
+}
+
+/// Reverse view over a packed sequence (the `op(·)` transform for
+/// packed storage).
+#[derive(Debug, Clone)]
+pub struct PackedRev<'a>(pub &'a PackedSeq);
+
+impl SeqView for PackedRev<'_> {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    #[inline(always)]
+    fn at(&self, idx: usize) -> u8 {
+        self.0.at(self.0.len() - 1 - idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::{encode_dna, encode_protein};
+    use crate::scoring::MatchMismatch;
+    use crate::seqview::Fwd;
+    use crate::xdrop2::{self, BandPolicy};
+    use crate::XDropParams;
+
+    #[test]
+    fn dna_roundtrip() {
+        let s = encode_dna(b"ACGTACGTACGTACGTACGTACGTACGTACGTACG");
+        let p = PackedSeq::pack(&s, Alphabet::Dna);
+        assert_eq!(p.unpack(), s);
+        assert_eq!(p.len(), s.len());
+        assert_eq!(p.bits(), 2);
+    }
+
+    #[test]
+    fn protein_roundtrip() {
+        let s = encode_protein(b"MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ");
+        let p = PackedSeq::pack(&s, Alphabet::Protein);
+        assert_eq!(p.unpack(), s);
+        assert_eq!(p.bits(), 5);
+    }
+
+    #[test]
+    fn packing_quarters_dna_storage() {
+        let s = vec![0u8; 10_000];
+        let p = PackedSeq::pack(&s, Alphabet::Dna);
+        assert!(p.storage_bytes() <= 10_000 / 4 + 8);
+        assert_eq!(PackedSeq::bytes_for(10_000, 2), 2_504);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn strict_dna_rejects_ambiguity() {
+        let s = vec![4u8]; // N
+        let _ = PackedSeq::pack(&s, Alphabet::Dna);
+    }
+
+    #[test]
+    fn kernels_run_on_packed_views() {
+        let h = encode_dna(b"ACGTTGCACAGTCCATGGATACGTTGCACAGT");
+        let mut v = h.clone();
+        v[7] = (v[7] + 1) % 4;
+        let hp = PackedSeq::pack(&h, Alphabet::Dna);
+        let vp = PackedSeq::pack(&v, Alphabet::Dna);
+        let sc = MatchMismatch::dna_default();
+        let p = XDropParams::new(10);
+        let mut ws = xdrop2::Workspace::<i32>::new();
+        let packed =
+            xdrop2::align_views_ty(&hp, &vp, &sc, p, BandPolicy::Grow(8), &mut ws).unwrap();
+        let plain = xdrop2::align(&h, &v, &sc, p, BandPolicy::Grow(8)).unwrap();
+        assert_eq!(packed.result, plain.result);
+        assert_eq!(packed.stats.cells_computed, plain.stats.cells_computed);
+    }
+
+    #[test]
+    fn packed_reverse_view() {
+        let s = encode_dna(b"ACGTTGCA");
+        let p = PackedSeq::pack(&s, Alphabet::Dna);
+        let r = PackedRev(&p);
+        let collected: Vec<u8> = (0..r.len()).map(|i| r.at(i)).collect();
+        let expected: Vec<u8> = s.iter().rev().copied().collect();
+        assert_eq!(collected, expected);
+        // Packed reverse matches the plain reverse view in a kernel.
+        let sc = MatchMismatch::dna_default();
+        let mut ws = xdrop2::Workspace::<i32>::new();
+        let a = xdrop2::align_views_ty(
+            &r,
+            &Fwd(&s),
+            &sc,
+            XDropParams::new(5),
+            BandPolicy::Grow(4),
+            &mut ws,
+        )
+        .unwrap();
+        let rev: Vec<u8> = s.iter().rev().copied().collect();
+        let b = xdrop2::align(&rev, &s, &sc, XDropParams::new(5), BandPolicy::Grow(4)).unwrap();
+        assert_eq!(a.result, b.result);
+    }
+
+    #[test]
+    fn capacity_math() {
+        // 10 kb read: 10 000 B plain vs 2 504 B packed — four more
+        // sequences per tile.
+        assert_eq!(PackedSeq::bytes_for(10_000, 2), 2_504);
+        assert_eq!(PackedSeq::bytes_for(0, 2), 0);
+        assert_eq!(PackedSeq::bytes_for(1, 2), 8);
+        assert_eq!(PackedSeq::bytes_for(32, 2), 8);
+        assert_eq!(PackedSeq::bytes_for(33, 2), 16);
+    }
+}

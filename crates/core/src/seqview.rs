@@ -1,0 +1,100 @@
+//! Directional sequence views — the paper's `op(·)` index transform.
+//!
+//! A seed match splits each sequence into a *left* part (before the
+//! seed) and a *right* part (after it). The right extension walks the
+//! sequences forwards; the left extension must walk them backwards.
+//! Rather than materializing reversed copies (which would double the
+//! per-tile memory and force host-side preprocessing), the paper's
+//! kernel parameterizes the inner loop with an index transform
+//! `op(i)` that maps logical positions to physical ones. [`SeqView`]
+//! is that transform: the aligners are generic over it and
+//! monomorphize to a direct (forward or reverse) indexed load.
+
+/// A read-only, possibly direction-reversed window into a sequence.
+pub trait SeqView {
+    /// Number of symbols in the view.
+    fn len(&self) -> usize;
+
+    /// Whether the view is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The symbol at logical position `idx` (`idx < len()`).
+    fn at(&self, idx: usize) -> u8;
+}
+
+/// Forward view: logical index `i` maps to physical index `i`.
+#[derive(Debug, Clone, Copy)]
+pub struct Fwd<'a>(pub &'a [u8]);
+
+impl SeqView for Fwd<'_> {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    #[inline(always)]
+    fn at(&self, idx: usize) -> u8 {
+        self.0[idx]
+    }
+}
+
+/// Reverse view: logical index `i` maps to physical index
+/// `len − 1 − i`, i.e. the left extension's `op(·)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Rev<'a>(pub &'a [u8]);
+
+impl SeqView for Rev<'_> {
+    #[inline(always)]
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    #[inline(always)]
+    fn at(&self, idx: usize) -> u8 {
+        self.0[self.0.len() - 1 - idx]
+    }
+}
+
+/// Materializes a view into an owned `Vec` (tests and debugging).
+pub fn collect_view<S: SeqView>(view: &S) -> Vec<u8> {
+    (0..view.len()).map(|i| view.at(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_is_identity() {
+        let s = [1u8, 2, 3, 4];
+        let v = Fwd(&s);
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+        assert_eq!(collect_view(&v), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reverse_reverses() {
+        let s = [1u8, 2, 3, 4];
+        let v = Rev(&s);
+        assert_eq!(v.len(), 4);
+        assert_eq!(collect_view(&v), vec![4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn empty_views() {
+        let s: [u8; 0] = [];
+        assert!(Fwd(&s).is_empty());
+        assert!(Rev(&s).is_empty());
+    }
+
+    #[test]
+    fn double_reverse_is_identity() {
+        let s = [7u8, 8, 9];
+        let once = collect_view(&Rev(&s));
+        let twice = collect_view(&Rev(&once[..]));
+        assert_eq!(twice, s.to_vec());
+    }
+}

@@ -1,0 +1,202 @@
+//! Many-to-many alignment workloads.
+//!
+//! The unit of work in ELBA/PASTIS-style pipelines is a *comparison*:
+//! a pair of sequences plus a seed match to extend. The paper's tile
+//! data structures (§4.1.1) deliberately keep the sequence set
+//! *detached* from the seed list — a sequence is stored once per tile
+//! and referenced by any number of comparisons, which is what the
+//! graph partitioner (§4.3) exploits to cut host-to-device traffic.
+//! These types mirror that representation host-side.
+
+use crate::alphabet::Alphabet;
+use crate::extension::SeedMatch;
+
+/// An indexed pool of encoded sequences.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SeqSet {
+    /// Alphabet all sequences are encoded in.
+    pub alphabet: Alphabet,
+    seqs: Vec<Vec<u8>>,
+}
+
+impl SeqSet {
+    /// An empty pool.
+    pub fn new(alphabet: Alphabet) -> Self {
+        Self { alphabet, seqs: Vec::new() }
+    }
+
+    /// Adds a sequence and returns its id.
+    pub fn push(&mut self, seq: Vec<u8>) -> SeqId {
+        let id = self.seqs.len() as SeqId;
+        self.seqs.push(seq);
+        id
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// The sequence with id `id`.
+    pub fn get(&self, id: SeqId) -> &[u8] {
+        &self.seqs[id as usize]
+    }
+
+    /// Length in symbols of sequence `id`.
+    pub fn seq_len(&self, id: SeqId) -> usize {
+        self.seqs[id as usize].len()
+    }
+
+    /// Iterates over `(id, sequence)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SeqId, &[u8])> {
+        self.seqs.iter().enumerate().map(|(i, s)| (i as SeqId, s.as_slice()))
+    }
+
+    /// Total bytes of sequence payload (1 byte per symbol, as stored
+    /// in tile SRAM).
+    pub fn total_bytes(&self) -> usize {
+        self.seqs.iter().map(Vec::len).sum()
+    }
+}
+
+/// Index of a sequence within a [`SeqSet`].
+pub type SeqId = u32;
+
+/// One planned pairwise comparison: two sequences and a seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Comparison {
+    /// Id of the `H` sequence.
+    pub h: SeqId,
+    /// Id of the `V` sequence.
+    pub v: SeqId,
+    /// Seed match to extend.
+    pub seed: SeedMatch,
+}
+
+impl Comparison {
+    /// Creates a comparison.
+    pub fn new(h: SeqId, v: SeqId, seed: SeedMatch) -> Self {
+        Self { h, v, seed }
+    }
+}
+
+/// A full many-to-many workload: a sequence pool plus the comparisons
+/// to run on it.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Workload {
+    /// The sequence pool.
+    pub seqs: SeqSet,
+    /// The comparisons (seed extensions) to perform.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl Workload {
+    /// An empty workload.
+    pub fn new(alphabet: Alphabet) -> Self {
+        Self { seqs: SeqSet::new(alphabet), comparisons: Vec::new() }
+    }
+
+    /// Work estimate for one comparison: the paper batches by the
+    /// worst-case quadratic cost `|H| × |V|` (§4.2).
+    pub fn complexity(&self, c: &Comparison) -> u64 {
+        self.seqs.seq_len(c.h) as u64 * self.seqs.seq_len(c.v) as u64
+    }
+
+    /// Sum of [`Self::complexity`] over all comparisons.
+    pub fn total_complexity(&self) -> u64 {
+        self.comparisons.iter().map(|c| self.complexity(c)).sum()
+    }
+
+    /// Theoretical GCUPS numerator: total `|H| × |V|` cells.
+    pub fn theoretical_cells(&self) -> u64 {
+        self.total_complexity()
+    }
+
+    /// Left-extension lengths `(h, v)` of a comparison — how far the
+    /// backwards extension can at most run.
+    pub fn left_lens(&self, c: &Comparison) -> (usize, usize) {
+        (c.seed.h_pos, c.seed.v_pos)
+    }
+
+    /// Right-extension lengths `(h, v)` of a comparison.
+    pub fn right_lens(&self, c: &Comparison) -> (usize, usize) {
+        (
+            self.seqs.seq_len(c.h) - c.seed.h_pos - c.seed.k,
+            self.seqs.seq_len(c.v) - c.seed.v_pos - c.seed.k,
+        )
+    }
+
+    /// Checks every comparison references valid sequences and seeds.
+    pub fn validate(&self) -> crate::error::Result<()> {
+        for c in &self.comparisons {
+            if c.h as usize >= self.seqs.len() || c.v as usize >= self.seqs.len() {
+                return Err(crate::error::AlignError::SeedOutOfBounds {
+                    seed: (c.seed.h_pos, c.seed.v_pos),
+                    lens: (0, 0),
+                });
+            }
+            c.seed.validate(self.seqs.seq_len(c.h), self.seqs.seq_len(c.v))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Workload {
+        let mut w = Workload::new(Alphabet::Dna);
+        let a = w.seqs.push(vec![0; 10]);
+        let b = w.seqs.push(vec![1; 20]);
+        w.comparisons.push(Comparison::new(a, b, SeedMatch::new(2, 4, 3)));
+        w
+    }
+
+    #[test]
+    fn seqset_basics() {
+        let w = tiny();
+        assert_eq!(w.seqs.len(), 2);
+        assert!(!w.seqs.is_empty());
+        assert_eq!(w.seqs.seq_len(0), 10);
+        assert_eq!(w.seqs.get(1), &[1u8; 20][..]);
+        assert_eq!(w.seqs.total_bytes(), 30);
+        assert_eq!(w.seqs.iter().count(), 2);
+    }
+
+    #[test]
+    fn complexity_is_product() {
+        let w = tiny();
+        assert_eq!(w.complexity(&w.comparisons[0]), 200);
+        assert_eq!(w.total_complexity(), 200);
+        assert_eq!(w.theoretical_cells(), 200);
+    }
+
+    #[test]
+    fn extension_lengths() {
+        let w = tiny();
+        let c = &w.comparisons[0];
+        assert_eq!(w.left_lens(c), (2, 4));
+        assert_eq!(w.right_lens(c), (10 - 2 - 3, 20 - 4 - 3));
+    }
+
+    #[test]
+    fn validate_catches_bad_seed() {
+        let mut w = tiny();
+        assert!(w.validate().is_ok());
+        w.comparisons.push(Comparison::new(0, 1, SeedMatch::new(9, 0, 5)));
+        assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_id() {
+        let mut w = tiny();
+        w.comparisons.push(Comparison::new(7, 1, SeedMatch::new(0, 0, 1)));
+        assert!(w.validate().is_err());
+    }
+}

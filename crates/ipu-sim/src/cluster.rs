@@ -1,0 +1,245 @@
+//! Multi-IPU execution: the load-balancing driver of §4.4.
+//!
+//! The paper rejects the "virtual big IPU" model in favour of
+//! independent devices pulling batches from a shared work queue,
+//! with fully-preprocessed batches streamed ahead of time so the IPU
+//! can prefetch — transfer overlaps compute. The constraint that
+//! makes strong scaling interesting is the *shared* host link
+//! (100 Gb/s Ethernet for the whole machine, §2.1.1): once the sum
+//! of transfer times exceeds the per-device compute time, adding
+//! IPUs stops helping — unless the graph partitioner shrinks the
+//! bytes per batch, which is exactly the Figure 7 result.
+
+use crate::batch::Batch;
+use crate::cost::{CostModel, OptFlags};
+use crate::device::{run_batch_on_device, BatchReport};
+use crate::exec::WorkUnit;
+use crate::spec::IpuSpec;
+
+/// Outcome of a cluster run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClusterReport {
+    /// Wall-clock makespan in seconds.
+    pub total_seconds: f64,
+    /// Number of devices used.
+    pub devices: usize,
+    /// Batches executed.
+    pub batches: usize,
+    /// Total host→devices bytes.
+    pub host_bytes: u64,
+    /// Fraction of the makespan the host link was busy (1.0 =
+    /// interconnect-saturated).
+    pub link_busy_fraction: f64,
+    /// Mean device compute-busy fraction.
+    pub device_busy_fraction: f64,
+    /// Per-batch device reports, in submission order.
+    pub batch_reports: Vec<BatchReport>,
+}
+
+impl ClusterReport {
+    /// Aggregate GCUPS given the theoretical cell count of the
+    /// workload (the paper's metric, §5.1).
+    pub fn gcups(&self, theoretical_cells: u64) -> f64 {
+        if self.total_seconds <= 0.0 {
+            return 0.0;
+        }
+        theoretical_cells as f64 / self.total_seconds / 1e9
+    }
+}
+
+/// Runs `batches` on `devices` IPUs sharing one host link.
+///
+/// Deterministic event simulation: batches are handed out in order
+/// to the device that can start fetching earliest; each device
+/// double-buffers (it may fetch batch *n+1* while computing batch
+/// *n*); the host link serializes all transfers.
+pub fn run_cluster(
+    units: &[WorkUnit],
+    batches: &[Batch],
+    devices: usize,
+    spec: &IpuSpec,
+    flags: &OptFlags,
+    cost: &CostModel,
+) -> ClusterReport {
+    let devices = devices.max(1);
+    let mut link_free = 0.0f64;
+    let mut link_busy = 0.0f64;
+    // Per device: when its input stream is free, and when its
+    // compute unit is free.
+    let mut fetch_free = vec![0.0f64; devices];
+    let mut compute_free = vec![0.0f64; devices];
+    let mut compute_busy = vec![0.0f64; devices];
+    let mut reports = Vec::with_capacity(batches.len());
+    let mut host_bytes = 0u64;
+
+    for batch in batches {
+        let report = run_batch_on_device(units, batch, spec, flags, cost);
+        // Device that can start fetching earliest takes the batch.
+        let d = (0..devices)
+            .min_by(|&a, &b| {
+                fetch_free[a]
+                    .partial_cmp(&fetch_free[b])
+                    .expect("finite times")
+                    .then(a.cmp(&b))
+            })
+            .expect("devices >= 1");
+        let transfer_time = report.host_bytes as f64 / spec.host_link_bytes_per_s;
+        let start = fetch_free[d].max(link_free);
+        let fetched = start + transfer_time;
+        link_free = fetched;
+        link_busy += transfer_time;
+        // Double buffering: next fetch may begin as soon as this one
+        // completed; compute begins when both the data is there and
+        // the previous batch finished.
+        fetch_free[d] = fetched;
+        let begin = fetched.max(compute_free[d]);
+        compute_free[d] = begin + report.device_seconds();
+        compute_busy[d] += report.device_seconds();
+        host_bytes += report.host_bytes;
+        reports.push(report);
+    }
+
+    let total = compute_free
+        .iter()
+        .chain(std::iter::once(&link_free))
+        .fold(0.0f64, |acc, &t| acc.max(t));
+    let device_busy_fraction = if total > 0.0 {
+        compute_busy.iter().sum::<f64>() / (total * devices as f64)
+    } else {
+        1.0
+    };
+    ClusterReport {
+        total_seconds: total,
+        devices,
+        batches: batches.len(),
+        host_bytes,
+        link_busy_fraction: if total > 0.0 { link_busy / total } else { 0.0 },
+        device_busy_fraction,
+        batch_reports: reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::TileAssignment;
+    use xdrop_core::stats::AlignStats;
+
+    fn unit(cells: u64) -> WorkUnit {
+        WorkUnit {
+            cmp: 0,
+            side: None,
+            stats: AlignStats { cells_computed: cells, antidiagonals: 10, ..Default::default() },
+            score: 0,
+            est_complexity: cells,
+        }
+    }
+
+    /// `n` identical batches, each `bytes` of transfer and one
+    /// compute-heavy tile.
+    fn mk_batches(n: usize, bytes: u64, cells: u64) -> (Vec<WorkUnit>, Vec<Batch>) {
+        let units = vec![unit(cells)];
+        let batches = (0..n)
+            .map(|_| Batch {
+                tiles: vec![TileAssignment { units: vec![0], transfer_bytes: bytes, est_load: 0 }],
+            })
+            .collect();
+        (units, batches)
+    }
+
+    #[test]
+    fn compute_bound_scales_linearly() {
+        // Tiny transfers, huge compute: doubling devices should
+        // nearly halve the makespan.
+        let (units, batches) = mk_batches(32, 1_000, 50_000_000);
+        let spec = IpuSpec::gc200();
+        let flags = OptFlags::full();
+        let cost = CostModel::default();
+        let t1 = run_cluster(&units, &batches, 1, &spec, &flags, &cost).total_seconds;
+        let t2 = run_cluster(&units, &batches, 2, &spec, &flags, &cost).total_seconds;
+        let t4 = run_cluster(&units, &batches, 4, &spec, &flags, &cost).total_seconds;
+        assert!((t1 / t2 - 2.0).abs() < 0.1, "2-dev speedup {}", t1 / t2);
+        assert!((t1 / t4 - 4.0).abs() < 0.2, "4-dev speedup {}", t1 / t4);
+    }
+
+    #[test]
+    fn link_bound_stops_scaling() {
+        // Huge transfers, trivial compute: the serialized host link
+        // caps throughput regardless of device count.
+        let (units, batches) = mk_batches(32, 5_000_000_000, 1_000);
+        let spec = IpuSpec::gc200();
+        let flags = OptFlags::full();
+        let cost = CostModel::default();
+        let t1 = run_cluster(&units, &batches, 1, &spec, &flags, &cost);
+        let t8 = run_cluster(&units, &batches, 8, &spec, &flags, &cost);
+        assert!(t1.total_seconds / t8.total_seconds < 1.2);
+        assert!(t8.link_busy_fraction > 0.95);
+    }
+
+    #[test]
+    fn fewer_bytes_scale_further() {
+        // The Figure 7 mechanism: halving the payload lets more
+        // devices stay busy.
+        let spec = IpuSpec::gc200();
+        let flags = OptFlags::full();
+        let cost = CostModel::default();
+        let (u_big, b_big) = mk_batches(64, 2_000_000_000, 20_000_000);
+        let (u_small, b_small) = mk_batches(64, 500_000_000, 20_000_000);
+        let big16 = run_cluster(&u_big, &b_big, 16, &spec, &flags, &cost);
+        let small16 = run_cluster(&u_small, &b_small, 16, &spec, &flags, &cost);
+        assert!(small16.total_seconds < big16.total_seconds);
+        assert!(small16.device_busy_fraction > big16.device_busy_fraction);
+    }
+
+    #[test]
+    fn prefetch_overlaps_transfer_and_compute() {
+        // With balanced transfer/compute, double buffering should
+        // hide most of the transfer: makespan ≈ max(sum_compute,
+        // sum_transfer) + one pipeline fill, not the sum of both.
+        let (units, batches) = mk_batches(16, 1_250_000_000, 3_200_000);
+        let spec = IpuSpec::gc200();
+        let flags = OptFlags::full();
+        let cost = CostModel::default();
+        let r = run_cluster(&units, &batches, 1, &spec, &flags, &cost);
+        let per_transfer = 1_250_000_000.0 / spec.host_link_bytes_per_s;
+        let per_compute = r.batch_reports[0].device_seconds();
+        let serial = 16.0 * (per_transfer + per_compute);
+        let pipelined = 16.0 * per_transfer.max(per_compute) + per_transfer.min(per_compute);
+        assert!(
+            (r.total_seconds - pipelined).abs() / pipelined < 0.01,
+            "expected pipelined {pipelined}, got {}",
+            r.total_seconds
+        );
+        assert!(r.total_seconds < serial * 0.75);
+    }
+
+    #[test]
+    fn empty_batches_zero_time() {
+        let r = run_cluster(
+            &[],
+            &[],
+            4,
+            &IpuSpec::gc200(),
+            &OptFlags::full(),
+            &CostModel::default(),
+        );
+        assert_eq!(r.total_seconds, 0.0);
+        assert_eq!(r.gcups(1_000_000), 0.0);
+    }
+
+    #[test]
+    fn gcups_metric() {
+        let (units, batches) = mk_batches(4, 1_000, 50_000_000);
+        let r = run_cluster(
+            &units,
+            &batches,
+            1,
+            &IpuSpec::gc200(),
+            &OptFlags::full(),
+            &CostModel::default(),
+        );
+        let g = r.gcups(4_000_000_000);
+        assert!(g > 0.0);
+        assert!((g - 4.0 / r.total_seconds).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,163 @@
+//! Instruction-cost model and the optimization flags of Table 1.
+//!
+//! The simulator never guesses how much *work* an alignment is — it
+//! runs the real kernel and reads the [`AlignStats`] (cells swept,
+//! antidiagonals, band width). This module converts that work into
+//! tile instructions. The per-cell constants are calibration values
+//! (documented in `EXPERIMENTS.md`); the paper's published *ratios*
+//! (e.g. dual issue = 1.30×) are encoded directly.
+
+use xdrop_core::stats::AlignStats;
+
+/// Which of the paper's optimizations are enabled (the ablation axis
+/// of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct OptFlags {
+    /// Use all 1472 tiles (off = everything on tile 0).
+    pub all_tiles: bool,
+    /// Hardware threads used per tile (1 or 6).
+    pub threads: usize,
+    /// Split each seed extension into separate left and right work
+    /// units (§4.1.2).
+    pub lr_split: bool,
+    /// Eventual work stealing instead of static round-robin
+    /// (§4.1.3).
+    pub work_stealing: bool,
+    /// Busy-wait jitter that de-synchronizes racing threads
+    /// (§4.1.3); only meaningful with `work_stealing`.
+    pub steal_jitter: bool,
+    /// Float-pipeline scoring via dual instruction issue (§4.1.4).
+    pub dual_issue: bool,
+}
+
+impl OptFlags {
+    /// Everything enabled — the shipping configuration.
+    pub fn full() -> Self {
+        Self {
+            all_tiles: true,
+            threads: 6,
+            lr_split: true,
+            work_stealing: true,
+            steal_jitter: true,
+            dual_issue: true,
+        }
+    }
+
+    /// The Table 1 baseline: one tile, one thread, no optimizations.
+    pub fn single_tile() -> Self {
+        Self {
+            all_tiles: false,
+            threads: 1,
+            lr_split: false,
+            work_stealing: false,
+            steal_jitter: false,
+            dual_issue: false,
+        }
+    }
+
+    /// The cumulative ablation ladder of Table 1, in row order.
+    pub fn ablation_ladder() -> Vec<(&'static str, OptFlags)> {
+        let base = Self::single_tile();
+        let t1472 = OptFlags { all_tiles: true, ..base };
+        let th6 = OptFlags { threads: 6, ..t1472 };
+        let lr = OptFlags { lr_split: true, ..th6 };
+        let ws = OptFlags { work_stealing: true, steal_jitter: true, ..lr };
+        let di = OptFlags { dual_issue: true, ..ws };
+        vec![
+            ("Single tile", base),
+            ("Scale to 1472 tiles", t1472),
+            ("Use 6 threads", th6),
+            ("LR splitting", lr),
+            ("Work-stealing", ws),
+            ("Dual issue", di),
+        ]
+    }
+}
+
+/// Calibrated per-work instruction costs.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CostModel {
+    /// Instructions per DP cell on the integer pipeline (loads,
+    /// compares, max, stores, plus register spills — the spills are
+    /// what §4.1.4 eliminates).
+    pub instr_per_cell: f64,
+    /// Dual-issue speedup on the inner loop (Table 1: 1.30×).
+    pub dual_issue_speedup: f64,
+    /// Per-antidiagonal loop overhead (bound updates, offset
+    /// re-basing, L/U scans).
+    pub instr_per_diag: f64,
+    /// Fixed per-work-unit overhead (dequeue, setup, result store).
+    pub instr_per_unit: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            instr_per_cell: 9.0,
+            dual_issue_speedup: 1.30,
+            instr_per_diag: 24.0,
+            instr_per_unit: 600.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Instructions to execute one work unit whose kernel did
+    /// `stats` worth of work.
+    pub fn unit_instructions(&self, stats: &AlignStats, dual_issue: bool) -> u64 {
+        let per_cell = if dual_issue {
+            self.instr_per_cell / self.dual_issue_speedup
+        } else {
+            self.instr_per_cell
+        };
+        (stats.cells_computed as f64 * per_cell
+            + stats.antidiagonals as f64 * self.instr_per_diag
+            + self.instr_per_unit) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cells: u64, diags: u64) -> AlignStats {
+        AlignStats { cells_computed: cells, antidiagonals: diags, ..Default::default() }
+    }
+
+    #[test]
+    fn dual_issue_is_cheaper() {
+        let m = CostModel::default();
+        let s = stats(100_000, 500);
+        let plain = m.unit_instructions(&s, false);
+        let dual = m.unit_instructions(&s, true);
+        assert!(dual < plain);
+        let ratio = plain as f64 / dual as f64;
+        assert!((ratio - 1.30).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cost_monotone_in_work() {
+        let m = CostModel::default();
+        assert!(m.unit_instructions(&stats(10, 1), false) < m.unit_instructions(&stats(20, 1), false));
+        assert!(m.unit_instructions(&stats(10, 1), false) < m.unit_instructions(&stats(10, 9), false));
+    }
+
+    #[test]
+    fn empty_unit_still_costs_overhead() {
+        let m = CostModel::default();
+        assert!(m.unit_instructions(&stats(0, 0), false) >= 600);
+    }
+
+    #[test]
+    fn ablation_ladder_is_cumulative() {
+        let ladder = OptFlags::ablation_ladder();
+        assert_eq!(ladder.len(), 6);
+        assert!(!ladder[0].1.all_tiles);
+        assert!(ladder[1].1.all_tiles && ladder[1].1.threads == 1);
+        assert_eq!(ladder[2].1.threads, 6);
+        assert!(ladder[3].1.lr_split && !ladder[3].1.work_stealing);
+        assert!(ladder[4].1.work_stealing);
+        assert!(ladder[5].1.dual_issue);
+        assert_eq!(ladder[5].1, OptFlags::full());
+    }
+}

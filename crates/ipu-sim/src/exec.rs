@@ -1,0 +1,278 @@
+//! Kernel execution: real alignments, measured work.
+//!
+//! The simulator's timing inputs are not synthetic estimates — every
+//! comparison of the workload is aligned for real with the
+//! memory-restricted kernel, and the per-unit [`AlignStats`] drive
+//! the cost model. Scores are therefore exact, and the timing model
+//! sees precisely the irregularity (early X-Drop terminations, band
+//! growth on noisy pairs) that makes load balancing hard on the real
+//! machine.
+
+use crossbeam::thread;
+use xdrop_core::error::Result;
+use xdrop_core::extension::{Backend, Extender, Side};
+use xdrop_core::scoring::Scorer;
+use xdrop_core::stats::AlignStats;
+use xdrop_core::workload::Workload;
+use xdrop_core::xdrop2::BandPolicy;
+use xdrop_core::XDropParams;
+
+/// Execution configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecConfig {
+    /// X-Drop parameters.
+    pub params: XDropParams,
+    /// Band policy for the memory-restricted kernel.
+    pub policy: BandPolicy,
+    /// Emit two work units (left, right) per comparison instead of
+    /// one fused unit — the LR-splitting optimization (§4.1.2).
+    pub lr_split: bool,
+    /// Host threads used to run the kernels (simulation-side
+    /// parallelism only; does not affect results or modeled time).
+    pub host_threads: usize,
+}
+
+impl ExecConfig {
+    /// Defaults: X = 15, growing band from δ_b = 256, LR split on.
+    pub fn new(params: XDropParams) -> Self {
+        Self { params, policy: BandPolicy::Grow(256), lr_split: true, host_threads: 8 }
+    }
+}
+
+/// One schedulable unit of work: a whole comparison, or one side of
+/// it under LR splitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WorkUnit {
+    /// Index of the comparison in the workload.
+    pub cmp: u32,
+    /// Which side (`None` = fused left+right unit).
+    pub side: Option<Side>,
+    /// Measured kernel work.
+    pub stats: AlignStats,
+    /// Score contributed by this unit (extension score only; seed
+    /// score is accounted in [`UnitResult`]).
+    pub score: i32,
+    /// Worst-case work estimate `|H|×|V|` used by the batchers
+    /// (§4.2: actual runtime is unknowable in advance, so the
+    /// quadratic bound is used).
+    pub est_complexity: u64,
+}
+
+/// Final per-comparison alignment outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct UnitResult {
+    /// Total score: left + seed + right.
+    pub score: i32,
+    /// Combined stats of both extensions.
+    pub stats: AlignStats,
+}
+
+/// Output of [`execute_workload`].
+#[derive(Debug, Clone)]
+pub struct ExecOutput {
+    /// Schedulable units, in deterministic order (comparison order;
+    /// under LR splitting left precedes right).
+    pub units: Vec<WorkUnit>,
+    /// Per-comparison results, parallel to `workload.comparisons`.
+    pub results: Vec<UnitResult>,
+}
+
+impl ExecOutput {
+    /// Total DP cells actually computed across all units.
+    pub fn total_cells_computed(&self) -> u64 {
+        self.units.iter().map(|u| u.stats.cells_computed).sum()
+    }
+
+    /// Largest live band width observed — the `δ_w` a static `δ_b`
+    /// must dominate for the whole workload.
+    pub fn max_delta_w(&self) -> usize {
+        self.units.iter().map(|u| u.stats.delta_w).max().unwrap_or(0)
+    }
+}
+
+fn exec_range<S: Scorer + Sync>(
+    w: &Workload,
+    scorer: &S,
+    cfg: &ExecConfig,
+    range: std::ops::Range<usize>,
+) -> Result<(Vec<WorkUnit>, Vec<UnitResult>)> {
+    let mut ext = Extender::new(cfg.params, Backend::TwoDiag(cfg.policy));
+    let mut units = Vec::with_capacity(range.len() * if cfg.lr_split { 2 } else { 1 });
+    let mut results = Vec::with_capacity(range.len());
+    for ci in range {
+        let c = w.comparisons[ci];
+        let h = w.seqs.get(c.h);
+        let v = w.seqs.get(c.v);
+        let out = ext.extend(h, v, c.seed, scorer)?;
+        let mut stats = out.left.stats;
+        stats.merge(&out.right.stats);
+        results.push(UnitResult { score: out.score, stats });
+        if cfg.lr_split {
+            let (lh, lv) = w.left_lens(&c);
+            let (rh, rv) = w.right_lens(&c);
+            units.push(WorkUnit {
+                cmp: ci as u32,
+                side: Some(Side::Left),
+                stats: out.left.stats,
+                score: out.left.result.best_score,
+                est_complexity: lh as u64 * lv as u64,
+            });
+            units.push(WorkUnit {
+                cmp: ci as u32,
+                side: Some(Side::Right),
+                stats: out.right.stats,
+                score: out.right.result.best_score,
+                est_complexity: rh as u64 * rv as u64,
+            });
+        } else {
+            units.push(WorkUnit {
+                cmp: ci as u32,
+                side: None,
+                stats,
+                score: out.score,
+                est_complexity: w.complexity(&c),
+            });
+        }
+    }
+    Ok((units, results))
+}
+
+/// Aligns every comparison of `w` and returns the schedulable units
+/// plus per-comparison results. Deterministic regardless of
+/// `cfg.host_threads`.
+pub fn execute_workload<S: Scorer + Sync>(
+    w: &Workload,
+    scorer: &S,
+    cfg: &ExecConfig,
+) -> Result<ExecOutput> {
+    let n = w.comparisons.len();
+    let threads = cfg.host_threads.clamp(1, 64).min(n.max(1));
+    if threads <= 1 || n < 64 {
+        let (units, results) = exec_range(w, scorer, cfg, 0..n)?;
+        return Ok(ExecOutput { units, results });
+    }
+    let chunk = n.div_ceil(threads);
+    let pieces: Vec<Result<(Vec<WorkUnit>, Vec<UnitResult>)>> = thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            handles.push(s.spawn(move |_| exec_range(w, scorer, cfg, lo..hi)));
+        }
+        handles.into_iter().map(|h| h.join().expect("kernel thread panicked")).collect()
+    })
+    .expect("scope");
+    let mut units = Vec::new();
+    let mut results = Vec::new();
+    for piece in pieces {
+        let (u, r) = piece?;
+        units.extend(u);
+        results.extend(r);
+    }
+    Ok(ExecOutput { units, results })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use xdrop_core::alphabet::Alphabet;
+    use xdrop_core::extension::SeedMatch;
+    use xdrop_core::scoring::MatchMismatch;
+    use xdrop_core::workload::Comparison;
+
+    fn small_workload() -> Workload {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut w = Workload::new(Alphabet::Dna);
+        for _ in 0..40 {
+            let root: Vec<u8> = (0..500).map(|_| rng.gen_range(0..4)).collect();
+            let mut other = root.clone();
+            for b in other.iter_mut() {
+                if rng.gen_bool(0.05) {
+                    *b = (*b + 1) % 4;
+                }
+            }
+            // Protect an exact seed.
+            let pos = rng.gen_range(0..450);
+            other[pos..pos + 17].copy_from_slice(&root[pos..pos + 17]);
+            let h = w.seqs.push(root);
+            let v = w.seqs.push(other);
+            w.comparisons.push(Comparison::new(h, v, SeedMatch::new(pos, pos, 17)));
+        }
+        w
+    }
+
+    fn cfg(lr: bool) -> ExecConfig {
+        ExecConfig {
+            params: XDropParams::new(15),
+            policy: BandPolicy::Grow(64),
+            lr_split: lr,
+            host_threads: 4,
+        }
+    }
+
+    #[test]
+    fn fused_units_one_per_comparison() {
+        let w = small_workload();
+        let out = execute_workload(&w, &MatchMismatch::dna_default(), &cfg(false)).unwrap();
+        assert_eq!(out.units.len(), w.comparisons.len());
+        assert_eq!(out.results.len(), w.comparisons.len());
+        assert!(out.units.iter().all(|u| u.side.is_none()));
+    }
+
+    #[test]
+    fn split_units_two_per_comparison() {
+        let w = small_workload();
+        let out = execute_workload(&w, &MatchMismatch::dna_default(), &cfg(true)).unwrap();
+        assert_eq!(out.units.len(), 2 * w.comparisons.len());
+        // Left/right alternate and reference the right comparison.
+        for (i, pair) in out.units.chunks(2).enumerate() {
+            assert_eq!(pair[0].cmp as usize, i);
+            assert_eq!(pair[0].side, Some(Side::Left));
+            assert_eq!(pair[1].side, Some(Side::Right));
+        }
+    }
+
+    #[test]
+    fn split_and_fused_agree_on_scores() {
+        let w = small_workload();
+        let sc = MatchMismatch::dna_default();
+        let a = execute_workload(&w, &sc, &cfg(false)).unwrap();
+        let b = execute_workload(&w, &sc, &cfg(true)).unwrap();
+        for (ra, rb) in a.results.iter().zip(&b.results) {
+            assert_eq!(ra.score, rb.score);
+        }
+    }
+
+    #[test]
+    fn parallel_execution_is_deterministic() {
+        let w = small_workload();
+        let sc = MatchMismatch::dna_default();
+        let mut c1 = cfg(true);
+        c1.host_threads = 1;
+        let mut c8 = cfg(true);
+        c8.host_threads = 8;
+        let a = execute_workload(&w, &sc, &c1).unwrap();
+        let b = execute_workload(&w, &sc, &c8).unwrap();
+        assert_eq!(a.units, b.units);
+        assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn scores_are_plausible() {
+        let w = small_workload();
+        let sc = MatchMismatch::dna_default();
+        let out = execute_workload(&w, &sc, &cfg(true)).unwrap();
+        for r in &out.results {
+            // 5% error, 500 bp: score must be solidly positive.
+            assert!(r.score > 100, "score {}", r.score);
+        }
+        assert!(out.total_cells_computed() > 0);
+        assert!(out.max_delta_w() >= 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Machine constants of the simulated IPU systems (§2.1.1).
+
+/// Hardware description of one IPU device and its host link.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IpuSpec {
+    /// Human-readable model name.
+    pub name: &'static str,
+    /// Number of tiles (1472 on GC200 and BOW).
+    pub tiles: usize,
+    /// Hardware threads per tile (6, temporally multithreaded).
+    pub threads_per_tile: usize,
+    /// SRAM per tile in bytes (624 KB).
+    pub tile_sram_bytes: usize,
+    /// Tile clock in Hz (1.33 GHz GC200, 1.85 GHz BOW).
+    pub clock_hz: f64,
+    /// Cycles per instruction; most IPU instructions, including
+    /// local loads/stores, take exactly six cycles, which is what
+    /// makes the 8832 threads behave like independent latency-free
+    /// cores at 1/6 clock (§2.1.1).
+    pub instr_cycles: u64,
+    /// Aggregate on-chip exchange bandwidth in bytes/s
+    /// (7.83 TB/s GC200, 10.9 TB/s BOW).
+    pub exchange_bytes_per_s: f64,
+    /// Host-link bandwidth in bytes/s, shared by every IPU attached
+    /// to the host (100 Gb/s Ethernet = 12.5 GB/s).
+    pub host_link_bytes_per_s: f64,
+}
+
+impl IpuSpec {
+    /// The Mk2 GC200 IPU.
+    pub fn gc200() -> Self {
+        Self {
+            name: "GC200",
+            tiles: 1472,
+            threads_per_tile: 6,
+            tile_sram_bytes: 624 * 1024,
+            clock_hz: 1.33e9,
+            instr_cycles: 6,
+            exchange_bytes_per_s: 7.83e12,
+            host_link_bytes_per_s: 12.5e9,
+        }
+    }
+
+    /// The BOW IPU (GC200 silicon at 1.85 GHz).
+    pub fn bow() -> Self {
+        Self { name: "BOW", clock_hz: 1.85e9, exchange_bytes_per_s: 10.9e12, ..Self::gc200() }
+    }
+
+    /// Total SRAM of the device (918 MB for 1472 × 624 KB).
+    pub fn total_sram_bytes(&self) -> usize {
+        self.tiles * self.tile_sram_bytes
+    }
+
+    /// Total hardware threads (8832).
+    pub fn total_threads(&self) -> usize {
+        self.tiles * self.threads_per_tile
+    }
+
+    /// Converts device cycles to seconds (`t = cycles / f`, §5.1).
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz
+    }
+
+    /// A proportionally scaled-down machine: `s` of the tiles, `s`
+    /// of the exchange and host-link bandwidth, identical per-tile
+    /// properties.
+    ///
+    /// The paper's workloads (0.5–16 M comparisons) keep every tile
+    /// of a 1472-tile IPU busy across hundreds of batches; bench-
+    /// sized workloads cannot. Experiments that depend on the
+    /// *ratios* between per-tile occupancy, compute, exchange and
+    /// host-link pressure (Figures 5 and 7, §6.3) therefore run on a
+    /// scale model — same regime, laptop-sized — with the CPU/GPU
+    /// comparator models scaled by the same factor (see
+    /// `EXPERIMENTS.md`).
+    pub fn scaled(&self, s: f64) -> IpuSpec {
+        IpuSpec {
+            tiles: ((self.tiles as f64 * s).round() as usize).max(1),
+            exchange_bytes_per_s: self.exchange_bytes_per_s * s,
+            host_link_bytes_per_s: self.host_link_bytes_per_s * s,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gc200_matches_paper_figures() {
+        let s = IpuSpec::gc200();
+        assert_eq!(s.tiles, 1472);
+        assert_eq!(s.total_threads(), 8832);
+        // 918 MB total SRAM (paper rounds 1472 × 624 KB).
+        let mb = s.total_sram_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((mb - 897.0).abs() < 1.0, "got {mb} MB");
+        assert_eq!(s.instr_cycles, 6);
+    }
+
+    #[test]
+    fn bow_is_faster_clocked_gc200() {
+        let g = IpuSpec::gc200();
+        let b = IpuSpec::bow();
+        assert_eq!(g.tiles, b.tiles);
+        assert!(b.clock_hz > g.clock_hz);
+        assert!((b.clock_hz / g.clock_hz - 1.39).abs() < 0.01);
+    }
+
+    #[test]
+    fn cycles_to_seconds() {
+        let s = IpuSpec::gc200();
+        assert!((s.cycles_to_seconds(1_330_000_000) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests of the simulator's scheduling and cluster
+//! layers: work conservation, makespan bounds, determinism, and
+//! monotonicity — the invariants every timing conclusion rests on.
+
+use ipu_sim::cluster::run_cluster;
+use ipu_sim::cost::{CostModel, OptFlags};
+use ipu_sim::spec::IpuSpec;
+use ipu_sim::tile::{schedule_supervisor, schedule_tile, TileReport};
+use proptest::prelude::*;
+
+fn flags(threads: usize, steal: bool, jitter: bool) -> OptFlags {
+    OptFlags {
+        all_tiles: true,
+        threads,
+        lr_split: false,
+        work_stealing: steal,
+        steal_jitter: jitter,
+        dual_issue: false,
+    }
+}
+
+fn unit_costs() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..100_000, 0..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// All submitted work is executed at least once (work stealing
+    /// may duplicate but never drop).
+    #[test]
+    fn work_conservation(units in unit_costs(), threads in 1usize..6, steal: bool, jitter: bool) {
+        let spec = IpuSpec::gc200();
+        let r: TileReport = schedule_tile(&units, &spec, &flags(threads, steal, jitter));
+        let total: u64 = units.iter().sum();
+        prop_assert!(r.useful_instr() >= total);
+    }
+
+    /// The makespan can never beat the perfect-parallel lower bound.
+    #[test]
+    fn makespan_lower_bound(units in unit_costs(), threads in 1usize..6, steal: bool) {
+        let spec = IpuSpec::gc200();
+        let r = schedule_tile(&units, &spec, &flags(threads, steal, true));
+        let total: u64 = units.iter().sum();
+        let max_unit = units.iter().copied().max().unwrap_or(0);
+        let threads = threads.min(spec.threads_per_tile) as u64;
+        let lower = (total / threads).max(max_unit) * spec.instr_cycles;
+        prop_assert!(r.cycles >= lower.saturating_sub(spec.instr_cycles),
+            "cycles {} below lower bound {}", r.cycles, lower);
+    }
+
+    /// Scheduling is a pure function of its inputs.
+    #[test]
+    fn scheduling_deterministic(units in unit_costs(), steal: bool, jitter: bool) {
+        let spec = IpuSpec::gc200();
+        let f = flags(6, steal, jitter);
+        let a = schedule_tile(&units, &spec, &f);
+        let b = schedule_tile(&units, &spec, &f);
+        prop_assert_eq!(a, b);
+    }
+
+    /// More threads never increase the static round-robin makespan
+    /// beyond its single-thread serialization.
+    #[test]
+    fn six_threads_never_worse_than_one(units in unit_costs()) {
+        let spec = IpuSpec::gc200();
+        let one = schedule_tile(&units, &spec, &flags(1, false, false));
+        let six = schedule_tile(&units, &spec, &flags(6, false, false));
+        prop_assert!(six.cycles <= one.cycles);
+    }
+
+    /// The supervisor gang's makespan is also bounded below by the
+    /// parallel fraction plus its sync tax.
+    #[test]
+    fn supervisor_bounds(work in prop::collection::vec((1u64..50_000, 0u64..2_000), 0..40)) {
+        let spec = IpuSpec::gc200();
+        let r = schedule_supervisor(&work, &spec, 30);
+        let par: u64 = work.iter().map(|&(i, _)| i.div_ceil(6)).sum();
+        let sync: u64 = work.iter().map(|&(_, d)| d * 30).sum();
+        prop_assert_eq!(r.cycles, (par + sync) * spec.instr_cycles);
+    }
+}
+
+/// Cluster invariants on randomized batch shapes.
+mod cluster_props {
+    use super::*;
+    use ipu_sim::batch::{Batch, TileAssignment};
+    use ipu_sim::exec::WorkUnit;
+    use xdrop_core::stats::AlignStats;
+
+    fn mk_units(n: usize) -> Vec<WorkUnit> {
+        (0..n)
+            .map(|i| WorkUnit {
+                cmp: i as u32,
+                side: None,
+                stats: AlignStats {
+                    cells_computed: 1_000 + (i as u64 * 977) % 50_000,
+                    antidiagonals: 100,
+                    ..Default::default()
+                },
+                score: 0,
+                est_complexity: 1,
+            })
+            .collect()
+    }
+
+    fn mk_batches(units: &[WorkUnit], per_batch: usize, bytes: u64) -> Vec<Batch> {
+        units
+            .chunks(per_batch.max(1))
+            .map(|chunk| Batch {
+                tiles: chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(ti, _)| TileAssignment {
+                        units: vec![units
+                            .iter()
+                            .position(|u| std::ptr::eq(u, &chunk[ti]))
+                            .unwrap() as u32],
+                        transfer_bytes: bytes,
+                        est_load: 1,
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Makespan decreases (weakly) with devices and never beats
+        /// the transfer-total floor.
+        #[test]
+        fn device_monotone_and_link_floor(
+            n in 1usize..40,
+            per_batch in 1usize..8,
+            bytes in 1u64..50_000_000,
+        ) {
+            let units = mk_units(n);
+            let batches = mk_batches(&units, per_batch, bytes);
+            let spec = IpuSpec::gc200();
+            let f = OptFlags::full();
+            let cost = CostModel::default();
+            let mut prev = f64::INFINITY;
+            for d in [1usize, 2, 4, 8] {
+                let r = run_cluster(&units, &batches, d, &spec, &f, &cost);
+                prop_assert!(r.total_seconds <= prev * 1.000001);
+                prev = r.total_seconds;
+                // The serialized host link is a hard floor.
+                let link_floor =
+                    r.host_bytes as f64 / spec.host_link_bytes_per_s;
+                prop_assert!(r.total_seconds >= link_floor * 0.999999);
+            }
+        }
+
+        /// Cluster accounting: host bytes equal the batch sum, and
+        /// every batch is reported.
+        #[test]
+        fn accounting(n in 1usize..30, per_batch in 1usize..6, bytes in 0u64..1_000_000) {
+            let units = mk_units(n);
+            let batches = mk_batches(&units, per_batch, bytes);
+            let spec = IpuSpec::bow();
+            let r = run_cluster(&units, &batches, 3, &spec, &OptFlags::full(), &CostModel::default());
+            prop_assert_eq!(r.batches, batches.len());
+            let expect: u64 = batches.iter().map(|b| b.transfer_bytes()).sum();
+            prop_assert_eq!(r.host_bytes, expect);
+            prop_assert_eq!(r.batch_reports.len(), batches.len());
+        }
+    }
+}

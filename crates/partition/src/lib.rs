@@ -1,0 +1,29 @@
+//! # xdrop-partition
+//!
+//! Graph-based sequence partitioning (§4.3 of the paper) plus the
+//! batch planner that feeds the IPU simulator.
+//!
+//! Many-to-many pipelines align each sequence against many others;
+//! shipping both sequences with every comparison (the state of the
+//! art before the paper) transfers the same bytes over the slow host
+//! link again and again. The paper instead treats sequences as the
+//! vertices of a *comparison graph* whose edges are the seed
+//! extensions, partitions the edges greedily under the tile memory
+//! budget, and stores each partition's vertex set **once** per tile
+//! — cutting batch counts by ~50 % and improving 32-device strong
+//! scaling by up to 3.59×.
+//!
+//! * [`graph`] — the comparison graph (CSR adjacency).
+//! * [`greedy`] — the paper's linear edge-walk partitioner.
+//! * [`plan`] — turns partitions (or the naive layout) into
+//!   [`ipu_sim::Batch`]es and reports reuse statistics.
+
+pub mod driver;
+pub mod graph;
+pub mod greedy;
+pub mod plan;
+
+pub use driver::{IpuSystem, SystemReport};
+pub use graph::ComparisonGraph;
+pub use greedy::{greedy_partitions, Partition};
+pub use plan::{plan_batches, reuse_stats, PlanConfig, ReuseStats};

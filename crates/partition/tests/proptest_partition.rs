@@ -1,0 +1,168 @@
+//! Property-based tests of the graph partitioner and batch planner:
+//! exact coverage, budget compliance, and the reuse guarantee on
+//! randomized comparison graphs.
+
+use ipu_sim::batch::Batch;
+use ipu_sim::exec::WorkUnit;
+use ipu_sim::mem;
+use ipu_sim::spec::IpuSpec;
+use proptest::prelude::*;
+use xdrop_core::alphabet::Alphabet;
+use xdrop_core::extension::SeedMatch;
+use xdrop_core::stats::AlignStats;
+use xdrop_core::workload::{Comparison, Workload};
+use xdrop_partition::greedy::{greedy_partitions, greedy_partitions_with_load_cap};
+use xdrop_partition::plan::{plan_batches, reuse_stats, PlanConfig};
+
+/// Random workload: `n_seqs` sequences of bounded length and a
+/// random edge list (possibly with parallel edges and self loops).
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    (2usize..40, 1usize..120, 50usize..2_000).prop_flat_map(|(n_seqs, n_cmp, max_len)| {
+        let lens = prop::collection::vec(1usize..max_len.max(2), n_seqs);
+        let edges =
+            prop::collection::vec((0..n_seqs as u32, 0..n_seqs as u32), n_cmp);
+        (lens, edges).prop_map(|(lens, edges)| {
+            let mut w = Workload::new(Alphabet::Dna);
+            for len in lens {
+                w.seqs.push(vec![0u8; len]);
+            }
+            for (a, b) in edges {
+                w.comparisons.push(Comparison::new(a, b, SeedMatch::new(0, 0, 1)));
+            }
+            w
+        })
+    })
+}
+
+fn units_for(w: &Workload) -> Vec<WorkUnit> {
+    w.comparisons
+        .iter()
+        .enumerate()
+        .map(|(ci, c)| WorkUnit {
+            cmp: ci as u32,
+            side: None,
+            stats: AlignStats { cells_computed: 100, antidiagonals: 10, ..Default::default() },
+            score: 0,
+            est_complexity: w.complexity(c).max(1),
+        })
+        .collect()
+}
+
+/// §4.3 budgets "usually less than one second" for partitioning.
+/// Run in release: `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "timing check; run in release"]
+fn partitioner_is_subsecond_on_a_million_edges() {
+    let n_seqs = 100_000u32;
+    let mut w = Workload::new(Alphabet::Dna);
+    for _ in 0..n_seqs {
+        w.seqs.push(vec![0u8; 2_000]);
+    }
+    for i in 0..n_seqs {
+        for d in 1..=10u32 {
+            w.comparisons.push(Comparison::new(
+                i,
+                (i + d) % n_seqs,
+                SeedMatch::new(0, 0, 1),
+            ));
+        }
+    }
+    assert_eq!(w.comparisons.len(), 1_000_000);
+    let started = std::time::Instant::now();
+    let parts = greedy_partitions(&w, 500_000, 6, 256);
+    let elapsed = started.elapsed();
+    assert!(!parts.is_empty());
+    assert!(
+        elapsed.as_secs_f64() < 1.0,
+        "partitioning 1M comparisons took {elapsed:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every comparison lands in exactly one partition, and each
+    /// partition's sequence payload honours the budget.
+    #[test]
+    fn partitions_cover_and_fit(w in workload_strategy()) {
+        let budget = mem::tile_bytes(0, 0, 6, 64) + 8_000;
+        let parts = greedy_partitions(&w, budget, 6, 64);
+        let mut seen = vec![0usize; w.comparisons.len()];
+        for p in &parts {
+            let mut bytes = 0usize;
+            for &s in &p.seqs {
+                bytes += w.seqs.seq_len(s);
+            }
+            prop_assert_eq!(bytes as u64, p.seq_bytes);
+            let used = mem::tile_bytes(
+                bytes,
+                p.comparisons.len(),
+                6,
+                64,
+            );
+            prop_assert!(used <= budget, "partition exceeds budget: {used} > {budget}");
+            for &ci in &p.comparisons {
+                seen[ci as usize] += 1;
+            }
+            // No duplicate sequences in the resident set.
+            let mut uniq = p.seqs.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), p.seqs.len());
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    /// The load cap is honoured except for single oversized
+    /// comparisons.
+    #[test]
+    fn load_cap_honoured(w in workload_strategy(), divisor in 1u64..20) {
+        let budget = mem::tile_bytes(0, 0, 6, 64) + 8_000;
+        let cap = (w.total_complexity() / divisor).max(1);
+        let parts = greedy_partitions_with_load_cap(&w, budget, 6, 64, Some(cap));
+        for p in &parts {
+            if p.comparisons.len() > 1 {
+                prop_assert!(
+                    p.est_load <= cap,
+                    "multi-comparison partition over cap: {} > {cap}",
+                    p.est_load
+                );
+            }
+        }
+    }
+
+    /// Reuse: partitioned unique bytes never exceed the naive
+    /// per-comparison bytes.
+    #[test]
+    fn reuse_factor_at_least_one(w in workload_strategy()) {
+        let budget = mem::tile_bytes(0, 0, 6, 64) + 8_000;
+        let parts = greedy_partitions(&w, budget, 6, 64);
+        let rs = reuse_stats(&w, &parts);
+        prop_assert!(rs.unique_bytes <= rs.naive_bytes);
+        prop_assert!(rs.reuse_factor >= 0.999);
+    }
+
+    /// The full planner (both modes) schedules every unit exactly
+    /// once and respects the per-batch tile bound.
+    #[test]
+    fn plans_cover_units(w in workload_strategy(), partitioned: bool, min_batches in 1usize..6) {
+        let units = units_for(&w);
+        let spec = IpuSpec { tiles: 7, ..IpuSpec::gc200() };
+        let cfg = if partitioned {
+            PlanConfig::partitioned(64).with_min_batches(min_batches)
+        } else {
+            PlanConfig::naive(64).with_min_batches(min_batches)
+        };
+        let batches: Vec<Batch> = plan_batches(&w, &units, &spec, &cfg);
+        let mut seen = vec![0usize; units.len()];
+        for b in &batches {
+            prop_assert!(b.tiles.len() <= spec.tiles);
+            for t in &b.tiles {
+                for &u in &t.units {
+                    seen[u as usize] += 1;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "unit coverage broken");
+    }
+}

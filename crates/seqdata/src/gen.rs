@@ -1,0 +1,324 @@
+//! Random sequences, mutation models and synthetic seed pairs.
+
+use rand::Rng;
+use xdrop_core::alphabet::Alphabet;
+use xdrop_core::extension::SeedMatch;
+use xdrop_core::workload::{Comparison, Workload};
+
+/// Per-symbol error model applied when deriving one sequence from
+/// another.
+///
+/// Rates are independent per position: with probability `sub` the
+/// symbol is replaced, with probability `ins` a random symbol is
+/// inserted before it, with probability `del` it is dropped.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MutationProfile {
+    /// Substitution rate.
+    pub sub: f64,
+    /// Insertion rate.
+    pub ins: f64,
+    /// Deletion rate.
+    pub del: f64,
+}
+
+impl MutationProfile {
+    /// No errors at all.
+    pub fn exact() -> Self {
+        Self { sub: 0.0, ins: 0.0, del: 0.0 }
+    }
+
+    /// Substitutions only, as in the paper's synthetic datasets
+    /// ("uniform-randomly mutating individual bases outside the seed
+    /// position", §5.2).
+    pub fn uniform_mismatch(rate: f64) -> Self {
+        Self { sub: rate, ins: 0.0, del: 0.0 }
+    }
+
+    /// PacBio HiFi-like: very low error, slightly indel-biased.
+    pub fn hifi() -> Self {
+        Self { sub: 0.001, ins: 0.002, del: 0.002 }
+    }
+
+    /// Noisy long-read profile (CLR/Nanopore-like): indel-dominated,
+    /// the regime where static bands fail (§2.2).
+    pub fn noisy_long_read(total: f64) -> Self {
+        Self { sub: total * 0.2, ins: total * 0.4, del: total * 0.4 }
+    }
+
+    /// Total per-symbol error rate.
+    pub fn total(&self) -> f64 {
+        self.sub + self.ins + self.del
+    }
+}
+
+/// Uniformly random sequence over the concrete symbols of `alphabet`.
+pub fn random_seq<R: Rng>(rng: &mut R, alphabet: Alphabet, len: usize) -> Vec<u8> {
+    let k = alphabet.concrete_codes() as u8;
+    (0..len).map(|_| rng.gen_range(0..k)).collect()
+}
+
+/// Applies `profile` to `seq`, optionally protecting the half-open
+/// interval `protect` (the planted seed) from mutation.
+pub fn mutate<R: Rng>(
+    rng: &mut R,
+    seq: &[u8],
+    alphabet: Alphabet,
+    profile: MutationProfile,
+    protect: Option<(usize, usize)>,
+) -> Vec<u8> {
+    let k = alphabet.concrete_codes() as u8;
+    let mut out = Vec::with_capacity(seq.len() + 8);
+    for (pos, &b) in seq.iter().enumerate() {
+        if let Some((lo, hi)) = protect {
+            if pos >= lo && pos < hi {
+                out.push(b);
+                continue;
+            }
+        }
+        let r: f64 = rng.gen();
+        if r < profile.sub {
+            // Substitute with a *different* symbol.
+            let mut nb = rng.gen_range(0..k);
+            if nb == b {
+                nb = (nb + 1) % k;
+            }
+            out.push(nb);
+        } else if r < profile.sub + profile.ins {
+            out.push(rng.gen_range(0..k));
+            out.push(b);
+        } else if r < profile.total() {
+            // deletion: skip
+        } else {
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// Like [`mutate`], but also returns a coordinate map: `map[i]` is
+/// the output position corresponding to input position `i` (for a
+/// deleted symbol, the position where it *would* be). Used by the
+/// read simulator to locate exact seed k-mers across error-bearing
+/// copies.
+pub fn mutate_mapped<R: Rng>(
+    rng: &mut R,
+    seq: &[u8],
+    alphabet: Alphabet,
+    profile: MutationProfile,
+) -> (Vec<u8>, Vec<u32>) {
+    let k = alphabet.concrete_codes() as u8;
+    let mut out = Vec::with_capacity(seq.len() + 8);
+    let mut map = Vec::with_capacity(seq.len());
+    for &b in seq {
+        let r: f64 = rng.gen();
+        if r < profile.sub {
+            map.push(out.len() as u32);
+            let mut nb = rng.gen_range(0..k);
+            if nb == b {
+                nb = (nb + 1) % k;
+            }
+            out.push(nb);
+        } else if r < profile.sub + profile.ins {
+            out.push(rng.gen_range(0..k));
+            map.push(out.len() as u32);
+            out.push(b);
+        } else if r < profile.total() {
+            map.push(out.len() as u32); // deleted: next surviving slot
+        } else {
+            map.push(out.len() as u32);
+            out.push(b);
+        }
+    }
+    (out, map)
+}
+
+/// Specification of one synthetic seed pair.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PairSpec {
+    /// Sequence length (both sequences, before indels).
+    pub len: usize,
+    /// Seed length `k`.
+    pub seed_len: usize,
+    /// Seed start as a fraction of the length (0.5 = centered).
+    pub seed_frac: f64,
+    /// Error model for the second sequence.
+    pub errors: MutationProfile,
+    /// Alphabet.
+    pub alphabet: Alphabet,
+}
+
+impl PairSpec {
+    /// The paper's synthetic `simulated85` shape: ~10 kb sequences,
+    /// centered seed, 15 % uniform mismatches.
+    pub fn simulated85() -> Self {
+        Self {
+            len: 9_992,
+            seed_len: 17,
+            seed_frac: 0.5,
+            errors: MutationProfile::uniform_mismatch(0.15),
+            alphabet: Alphabet::Dna,
+        }
+    }
+}
+
+/// A generated pair with its planted seed.
+#[derive(Debug, Clone)]
+pub struct SeedPair {
+    /// First sequence (`H`).
+    pub h: Vec<u8>,
+    /// Second sequence (`V`), a mutated copy of `H`.
+    pub v: Vec<u8>,
+    /// The planted (exact) seed match.
+    pub seed: SeedMatch,
+}
+
+/// Generates one pair per `spec`: `v` is a mutated copy of `h` with
+/// the seed region protected so the k-mer match stays exact.
+pub fn generate_pair<R: Rng>(rng: &mut R, spec: &PairSpec) -> SeedPair {
+    let h = random_seq(rng, spec.alphabet, spec.len);
+    let max_start = spec.len.saturating_sub(spec.seed_len);
+    let seed_start = ((spec.len as f64 * spec.seed_frac) as usize).min(max_start);
+    let protect = (seed_start, seed_start + spec.seed_len);
+    // Mutate prefix and suffix separately so the seed's V position is
+    // known even after indels shift coordinates.
+    let prefix = mutate(rng, &h[..protect.0], spec.alphabet, spec.errors, None);
+    let suffix = mutate(rng, &h[protect.1..], spec.alphabet, spec.errors, None);
+    let v_pos = prefix.len();
+    let mut v = prefix;
+    v.extend_from_slice(&h[protect.0..protect.1]);
+    v.extend_from_slice(&suffix);
+    SeedPair { h, v, seed: SeedMatch::new(seed_start, v_pos, spec.seed_len) }
+}
+
+/// Builds a [`Workload`] of `count` independent synthetic pairs
+/// (2 × count sequences; no sequence sharing — the synthetic
+/// datasets, unlike the pipeline-derived ones, have no reuse for the
+/// graph partitioner to find).
+pub fn generate_pair_workload<R: Rng>(rng: &mut R, spec: &PairSpec, count: usize) -> Workload {
+    let mut w = Workload::new(spec.alphabet);
+    for _ in 0..count {
+        let pair = generate_pair(rng, spec);
+        let h = w.seqs.push(pair.h);
+        let v = w.seqs.push(pair.v);
+        w.comparisons.push(Comparison::new(h, v, pair.seed));
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn random_seq_in_alphabet() {
+        let mut r = rng();
+        let s = random_seq(&mut r, Alphabet::Dna, 1000);
+        assert_eq!(s.len(), 1000);
+        assert!(s.iter().all(|&b| b < 4));
+        let p = random_seq(&mut r, Alphabet::Protein, 1000);
+        assert!(p.iter().all(|&b| b < 20));
+    }
+
+    #[test]
+    fn exact_profile_is_identity() {
+        let mut r = rng();
+        let s = random_seq(&mut r, Alphabet::Dna, 500);
+        let m = mutate(&mut r, &s, Alphabet::Dna, MutationProfile::exact(), None);
+        assert_eq!(s, m);
+    }
+
+    #[test]
+    fn substitution_rate_approximate() {
+        let mut r = rng();
+        let s = random_seq(&mut r, Alphabet::Dna, 20_000);
+        let m = mutate(&mut r, &s, Alphabet::Dna, MutationProfile::uniform_mismatch(0.15), None);
+        assert_eq!(s.len(), m.len()); // subs only: length preserved
+        let diffs = s.iter().zip(&m).filter(|(a, b)| a != b).count();
+        let rate = diffs as f64 / s.len() as f64;
+        assert!((rate - 0.15).abs() < 0.02, "observed rate {rate}");
+    }
+
+    #[test]
+    fn substitutions_always_change_symbol() {
+        let mut r = rng();
+        let s = vec![0u8; 5000];
+        let m = mutate(&mut r, &s, Alphabet::Dna, MutationProfile::uniform_mismatch(1.0), None);
+        assert!(m.iter().all(|&b| b != 0));
+    }
+
+    #[test]
+    fn protected_region_untouched() {
+        let mut r = rng();
+        let s = random_seq(&mut r, Alphabet::Dna, 1000);
+        let m = mutate(
+            &mut r,
+            &s,
+            Alphabet::Dna,
+            MutationProfile::uniform_mismatch(1.0),
+            Some((100, 200)),
+        );
+        assert_eq!(&s[100..200], &m[100..200]);
+    }
+
+    #[test]
+    fn indels_change_length() {
+        let mut r = rng();
+        let s = random_seq(&mut r, Alphabet::Dna, 10_000);
+        let m = mutate(&mut r, &s, Alphabet::Dna, MutationProfile::noisy_long_read(0.15), None);
+        assert_ne!(s.len(), m.len());
+    }
+
+    #[test]
+    fn generated_pair_seed_is_exact() {
+        let mut r = rng();
+        let spec = PairSpec {
+            len: 2000,
+            seed_len: 17,
+            seed_frac: 0.4,
+            errors: MutationProfile::noisy_long_read(0.2),
+            alphabet: Alphabet::Dna,
+        };
+        for _ in 0..10 {
+            let p = generate_pair(&mut r, &spec);
+            let hs = &p.h[p.seed.h_pos..p.seed.h_pos + p.seed.k];
+            let vs = &p.v[p.seed.v_pos..p.seed.v_pos + p.seed.k];
+            assert_eq!(hs, vs, "planted seed must match exactly");
+        }
+    }
+
+    #[test]
+    fn pair_workload_shape() {
+        let mut r = rng();
+        let w = generate_pair_workload(&mut r, &PairSpec::simulated85(), 5);
+        assert_eq!(w.comparisons.len(), 5);
+        assert_eq!(w.seqs.len(), 10);
+        w.validate().unwrap();
+    }
+
+    #[test]
+    fn hifi_profile_is_low_error() {
+        assert!(MutationProfile::hifi().total() < 0.01);
+    }
+
+    #[test]
+    fn mutate_mapped_map_is_monotone_and_consistent() {
+        let mut r = rng();
+        let s = random_seq(&mut r, Alphabet::Dna, 5000);
+        let (out, map) = mutate_mapped(&mut r, &s, Alphabet::Dna, MutationProfile::hifi());
+        assert_eq!(map.len(), s.len());
+        for w in map.windows(2) {
+            assert!(w[0] <= w[1], "map must be monotone");
+        }
+        assert!(map.iter().all(|&p| (p as usize) <= out.len()));
+        // Unmutated symbols map to themselves in content.
+        let (out2, map2) = mutate_mapped(&mut r, &s, Alphabet::Dna, MutationProfile::exact());
+        assert_eq!(out2, s);
+        assert_eq!(map2, (0..s.len() as u32).collect::<Vec<_>>());
+    }
+}

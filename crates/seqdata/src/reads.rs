@@ -1,0 +1,529 @@
+//! Long-read sequencing simulation and overlap-workload generation.
+//!
+//! Substitutes for the paper's PacBio HiFi datasets: reads are
+//! sampled from a random genome with a log-normal length distribution
+//! and a per-symbol error profile; pairs of reads whose genomic
+//! intervals overlap become comparisons, with the seed placed at an
+//! *exact* shared k-mer near the middle of the overlap — mirroring
+//! how ELBA's k-mer stage discovers them. The resulting workloads
+//! have the properties the paper's evaluation leans on: skewed
+//! extension-length distributions (load imbalance), and sequences
+//! shared by many comparisons (graph-partitioning opportunity,
+//! "up to 41 sequences packed per tile").
+
+use crate::gen::{mutate_mapped, random_seq, MutationProfile};
+use rand::Rng;
+use xdrop_core::alphabet::Alphabet;
+use xdrop_core::extension::SeedMatch;
+use xdrop_core::workload::{Comparison, Workload};
+
+/// Low-complexity structure of the simulated genome.
+///
+/// Real genomes are not uniform random DNA: they contain tandem
+/// arrays and low-complexity runs (microsatellites, homopolymer
+/// stretches, IS-element copies). These regions are what makes the
+/// X-Drop band wide in practice — inside a self-similar array,
+/// off-diagonal cells keep matching and stay within `X` of the best
+/// score, so the live band balloons to the array length. The
+/// paper's §6.1 measurement (δ_w = {176, 339, 656} for
+/// X = {10, 15, 30} on E. coli) is dominated by exactly this
+/// effect; uniform random genomes cap δ_w at a small multiple of X.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LowComplexity {
+    /// Expected number of tandem arrays per generated base
+    /// (e.g. `1e-4` = one array every 10 kb).
+    pub array_rate: f64,
+    /// Tandem motif length range (1 = homopolymer).
+    pub motif_len: (usize, usize),
+    /// Array length range in bases.
+    pub array_len: (usize, usize),
+    /// Expected number of *dispersed repeat* insertions per base:
+    /// segments copied (with ~2 % divergence) from an earlier
+    /// position, like bacterial IS elements. These are what makes a
+    /// real pipeline's k-mer stage emit false overlap candidates
+    /// between reads from different loci.
+    pub repeat_rate: f64,
+    /// Dispersed-repeat length range in bases.
+    pub repeat_len: (usize, usize),
+}
+
+impl LowComplexity {
+    /// Bacterial-genome-like defaults.
+    pub fn genomic() -> Self {
+        Self {
+            array_rate: 1.2e-4,
+            motif_len: (1, 6),
+            array_len: (60, 600),
+            repeat_rate: 3.0e-5,
+            repeat_len: (800, 3_000),
+        }
+    }
+}
+
+/// Parameters of the sequencing simulation.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReadSimParams {
+    /// Genome length in bp.
+    pub genome_len: usize,
+    /// Sequencing depth (average number of reads covering a locus).
+    pub coverage: f64,
+    /// Mean read length.
+    pub read_len_mean: f64,
+    /// Sigma of the underlying normal of the log-normal length
+    /// distribution (0 = fixed length).
+    pub read_len_sigma: f64,
+    /// Reads shorter than this are resampled.
+    pub min_read_len: usize,
+    /// Reads longer than this are clamped.
+    pub max_read_len: usize,
+    /// Per-read error profile.
+    pub errors: MutationProfile,
+    /// Minimum genomic overlap (bp) for a pair to become a
+    /// comparison.
+    pub min_overlap: usize,
+    /// Seed (k-mer) length; ELBA uses 17/31, PASTIS 6.
+    pub seed_k: usize,
+    /// Low-complexity genome structure (`None` = uniform random
+    /// genome, adequate for assembly tests; `Some` for realistic
+    /// band-width behaviour).
+    pub low_complexity: Option<LowComplexity>,
+    /// Fraction of comparisons that are *false* seed matches —
+    /// repeat-induced k-mer hits between reads that do not actually
+    /// overlap. Real pipelines produce plenty of these (filtering
+    /// them is the whole point of ELBA's alignment stage, §2.3), and
+    /// they dominate the band-width maxima of §6.1: aligning
+    /// effectively random DNA under `(+1, −1, −1)` has positive
+    /// score drift, so the X-Drop search survives for the whole
+    /// sequence with a wide, slowly growing band.
+    pub false_pair_rate: f64,
+}
+
+impl ReadSimParams {
+    /// HiFi-ish defaults at a laptop-friendly scale.
+    pub fn small() -> Self {
+        Self {
+            genome_len: 100_000,
+            coverage: 10.0,
+            read_len_mean: 8_000.0,
+            read_len_sigma: 0.35,
+            min_read_len: 500,
+            max_read_len: 30_000,
+            errors: MutationProfile::hifi(),
+            min_overlap: 2_000,
+            seed_k: 17,
+            low_complexity: None,
+            false_pair_rate: 0.0,
+        }
+    }
+}
+
+/// The product of one simulated sequencing run.
+#[derive(Debug, Clone)]
+pub struct SimulatedReads {
+    /// The (random) reference genome.
+    pub genome: Vec<u8>,
+    /// The reads, encoded.
+    pub reads: Vec<Vec<u8>>,
+    /// Genomic half-open interval each read was sampled from.
+    pub intervals: Vec<(usize, usize)>,
+    /// Coordinate maps: `maps[r][g - start]` is the position on read
+    /// `r` of genome position `g`.
+    pub maps: Vec<Vec<u32>>,
+}
+
+/// Samples a log-normal read length with mean `mean` and log-sigma
+/// `sigma`, via Box-Muller (keeps us inside the plain `rand` crate).
+fn sample_len<R: Rng>(rng: &mut R, p: &ReadSimParams) -> usize {
+    if p.read_len_sigma <= 0.0 {
+        return (p.read_len_mean as usize).clamp(p.min_read_len, p.max_read_len);
+    }
+    let mu = p.read_len_mean.ln() - p.read_len_sigma * p.read_len_sigma / 2.0;
+    loop {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let len = (mu + p.read_len_sigma * z).exp();
+        if len.is_finite() && len as usize >= p.min_read_len {
+            return (len as usize).min(p.max_read_len);
+        }
+    }
+}
+
+/// Generates a genome: uniform random background with optional
+/// low-complexity tandem arrays (each array is a short motif
+/// repeated with ~2 % per-copy divergence).
+pub fn random_genome<R: Rng>(rng: &mut R, len: usize, lc: Option<LowComplexity>) -> Vec<u8> {
+    let Some(lc) = lc else {
+        return random_seq(rng, Alphabet::Dna, len);
+    };
+    let mut g: Vec<u8> = Vec::with_capacity(len + 3_700);
+    while g.len() < len {
+        if rng.gen_bool(lc.array_rate.min(1.0)) {
+            let motif_len = rng.gen_range(lc.motif_len.0..=lc.motif_len.1);
+            let motif = random_seq(rng, Alphabet::Dna, motif_len);
+            let array_len = rng.gen_range(lc.array_len.0..=lc.array_len.1);
+            for i in 0..array_len {
+                let base = motif[i % motif_len];
+                g.push(if rng.gen_bool(0.02) { rng.gen_range(0..4) } else { base });
+            }
+        } else if lc.repeat_rate > 0.0
+            && g.len() > lc.repeat_len.1 * 2
+            && rng.gen_bool(lc.repeat_rate.min(1.0))
+        {
+            // Dispersed repeat: copy an earlier segment with slight
+            // divergence.
+            let rep_len = rng.gen_range(lc.repeat_len.0..=lc.repeat_len.1).min(g.len() / 2);
+            let src = rng.gen_range(0..g.len() - rep_len);
+            for i in src..src + rep_len {
+                let base = g[i];
+                g.push(if rng.gen_bool(0.02) { rng.gen_range(0..4) } else { base });
+            }
+        } else {
+            g.push(rng.gen_range(0..4));
+        }
+    }
+    g.truncate(len);
+    g
+}
+
+/// Runs the sequencing simulation.
+pub fn simulate_reads<R: Rng>(rng: &mut R, p: &ReadSimParams) -> SimulatedReads {
+    let genome = random_genome(rng, p.genome_len, p.low_complexity);
+    let n_reads = ((p.coverage * p.genome_len as f64) / p.read_len_mean).ceil() as usize;
+    let mut reads = Vec::with_capacity(n_reads);
+    let mut intervals = Vec::with_capacity(n_reads);
+    let mut maps = Vec::with_capacity(n_reads);
+    for _ in 0..n_reads {
+        let len = sample_len(rng, p).min(p.genome_len);
+        let start = rng.gen_range(0..=p.genome_len - len);
+        let (read, map) = mutate_mapped(rng, &genome[start..start + len], Alphabet::Dna, p.errors);
+        reads.push(read);
+        intervals.push((start, start + len));
+        maps.push(map);
+    }
+    SimulatedReads { genome, reads, intervals, maps }
+}
+
+/// Finds an exact shared k-mer between reads `a` and `b` near genome
+/// position `g_mid`, scanning outwards. Returns the seed in
+/// read-local coordinates.
+fn find_seed(
+    sim: &SimulatedReads,
+    a: usize,
+    b: usize,
+    ov: (usize, usize),
+    k: usize,
+) -> Option<SeedMatch> {
+    let (ov_lo, ov_hi) = ov;
+    if ov_hi - ov_lo < k {
+        return None;
+    }
+    let g_mid = ov_lo + (ov_hi - ov_lo) / 2;
+    let last_start = ov_hi - k;
+    // Offsets: 0, +step, -step, +2step, ... bounded scan to keep the
+    // generator fast even on noisy data.
+    let step = (k / 2).max(1);
+    for trial in 0..64 {
+        let off = (trial / 2) * step;
+        let g = if trial % 2 == 0 { g_mid.checked_add(off)? } else { g_mid.checked_sub(off)? };
+        if g < ov_lo || g > last_start {
+            continue;
+        }
+        let pa = sim.maps[a][g - sim.intervals[a].0] as usize;
+        let pb = sim.maps[b][g - sim.intervals[b].0] as usize;
+        let (ra, rb) = (&sim.reads[a], &sim.reads[b]);
+        if pa + k <= ra.len() && pb + k <= rb.len() && ra[pa..pa + k] == rb[pb..pb + k] {
+            return Some(SeedMatch::new(pa, pb, k));
+        }
+    }
+    None
+}
+
+/// Turns a simulated sequencing run into an alignment [`Workload`]:
+/// one comparison per read pair with ≥ `min_overlap` genomic overlap
+/// and a recoverable exact seed, plus `false_pair_rate` worth of
+/// false seed matches between non-overlapping reads.
+/// `max_comparisons` truncates the workload (deterministically) for
+/// quick experiments.
+pub fn overlap_workload<R: Rng>(
+    rng: &mut R,
+    sim: &SimulatedReads,
+    p: &ReadSimParams,
+    max_comparisons: Option<usize>,
+) -> Workload {
+    let mut w = Workload::new(Alphabet::Dna);
+    for r in &sim.reads {
+        w.seqs.push(r.clone());
+    }
+    // When capped, reserve the false-pair share of the budget so the
+    // true-overlap sweep cannot exhaust it first.
+    let true_cap = max_comparisons
+        .map(|cap| ((cap as f64) * (1.0 - p.false_pair_rate)).ceil() as usize);
+    // Sort read ids by interval start for a sweep-line pair scan.
+    let mut order: Vec<usize> = (0..sim.reads.len()).collect();
+    order.sort_by_key(|&r| sim.intervals[r].0);
+    'outer: for (oi, &a) in order.iter().enumerate() {
+        let (a_lo, a_hi) = sim.intervals[a];
+        for &b in order[oi + 1..].iter() {
+            let (b_lo, b_hi) = sim.intervals[b];
+            if b_lo + p.min_overlap > a_hi {
+                break; // sorted by start: no later read can overlap enough
+            }
+            let ov = (b_lo.max(a_lo), a_hi.min(b_hi));
+            if ov.1 - ov.0 < p.min_overlap {
+                continue;
+            }
+            if let Some(seed) = find_seed(sim, a, b, ov, p.seed_k) {
+                w.comparisons.push(Comparison::new(a as u32, b as u32, seed));
+                if let Some(cap) = true_cap {
+                    if w.comparisons.len() >= cap {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    // False seed matches between reads that do not overlap.
+    if p.false_pair_rate > 0.0 && sim.reads.len() >= 2 {
+        let true_count = w.comparisons.len();
+        let mut want =
+            ((true_count as f64) * p.false_pair_rate / (1.0 - p.false_pair_rate)) as usize;
+        if let Some(cap) = max_comparisons {
+            want = want.min(cap.saturating_sub(true_count));
+        }
+        let mut attempts = 0;
+        while want > 0 && attempts < want * 20 {
+            attempts += 1;
+            let a = rng.gen_range(0..sim.reads.len());
+            let b = rng.gen_range(0..sim.reads.len());
+            if a == b {
+                continue;
+            }
+            let (a_lo, a_hi) = sim.intervals[a];
+            let (b_lo, b_hi) = sim.intervals[b];
+            if a_lo < b_hi && b_lo < a_hi {
+                continue; // genuinely overlapping: not a false pair
+            }
+            let (la, lb) = (sim.reads[a].len(), sim.reads[b].len());
+            if la <= p.seed_k || lb <= p.seed_k {
+                continue;
+            }
+            let seed = SeedMatch::new(
+                rng.gen_range(0..la - p.seed_k),
+                rng.gen_range(0..lb - p.seed_k),
+                p.seed_k,
+            );
+            w.comparisons.push(Comparison::new(a as u32, b as u32, seed));
+            want -= 1;
+        }
+    }
+    w
+}
+
+/// Convenience: simulate and build the workload in one call.
+pub fn simulate_workload<R: Rng>(
+    rng: &mut R,
+    p: &ReadSimParams,
+    max_comparisons: Option<usize>,
+) -> Workload {
+    let sim = simulate_reads(rng, p);
+    overlap_workload(rng, &sim, p, max_comparisons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn tiny_params() -> ReadSimParams {
+        ReadSimParams {
+            genome_len: 20_000,
+            coverage: 8.0,
+            read_len_mean: 2_000.0,
+            read_len_sigma: 0.3,
+            min_read_len: 300,
+            max_read_len: 6_000,
+            errors: MutationProfile::hifi(),
+            min_overlap: 500,
+            seed_k: 17,
+            low_complexity: None,
+            false_pair_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn simulation_produces_expected_read_count() {
+        let mut r = rng();
+        let p = tiny_params();
+        let sim = simulate_reads(&mut r, &p);
+        let expected = ((p.coverage * p.genome_len as f64) / p.read_len_mean).ceil() as usize;
+        assert_eq!(sim.reads.len(), expected);
+        assert!(!sim.reads.is_empty());
+        for (i, (lo, hi)) in sim.intervals.iter().enumerate() {
+            assert!(hi <= &p.genome_len);
+            assert!(hi - lo >= p.min_read_len);
+            assert_eq!(sim.maps[i].len(), hi - lo);
+        }
+    }
+
+    #[test]
+    fn error_free_reads_match_genome() {
+        let mut r = rng();
+        let mut p = tiny_params();
+        p.errors = MutationProfile::exact();
+        let sim = simulate_reads(&mut r, &p);
+        for (i, read) in sim.reads.iter().enumerate() {
+            let (lo, hi) = sim.intervals[i];
+            assert_eq!(read.as_slice(), &sim.genome[lo..hi]);
+        }
+    }
+
+    #[test]
+    fn workload_seeds_are_exact_kmers() {
+        let mut r = rng();
+        let p = tiny_params();
+        let w = simulate_workload(&mut r, &p, None);
+        assert!(!w.comparisons.is_empty(), "overlaps must exist at 8x coverage");
+        w.validate().unwrap();
+        for c in &w.comparisons {
+            let h = w.seqs.get(c.h);
+            let v = w.seqs.get(c.v);
+            assert_eq!(
+                &h[c.seed.h_pos..c.seed.h_pos + c.seed.k],
+                &v[c.seed.v_pos..c.seed.v_pos + c.seed.k],
+            );
+        }
+    }
+
+    #[test]
+    fn sequences_are_shared_between_comparisons() {
+        // The property the graph partitioner exploits: at decent
+        // coverage most reads participate in several comparisons.
+        let mut r = rng();
+        let w = simulate_workload(&mut r, &tiny_params(), None);
+        let mut degree = vec![0usize; w.seqs.len()];
+        for c in &w.comparisons {
+            degree[c.h as usize] += 1;
+            degree[c.v as usize] += 1;
+        }
+        let busy = degree.iter().filter(|&&d| d >= 2).count();
+        assert!(
+            busy * 2 > w.seqs.len(),
+            "most reads should appear in ≥2 comparisons (busy={busy}/{})",
+            w.seqs.len()
+        );
+    }
+
+    #[test]
+    fn max_comparisons_caps_output() {
+        let mut r = rng();
+        let w = simulate_workload(&mut r, &tiny_params(), Some(10));
+        assert_eq!(w.comparisons.len(), 10);
+    }
+
+    #[test]
+    fn fixed_length_sampling() {
+        let mut r = rng();
+        let mut p = tiny_params();
+        p.read_len_sigma = 0.0;
+        let len = sample_len(&mut r, &p);
+        assert_eq!(len, 2000);
+    }
+
+    #[test]
+    fn genome_low_complexity_structure() {
+        let mut r = rng();
+        let lc = LowComplexity::genomic();
+        let g = random_genome(&mut r, 400_000, Some(lc));
+        assert_eq!(g.len(), 400_000);
+        assert!(g.iter().all(|&b| b < 4));
+        // Tandem arrays show up as long runs of a short period:
+        // count positions where g[i] == g[i+3] over a window — far
+        // above the 25% random baseline inside arrays.
+        let mut period_hits = 0usize;
+        for w in g.windows(4) {
+            if w[0] == w[3] {
+                period_hits += 1;
+            }
+        }
+        let frac = period_hits as f64 / (g.len() - 3) as f64;
+        assert!(frac > 0.253, "arrays should raise short-period self-similarity: {frac}");
+        // Dispersed repeats: some 64-mer occurs at two distant
+        // positions.
+        use std::collections::HashMap;
+        let mut seen: HashMap<&[u8], usize> = HashMap::new();
+        let mut found_repeat = false;
+        for (i, w) in g.windows(64).enumerate().step_by(16) {
+            if let Some(&j) = seen.get(w) {
+                if i - j > 5_000 {
+                    found_repeat = true;
+                    break;
+                }
+            } else {
+                seen.insert(w, i);
+            }
+        }
+        assert!(found_repeat, "dispersed repeats must exist");
+        // Uniform genome has neither property at this strength.
+        let u = random_genome(&mut r, 100_000, None);
+        let uhits = u.windows(4).filter(|w| w[0] == w[3]).count();
+        assert!((uhits as f64 / u.len() as f64) < 0.253);
+    }
+
+    #[test]
+    fn false_pairs_generated_and_marked_by_non_overlap() {
+        let mut r = rng();
+        let mut p = tiny_params();
+        p.false_pair_rate = 0.3;
+        let sim = simulate_reads(&mut r, &p);
+        let w = overlap_workload(&mut r, &sim, &p, None);
+        let mut false_count = 0usize;
+        for c in &w.comparisons {
+            let (a_lo, a_hi) = sim.intervals[c.h as usize];
+            let (b_lo, b_hi) = sim.intervals[c.v as usize];
+            if !(a_lo < b_hi && b_lo < a_hi) {
+                false_count += 1;
+            }
+        }
+        let frac = false_count as f64 / w.comparisons.len() as f64;
+        assert!(
+            (frac - 0.3).abs() < 0.1,
+            "false-pair fraction {frac} should approximate the configured 0.3"
+        );
+        w.validate().unwrap();
+    }
+
+    #[test]
+    fn false_pairs_respect_cap() {
+        let mut r = rng();
+        let mut p = tiny_params();
+        p.false_pair_rate = 0.5;
+        let w = simulate_workload(&mut r, &p, Some(40));
+        assert!(w.comparisons.len() <= 40);
+        // Both kinds present.
+        let sim_again = simulate_reads(&mut rng(), &p); // shape only
+        let _ = sim_again;
+        assert!(w.comparisons.len() >= 30);
+    }
+
+    #[test]
+    fn lognormal_mean_approximately_right() {
+        let mut r = rng();
+        let mut p = tiny_params();
+        p.max_read_len = 1_000_000;
+        p.min_read_len = 1;
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| sample_len(&mut r, &p)).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - p.read_len_mean).abs() / p.read_len_mean < 0.05,
+            "sampled mean {mean} vs target {}",
+            p.read_len_mean
+        );
+    }
+}

