@@ -44,8 +44,16 @@ pub fn banded_extend<S: Scorer>(h: &[u8], v: &[u8], scorer: &S, w: usize) -> Ali
             } else {
                 NEG_INF
             };
-            let left = if j > lo { cur[j - 1].saturating_add(gap) } else { NEG_INF };
-            let up = if j < i + w { prev[j].saturating_add(gap) } else { NEG_INF };
+            let left = if j > lo {
+                cur[j - 1].saturating_add(gap)
+            } else {
+                NEG_INF
+            };
+            let up = if j < i + w {
+                prev[j].saturating_add(gap)
+            } else {
+                NEG_INF
+            };
             cur[j] = diag.max(left).max(up);
             cells += 1;
             consider(&mut best, cur[j], j, i);
@@ -70,7 +78,11 @@ pub fn banded_extend<S: Scorer>(h: &[u8], v: &[u8], scorer: &S, w: usize) -> Ali
 #[inline]
 fn consider(best: &mut AlignResult, score: i32, j: usize, i: usize) {
     if score > NEG_INF / 2 && score > best.best_score {
-        *best = AlignResult { best_score: score, end_h: j, end_v: i };
+        *best = AlignResult {
+            best_score: score,
+            end_h: j,
+            end_v: i,
+        };
     }
 }
 

@@ -37,7 +37,13 @@ impl Ksw2Params {
     /// mismatch penalty is 4× SeqAn's (−4 vs −1), so tolerating the
     /// same mismatch run before giving up needs `zdrop = 4x`.
     pub fn from_x(x: i32) -> Self {
-        Self { mat: 2, mis: -4, gap_open: -4, gap_ext: -1, zdrop: 4 * x }
+        Self {
+            mat: 2,
+            mis: -4,
+            gap_open: -4,
+            gap_ext: -1,
+            zdrop: 4 * x,
+        }
     }
 }
 
@@ -103,12 +109,18 @@ pub fn ksw2_extend(h: &[u8], v: &[u8], p: &Ksw2Params) -> AlignOutput {
         for j in st..=en {
             let score = if j == 0 {
                 // Column 0: gap-in-V border.
-                let f = hprev[0].saturating_add(oe).max(fprev[0].saturating_add(p.gap_ext));
+                let f = hprev[0]
+                    .saturating_add(oe)
+                    .max(fprev[0].saturating_add(p.gap_ext));
                 frow[0] = f;
                 f
             } else {
-                e = hrow[j - 1].saturating_add(oe).max(e.saturating_add(p.gap_ext));
-                let f = hprev[j].saturating_add(oe).max(fprev[j].saturating_add(p.gap_ext));
+                e = hrow[j - 1]
+                    .saturating_add(oe)
+                    .max(e.saturating_add(p.gap_ext));
+                let f = hprev[j]
+                    .saturating_add(oe)
+                    .max(fprev[j].saturating_add(p.gap_ext));
                 frow[j] = f;
                 let diag = if dead(hprev[j - 1]) {
                     NEG_INF
@@ -124,7 +136,11 @@ pub fn ksw2_extend(h: &[u8], v: &[u8], p: &Ksw2Params) -> AlignOutput {
                 row_arg = j;
             }
             if score > best.best_score {
-                best = AlignResult { best_score: score, end_h: j, end_v: i };
+                best = AlignResult {
+                    best_score: score,
+                    end_h: j,
+                    end_v: i,
+                };
             }
         }
         rows += 1;
@@ -177,13 +193,17 @@ pub fn affine_extend_full(h: &[u8], v: &[u8], p: &Ksw2Params) -> AlignResult {
     hmat[0] = 0;
     let mut best = AlignResult::empty();
     for j in 1..=m {
-        emat[j] = hmat[j - 1].saturating_add(oe).max(emat[j - 1].saturating_add(p.gap_ext));
+        emat[j] = hmat[j - 1]
+            .saturating_add(oe)
+            .max(emat[j - 1].saturating_add(p.gap_ext));
         hmat[j] = emat[j];
     }
     for i in 1..=n {
         let row = i * width;
         let prev = (i - 1) * width;
-        fmat[row] = hmat[prev].saturating_add(oe).max(fmat[prev].saturating_add(p.gap_ext));
+        fmat[row] = hmat[prev]
+            .saturating_add(oe)
+            .max(fmat[prev].saturating_add(p.gap_ext));
         hmat[row] = fmat[row];
         for j in 1..=m {
             emat[row + j] = hmat[row + j - 1]
@@ -200,7 +220,11 @@ pub fn affine_extend_full(h: &[u8], v: &[u8], p: &Ksw2Params) -> AlignResult {
             let s = diag.max(emat[row + j]).max(fmat[row + j]);
             hmat[row + j] = s;
             if s > best.best_score {
-                best = AlignResult { best_score: s, end_h: j, end_v: i };
+                best = AlignResult {
+                    best_score: s,
+                    end_h: j,
+                    end_v: i,
+                };
             }
         }
     }
@@ -271,7 +295,9 @@ mod tests {
         let mut x = 12345u64;
         let h: Vec<u8> = (0..400)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) % 4) as u8
             })
             .collect();
@@ -338,7 +364,10 @@ mod tests {
                 }
             }
             // z-drop large enough to disable pruning on these sizes.
-            let params = Ksw2Params { zdrop: 10_000, ..p(10) };
+            let params = Ksw2Params {
+                zdrop: 10_000,
+                ..p(10)
+            };
             let win = ksw2_extend(&h, &v, &params);
             let full = affine_extend_full(&h, &v, &params);
             assert_eq!(

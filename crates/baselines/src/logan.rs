@@ -50,7 +50,10 @@ pub fn logan_extend<S: Scorer>(h: &[u8], v: &[u8], scorer: &S, x: i32) -> LoganO
     let output = xdrop2::align(h, v, scorer, XDropParams::new(x), BandPolicy::Saturate(w))
         .expect("saturate policy cannot fail");
     let lane_width = w.min(h.len().min(v.len()) + 1).div_ceil(WARP) * WARP;
-    LoganOutcome { output, padded_cells: output.stats.antidiagonals * lane_width as u64 }
+    LoganOutcome {
+        output,
+        padded_cells: output.stats.antidiagonals * lane_width as u64,
+    }
 }
 
 #[cfg(test)]

@@ -48,17 +48,26 @@ impl CpuModel {
     /// Proportionally scaled-down node (see the scale-model note on
     /// [`CpuModel::machine_scale`]).
     pub fn scaled(self, s: f64) -> Self {
-        Self { machine_scale: self.machine_scale * s, ..self }
+        Self {
+            machine_scale: self.machine_scale * s,
+            ..self
+        }
     }
 
     /// ksw2 on the same node: affine-gap recurrence, three matrices.
     pub fn epyc7763_ksw2() -> Self {
-        Self { cell_cost_factor: 2.2, ..Self::epyc7763_seqan() }
+        Self {
+            cell_cost_factor: 2.2,
+            ..Self::epyc7763_seqan()
+        }
     }
 
     /// Aggregate DP-cell throughput in cells/second.
     pub fn cells_per_second(&self) -> f64 {
-        self.cores as f64 * self.clock_hz * self.simd_lanes as f64 * self.cells_per_lane_cycle
+        self.cores as f64
+            * self.clock_hz
+            * self.simd_lanes as f64
+            * self.cells_per_lane_cycle
             * self.machine_scale
             / self.cell_cost_factor
     }
@@ -108,7 +117,10 @@ impl GpuModel {
     /// Proportionally scaled-down device (see the scale-model note
     /// on [`CpuModel::machine_scale`]).
     pub fn scaled(self, s: f64) -> Self {
-        Self { machine_scale: self.machine_scale * s, ..self }
+        Self {
+            machine_scale: self.machine_scale * s,
+            ..self
+        }
     }
 
     /// Aggregate padded-cell throughput in cells/second.
@@ -121,8 +133,7 @@ impl GpuModel {
     pub fn seconds(&self, padded_cells: u64, alignments: usize, gpus: usize) -> f64 {
         let gpus = gpus.max(1) as f64;
         let compute = padded_cells as f64 / (self.cells_per_second() * gpus);
-        let parallel_blocks =
-            (self.sms * self.blocks_per_sm) as f64 * self.machine_scale * gpus;
+        let parallel_blocks = (self.sms * self.blocks_per_sm) as f64 * self.machine_scale * gpus;
         let overhead = alignments as f64 * self.overhead_cycles_per_alignment
             / (self.clock_hz * parallel_blocks);
         compute + overhead

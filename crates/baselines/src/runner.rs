@@ -84,8 +84,11 @@ fn run_range<S: Scorer>(
                 let hl: Vec<u8> = h[..c.seed.h_pos].iter().rev().copied().collect();
                 let vl: Vec<u8> = v[..c.seed.v_pos].iter().rev().copied().collect();
                 let left = ksw2_extend(&hl, &vl, &kp);
-                let right =
-                    ksw2_extend(&h[c.seed.h_pos + c.seed.k..], &v[c.seed.v_pos + c.seed.k..], &kp);
+                let right = ksw2_extend(
+                    &h[c.seed.h_pos + c.seed.k..],
+                    &v[c.seed.v_pos + c.seed.k..],
+                    &kp,
+                );
                 let seed_score = c.seed.k as i32 * kp.mat;
                 scores.push(left.result.best_score + seed_score + right.result.best_score);
                 let cc = left.stats.cells_computed + right.stats.cells_computed;
@@ -102,8 +105,10 @@ fn run_range<S: Scorer>(
                     scorer,
                     x,
                 );
-                let seed_score =
-                    scorer.seed_score(&h[c.seed.h_pos..c.seed.h_pos + c.seed.k], &v[c.seed.v_pos..c.seed.v_pos + c.seed.k]);
+                let seed_score = scorer.seed_score(
+                    &h[c.seed.h_pos..c.seed.h_pos + c.seed.k],
+                    &v[c.seed.v_pos..c.seed.v_pos + c.seed.k],
+                );
                 scores.push(
                     left.output.result.best_score + seed_score + right.output.result.best_score,
                 );
@@ -158,7 +163,10 @@ pub fn run_workload_scaled<S: Scorer + Sync>(
                 }
                 handles.push(s.spawn(move |_| run_range(w, tool, x, scorer, lo..hi)));
             }
-            handles.into_iter().map(|h| h.join().expect("runner thread")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("runner thread"))
+                .collect()
         })
         .expect("scope");
         let mut scores = Vec::with_capacity(n);
@@ -175,15 +183,15 @@ pub fn run_workload_scaled<S: Scorer + Sync>(
     // right extension.
     let alignments = 2 * n;
     let modeled_seconds = match tool {
-        ToolKind::SeqAn => {
-            CpuModel::epyc7763_seqan().scaled(machine_scale).seconds(cells, alignments, devices)
-        }
-        ToolKind::Ksw2 => {
-            CpuModel::epyc7763_ksw2().scaled(machine_scale).seconds(cells, alignments, devices)
-        }
-        ToolKind::Logan => {
-            GpuModel::a100_logan().scaled(machine_scale).seconds(padded, alignments, devices)
-        }
+        ToolKind::SeqAn => CpuModel::epyc7763_seqan()
+            .scaled(machine_scale)
+            .seconds(cells, alignments, devices),
+        ToolKind::Ksw2 => CpuModel::epyc7763_ksw2()
+            .scaled(machine_scale)
+            .seconds(cells, alignments, devices),
+        ToolKind::Logan => GpuModel::a100_logan()
+            .scaled(machine_scale)
+            .seconds(padded, alignments, devices),
     };
     let theoretical = w.theoretical_cells();
     ToolReport {
@@ -226,7 +234,8 @@ mod tests {
             other[pos..pos + 17].copy_from_slice(&root[pos..pos + 17]);
             let h = w.seqs.push(root);
             let v = w.seqs.push(other);
-            w.comparisons.push(Comparison::new(h, v, SeedMatch::new(pos, pos, 17)));
+            w.comparisons
+                .push(Comparison::new(h, v, SeedMatch::new(pos, pos, 17)));
         }
         w
     }
@@ -238,7 +247,11 @@ mod tests {
         for tool in [ToolKind::SeqAn, ToolKind::Ksw2, ToolKind::Logan] {
             let r = run_workload(&w, tool, 15, &sc, 2, 1);
             assert_eq!(r.scores.len(), w.comparisons.len());
-            assert!(r.scores.iter().all(|&s| s > 0), "{} scores positive", r.tool);
+            assert!(
+                r.scores.iter().all(|&s| s > 0),
+                "{} scores positive",
+                r.tool
+            );
             assert!(r.modeled_seconds > 0.0);
             assert!(r.gcups > 0.0);
         }

@@ -7,7 +7,7 @@
 //! seed-aware wrapper giving the baseline a name and the workload
 //! runner a uniform interface.
 
-use xdrop_core::extension::{Backend, Extender, ExtendOutcome, SeedMatch};
+use xdrop_core::extension::{Backend, ExtendOutcome, Extender, SeedMatch};
 use xdrop_core::scoring::Scorer;
 use xdrop_core::XDropParams;
 
@@ -19,7 +19,9 @@ pub struct SeqAnAligner {
 impl SeqAnAligner {
     /// SeqAn extender with X-Drop factor `x`.
     pub fn new(x: i32) -> Self {
-        Self { ext: Extender::new(XDropParams::new(x), Backend::ThreeDiag) }
+        Self {
+            ext: Extender::new(XDropParams::new(x), Backend::ThreeDiag),
+        }
     }
 
     /// Extends `seed` on `h` × `v` in both directions.
@@ -30,7 +32,9 @@ impl SeqAnAligner {
         seed: SeedMatch,
         scorer: &S,
     ) -> ExtendOutcome {
-        self.ext.extend(h, v, seed, scorer).expect("three-diagonal backend cannot fail")
+        self.ext
+            .extend(h, v, seed, scorer)
+            .expect("three-diagonal backend cannot fail")
     }
 }
 
@@ -50,8 +54,15 @@ mod tests {
         let sc = MatchMismatch::dna_default();
         let mut seqan = SeqAnAligner::new(10);
         let a = seqan.extend(&h, &v, seed, &sc);
-        let b = extend_seed(&h, &v, seed, &sc, XDropParams::new(10), BandPolicy::Grow(16))
-            .unwrap();
+        let b = extend_seed(
+            &h,
+            &v,
+            seed,
+            &sc,
+            XDropParams::new(10),
+            BandPolicy::Grow(16),
+        )
+        .unwrap();
         assert_eq!(a.score, b.score);
         assert_eq!(a.h_span, b.h_span);
         assert_eq!(a.v_span, b.v_span);

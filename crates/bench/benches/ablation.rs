@@ -24,18 +24,35 @@ fn bench_ablation(c: &mut Criterion) {
     };
     let w = generate_pair_workload(&mut rng, &spec, 400);
     let sc = MatchMismatch::dna_default();
-    let base = IpuRunConfig { partitioned: false, ..IpuRunConfig::full_gc200(15) };
+    let base = IpuRunConfig {
+        partitioned: false,
+        ..IpuRunConfig::full_gc200(15)
+    };
     let exec_split = exec_for(&w, &sc, &base);
     let exec_fused = exec_for(
         &w,
         &sc,
-        &IpuRunConfig { flags: OptFlags { lr_split: false, ..OptFlags::full() }, ..base },
+        &IpuRunConfig {
+            flags: OptFlags {
+                lr_split: false,
+                ..OptFlags::full()
+            },
+            ..base
+        },
     );
 
     let mut group = c.benchmark_group("table1_scheduling");
     for (step, flags) in OptFlags::ablation_ladder() {
-        let exec = if flags.lr_split { &exec_split } else { &exec_fused };
-        let cfg = IpuRunConfig { flags, spec: IpuSpec::gc200(), ..base };
+        let exec = if flags.lr_split {
+            &exec_split
+        } else {
+            &exec_fused
+        };
+        let cfg = IpuRunConfig {
+            flags,
+            spec: IpuSpec::gc200(),
+            ..base
+        };
         group.bench_with_input(BenchmarkId::from_parameter(step), &cfg, |b, cfg| {
             b.iter(|| run_ipu_from_exec(&w, exec, cfg))
         });

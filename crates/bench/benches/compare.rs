@@ -18,14 +18,21 @@ fn bench_tools(c: &mut Criterion) {
     group.sample_size(10);
     for x in [5, 20] {
         group.bench_with_input(BenchmarkId::new("ipu_pipeline", x), &x, |b, &x| {
-            b.iter(|| run_ipu(&w, &sc, &IpuRunConfig { host_threads: 1, ..IpuRunConfig::full(x) }))
+            b.iter(|| {
+                run_ipu(
+                    &w,
+                    &sc,
+                    &IpuRunConfig {
+                        host_threads: 1,
+                        ..IpuRunConfig::full(x)
+                    },
+                )
+            })
         });
         for tool in [ToolKind::SeqAn, ToolKind::Ksw2, ToolKind::Logan] {
-            group.bench_with_input(
-                BenchmarkId::new(tool.name(), x),
-                &x,
-                |b, &x| b.iter(|| run_workload(&w, tool, x, &sc, 1, 1)),
-            );
+            group.bench_with_input(BenchmarkId::new(tool.name(), x), &x, |b, &x| {
+                b.iter(|| run_workload(&w, tool, x, &sc, 1, 1))
+            });
         }
     }
     group.finish();

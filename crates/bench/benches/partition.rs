@@ -23,7 +23,8 @@ fn neighbour_workload(n_seqs: usize, degree: usize, len: usize) -> Workload {
     for i in 0..n_seqs {
         for _ in 0..degree {
             let j = (i + 1 + rng.gen_range(0..degree.max(1))) % n_seqs;
-            w.comparisons.push(Comparison::new(i as u32, j as u32, SeedMatch::new(0, 0, 1)));
+            w.comparisons
+                .push(Comparison::new(i as u32, j as u32, SeedMatch::new(0, 0, 1)));
         }
     }
     w
@@ -34,16 +35,12 @@ fn bench_partition(c: &mut Criterion) {
     for (n_seqs, degree) in [(2_000usize, 10usize), (10_000, 10)] {
         let w = neighbour_workload(n_seqs, degree, 2_000);
         let n_cmp = w.comparisons.len();
-        group.bench_with_input(
-            BenchmarkId::new("graph_build", n_cmp),
-            &w,
-            |b, w| b.iter(|| ComparisonGraph::build(w)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("greedy_partitions", n_cmp),
-            &w,
-            |b, w| b.iter(|| greedy_partitions(w, 500_000, 6, 256)),
-        );
+        group.bench_with_input(BenchmarkId::new("graph_build", n_cmp), &w, |b, w| {
+            b.iter(|| ComparisonGraph::build(w))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_partitions", n_cmp), &w, |b, w| {
+            b.iter(|| greedy_partitions(w, 500_000, 6, 256))
+        });
     }
     group.finish();
 }

@@ -35,10 +35,16 @@ struct Args {
     name: String,
     scale: f64,
     threads: usize,
+    trace: bool,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { name: String::new(), scale: 1.0, threads: 8 };
+    let mut args = Args {
+        name: String::new(),
+        scale: 1.0,
+        threads: 8,
+        trace: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -54,6 +60,7 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--threads needs a number"))
             }
+            "--trace" => args.trace = true,
             "-h" | "--help" => usage(""),
             name if args.name.is_empty() => args.name = name.to_string(),
             other => usage(&format!("unexpected argument {other}")),
@@ -70,7 +77,10 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage: experiments <table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|sec61|partition|elba|pastis|all> [--scale F] [--threads N]"
+        "usage: experiments <table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|sec61|partition|elba|pastis|all> [--scale F] [--threads N] [--trace]\n\
+         \n\
+         --trace  also dump a Chrome trace_event timeline to\n\
+         \x20        results/<name>.trace.json (fig4, fig7, elba, pastis)"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -88,8 +98,19 @@ fn main() {
     let args = parse_args();
     let names: Vec<&str> = if args.name == "all" {
         vec![
-            "table2", "fig1", "fig2", "fig3", "fig4", "fig6", "sec61", "partition", "table1",
-            "fig5", "fig7", "elba", "pastis",
+            "table2",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig6",
+            "sec61",
+            "partition",
+            "table1",
+            "fig5",
+            "fig7",
+            "elba",
+            "pastis",
         ]
     } else {
         vec![args.name.as_str()]
@@ -157,10 +178,15 @@ fn run_one(name: &str, args: &Args) {
                 );
             }
             exp::save_json("fig4", &rows);
+            if args.trace {
+                exp::save_trace("fig4", &tilesched::fig4_trace(600, 17));
+            }
         }
         "fig5" => {
-            let datasets: Vec<Dataset> =
-                DatasetKind::table2().into_iter().map(|k| scaled(k, args.scale)).collect();
+            let datasets: Vec<Dataset> = DatasetKind::table2()
+                .into_iter()
+                .map(|k| scaled(k, args.scale))
+                .collect();
             let rows = compare::run(&datasets, &[5, 10, 15, 20], args.threads);
             println!("{}", compare::render(&rows));
             exp::save_json("fig5", &rows);
@@ -191,10 +217,16 @@ fn run_one(name: &str, args: &Args) {
             }
         }
         "fig6" => {
-            let rows =
-                search_space::fig6((20_000.0 * args.scale) as usize, &[5, 10, 15, 20, 50, 100], 11);
+            let rows = search_space::fig6(
+                (20_000.0 * args.scale) as usize,
+                &[5, 10, 15, 20, 50, 100],
+                11,
+            );
             println!("Figure 6: δ_w vs mismatch rate");
-            println!("  err%   {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}", 5, 10, 15, 20, 50, 100);
+            println!(
+                "  err%   {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+                5, 10, 15, 20, 50, 100
+            );
             for err in (0..=100).step_by(10) {
                 let vals: Vec<String> = [5, 10, 15, 20, 50, 100]
                     .iter()
@@ -270,6 +302,9 @@ fn run_one(name: &str, args: &Args) {
                 }
             }
             exp::save_json("fig7", &rows);
+            if args.trace {
+                exp::save_trace("fig7", &scaling::trace_run(&datasets[0], 15, 8));
+            }
             for ds in ["ecoli100", "elegans"] {
                 let mut series = Vec::new();
                 for x in [15, 50] {
@@ -278,9 +313,7 @@ fn run_one(name: &str, args: &Args) {
                             label: format!("X={x} {}", if parted { "mc" } else { "sc" }),
                             points: rows
                                 .iter()
-                                .filter(|r| {
-                                    r.dataset == ds && r.x == x && r.partitioned == parted
-                                })
+                                .filter(|r| r.dataset == ds && r.x == x && r.partitioned == parted)
                                 .map(|r| (r.devices as f64, r.seconds))
                                 .collect(),
                         });
@@ -359,12 +392,18 @@ fn run_one(name: &str, args: &Args) {
             }
             println!("{}", realworld::render(&rows));
             exp::save_json("elba", &rows);
+            if args.trace {
+                exp::save_trace("elba", &realworld::elba_trace(&cfg, 15, 8, 5));
+            }
         }
         "pastis" => {
             let cfg = PastisConfig::small((3_000.0 * args.scale) as usize);
             let rows = realworld::pastis(&cfg, 8, 6);
             println!("{}", realworld::render(&rows));
             exp::save_json("pastis", &rows);
+            if args.trace {
+                exp::save_trace("pastis", &realworld::pastis_trace(&cfg, 8, 6));
+            }
         }
         other => usage(&format!("unknown experiment {other}")),
     }

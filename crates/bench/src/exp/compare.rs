@@ -90,8 +90,9 @@ pub fn run(datasets: &[Dataset], xs: &[i32], host_threads: usize) -> Vec<Fig5Row
 
 /// Text rendering grouped by dataset and X.
 pub fn render(rows: &[Fig5Row]) -> String {
-    let mut out =
-        String::from("Figure 5: GCUPS by tool\ndataset      X    tool    seconds      GCUPS  vs SeqAn\n");
+    let mut out = String::from(
+        "Figure 5: GCUPS by tool\ndataset      X    tool    seconds      GCUPS  vs SeqAn\n",
+    );
     for r in rows {
         out.push_str(&format!(
             "{:<12} {:<4} {:<7} {:>9.4} {:>10.1} {:>8.2}x\n",
@@ -122,7 +123,9 @@ mod tests {
         let rows = run(&[ds], &[5, 20], 4);
         assert_eq!(rows.len(), 2 * 4);
         let get = |x: i32, tool: &str| {
-            rows.iter().find(|r| r.x == x && r.tool == tool).expect("row")
+            rows.iter()
+                .find(|r| r.x == x && r.tool == tool)
+                .expect("row")
         };
         for x in [5, 20] {
             for tool in ["IPU", "SeqAn", "ksw2", "LOGAN"] {
@@ -145,7 +148,9 @@ mod tests {
         let ds = Dataset::bench_default(DatasetKind::Ecoli);
         let rows = run(&[ds], &[5, 20], 8);
         let get = |x: i32, tool: &str| {
-            rows.iter().find(|r| r.x == x && r.tool == tool).expect("row")
+            rows.iter()
+                .find(|r| r.x == x && r.tool == tool)
+                .expect("row")
         };
         for x in [5, 20] {
             let ipu = get(x, "IPU");

@@ -22,6 +22,23 @@ pub fn save_json<T: serde::Serialize>(name: &str, rows: &T) {
     }
 }
 
+/// Writes a Chrome trace dump to `results/<name>.trace.json` (best
+/// effort, like [`save_json`]); the file opens in `chrome://tracing`
+/// or <https://ui.perfetto.dev>.
+pub fn save_trace(name: &str, trace: &ipu_sim::trace::ChromeTrace) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.trace.json"));
+    if trace.write_json(&path).is_ok() {
+        println!(
+            "   wrote {} (open in chrome://tracing or ui.perfetto.dev)",
+            path.display()
+        );
+    }
+}
+
 /// Default scorer for the DNA experiments.
 pub fn dna_scorer() -> xdrop_core::scoring::MatchMismatch {
     xdrop_core::scoring::MatchMismatch::dna_default()

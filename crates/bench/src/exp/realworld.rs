@@ -1,15 +1,16 @@
 //! §6.3 — the real-world pipelines: ELBA and PASTIS alignment-phase
 //! times on CPU, GPU and 1–16 IPUs.
 
-use crate::harness::{exec_for, run_ipu_from_exec, IpuRunConfig};
+use crate::harness::{exec_for, run_ipu_from_exec, run_ipu_from_exec_traced, IpuRunConfig};
+use ipu_sim::trace::ChromeTrace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xdrop_baselines::runner::{run_workload_scaled, ToolKind};
 use xdrop_core::scoring::{Blosum62, MatchMismatch};
 use xdrop_core::workload::Workload;
 use xdrop_pipelines::elba::{run_elba, ElbaConfig};
-use xdrop_pipelines::pastis::{generate_families, PastisConfig};
 use xdrop_pipelines::overlap::detect_overlaps;
+use xdrop_pipelines::pastis::{generate_families, PastisConfig};
 
 /// One backend's alignment-phase time.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -33,7 +34,14 @@ pub struct PipelineRow {
 pub fn elba(cfg: &ElbaConfig, xs: &[i32], max_ipus: usize, seed: u64) -> Vec<PipelineRow> {
     let mut rng = StdRng::seed_from_u64(seed);
     let run = run_elba(&mut rng, cfg);
-    pipeline_rows("ELBA", &run.workload, &MatchMismatch::dna_default(), xs, max_ipus, true)
+    pipeline_rows(
+        "ELBA",
+        &run.workload,
+        &MatchMismatch::dna_default(),
+        xs,
+        max_ipus,
+        true,
+    )
 }
 
 /// PASTIS §6.3.2: alignment step on CPU vs IPU (no GPU — no protein
@@ -42,13 +50,54 @@ pub fn pastis(cfg: &PastisConfig, max_ipus: usize, seed: u64) -> Vec<PipelineRow
     let mut rng = StdRng::seed_from_u64(seed);
     let (seqs, _families) = generate_families(&mut rng, cfg);
     let workload = detect_overlaps(&seqs, &cfg.overlap);
-    pipeline_rows("PASTIS", &workload, &Blosum62::new(cfg.gap), &[cfg.x], max_ipus, false)
+    pipeline_rows(
+        "PASTIS",
+        &workload,
+        &Blosum62::new(cfg.gap),
+        &[cfg.x],
+        max_ipus,
+        false,
+    )
 }
 
 /// Machine scale for the §6.3 pipeline experiments (same rationale
 /// as [`crate::exp::compare::FIG5_MACHINE_SCALE`]; all platforms
 /// shrink together).
 pub const PIPELINE_MACHINE_SCALE: f64 = 1.0 / 64.0;
+
+/// Chrome trace of the ELBA alignment phase on `devices` IPUs.
+pub fn elba_trace(cfg: &ElbaConfig, x: i32, devices: usize, seed: u64) -> ChromeTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let run = run_elba(&mut rng, cfg);
+    pipeline_trace(&run.workload, &MatchMismatch::dna_default(), x, devices)
+}
+
+/// Chrome trace of the PASTIS alignment step on `devices` IPUs.
+pub fn pastis_trace(cfg: &PastisConfig, devices: usize, seed: u64) -> ChromeTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (seqs, _families) = generate_families(&mut rng, cfg);
+    let workload = detect_overlaps(&seqs, &cfg.overlap);
+    pipeline_trace(&workload, &Blosum62::new(cfg.gap), cfg.x, devices)
+}
+
+fn pipeline_trace<S: xdrop_core::scoring::Scorer + Sync>(
+    w: &Workload,
+    scorer: &S,
+    x: i32,
+    devices: usize,
+) -> ChromeTrace {
+    let spec = ipu_sim::spec::IpuSpec::bow().scaled(PIPELINE_MACHINE_SCALE);
+    let cfg = IpuRunConfig {
+        spec,
+        devices,
+        min_batches: (2 * devices).max(2),
+        ..IpuRunConfig::full(x)
+    };
+    let exec = exec_for(w, scorer, &cfg);
+    run_ipu_from_exec_traced(w, &exec, &cfg, true)
+        .1
+        .expect("trace requested")
+}
 
 fn pipeline_rows<S: xdrop_core::scoring::Scorer + Sync>(
     name: &str,
@@ -83,7 +132,10 @@ fn pipeline_rows<S: xdrop_core::scoring::Scorer + Sync>(
             });
         }
         let spec = ipu_sim::spec::IpuSpec::bow().scaled(s);
-        let base_cfg = IpuRunConfig { spec, ..IpuRunConfig::full(x) };
+        let base_cfg = IpuRunConfig {
+            spec,
+            ..IpuRunConfig::full(x)
+        };
         let exec = exec_for(w, scorer, &base_cfg);
         let occupancy_cap = exec.units.len() / (spec.tiles * spec.threads_per_tile).max(1);
         let mut devices = 1;
@@ -97,7 +149,11 @@ fn pipeline_rows<S: xdrop_core::scoring::Scorer + Sync>(
                     run_ipu_from_exec(
                         w,
                         &exec,
-                        &IpuRunConfig { devices, min_batches, ..base_cfg },
+                        &IpuRunConfig {
+                            devices,
+                            min_batches,
+                            ..base_cfg
+                        },
                     )
                 })
                 .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
@@ -184,7 +240,10 @@ mod tests {
     fn pastis_rows_complete() {
         let cfg = PastisConfig::small(60);
         let rows = pastis(&cfg, 4, 4);
-        let cpu = rows.iter().find(|r| r.backend.starts_with("CPU")).expect("cpu");
+        let cpu = rows
+            .iter()
+            .find(|r| r.backend.starts_with("CPU"))
+            .expect("cpu");
         let ipu = rows.iter().find(|r| r.backend == "IPU ×1").expect("ipu");
         assert_eq!(cpu.x, 49);
         assert!(cpu.seconds > 0.0 && ipu.seconds > 0.0);
@@ -215,14 +274,22 @@ mod tests {
         let ipu8 = by("IPU ×8");
         // Paper §6.3.1 ordering: IPU beats the CPU node; the GPU
         // cluster trails everyone.
-        assert!(ipu1.seconds < cpu.seconds, "ipu {} cpu {}", ipu1.seconds, cpu.seconds);
+        assert!(
+            ipu1.seconds < cpu.seconds,
+            "ipu {} cpu {}",
+            ipu1.seconds,
+            cpu.seconds
+        );
         assert!(gpu.seconds > ipu1.seconds);
         assert!(ipu8.seconds < ipu1.seconds);
 
         // PASTIS: IPU ~5× over CPU (paper: 4.7×).
         let pcfg = PastisConfig::small(3_000);
         let prows = pastis(&pcfg, 4, 6);
-        let pcpu = prows.iter().find(|r| r.backend.starts_with("CPU")).expect("cpu");
+        let pcpu = prows
+            .iter()
+            .find(|r| r.backend.starts_with("CPU"))
+            .expect("cpu");
         let pipu = prows.iter().find(|r| r.backend == "IPU ×1").expect("ipu");
         assert!(
             pipu.seconds < pcpu.seconds,

@@ -2,8 +2,9 @@
 //! partitioning — plus the §4.3 partitioning statistics.
 
 use crate::exp::dna_scorer;
-use crate::harness::{exec_for, run_ipu_from_exec, IpuRunConfig};
+use crate::harness::{exec_for, run_ipu_from_exec, run_ipu_from_exec_traced, IpuRunConfig};
 use ipu_sim::spec::IpuSpec;
+use ipu_sim::trace::ChromeTrace;
 use seqdata::Dataset;
 use xdrop_partition::greedy::greedy_partitions;
 use xdrop_partition::plan::{reuse_stats, PlanConfig};
@@ -44,14 +45,16 @@ pub fn run(datasets: &[Dataset], xs: &[i32], device_counts: &[usize]) -> Vec<Fig
         let name = ds.kind.name().to_string();
         for &x in xs {
             let spec = IpuSpec::bow().scaled(FIG7_MACHINE_SCALE);
-            let base_cfg = IpuRunConfig { spec, ..IpuRunConfig::full(x) };
+            let base_cfg = IpuRunConfig {
+                spec,
+                ..IpuRunConfig::full(x)
+            };
             let exec = exec_for(&w, &sc, &base_cfg);
             // Per device count: enough batches to keep every device
             // pipelined (≥ 2 per device), but never so many that a
             // batch has fewer units than the machine has threads
             // (single-alignment stragglers would dominate).
-            let occupancy_cap =
-                exec.units.len() / (spec.tiles * spec.threads_per_tile).max(1);
+            let occupancy_cap = exec.units.len() / (spec.tiles * spec.threads_per_tile).max(1);
             for partitioned in [false, true] {
                 let mut base_seconds = None;
                 for &devices in device_counts {
@@ -90,6 +93,25 @@ pub fn run(datasets: &[Dataset], xs: &[i32], device_counts: &[usize]) -> Vec<Fig
     rows
 }
 
+/// Records the cluster timeline of one representative Figure 7
+/// configuration (partitioned plan on the scaled BOW machine):
+/// fetch/compute/idle spans per device plus host-link occupancy.
+pub fn trace_run(ds: &Dataset, x: i32, devices: usize) -> ChromeTrace {
+    let sc = dna_scorer();
+    let w = ds.generate();
+    let spec = IpuSpec::bow().scaled(FIG7_MACHINE_SCALE);
+    let cfg = IpuRunConfig {
+        spec,
+        devices,
+        min_batches: (2 * devices).max(2),
+        ..IpuRunConfig::full(x)
+    };
+    let exec = exec_for(&w, &sc, &cfg);
+    run_ipu_from_exec_traced(&w, &exec, &cfg, true)
+        .1
+        .expect("trace requested")
+}
+
 /// §4.3: batch-count and transfer statistics, naive vs partitioned.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct PartitionRow {
@@ -123,8 +145,22 @@ pub fn partition43(datasets: &[Dataset], x: i32) -> Vec<PartitionRow> {
             ..IpuRunConfig::full(x)
         };
         let exec = exec_for(&w, &sc, &cfg);
-        let naive = run_ipu_from_exec(&w, &exec, &IpuRunConfig { partitioned: false, ..cfg });
-        let parted = run_ipu_from_exec(&w, &exec, &IpuRunConfig { partitioned: true, ..cfg });
+        let naive = run_ipu_from_exec(
+            &w,
+            &exec,
+            &IpuRunConfig {
+                partitioned: false,
+                ..cfg
+            },
+        );
+        let parted = run_ipu_from_exec(
+            &w,
+            &exec,
+            &IpuRunConfig {
+                partitioned: true,
+                ..cfg
+            },
+        );
         let plan = PlanConfig::partitioned(cfg.delta_b);
         let parts = greedy_partitions(
             &w,
@@ -199,7 +235,11 @@ mod tests {
         };
         // The naive plan saturates the shared host link almost
         // immediately and stops scaling.
-        assert!(get(2, false).link_busy > 0.9, "naive link {}", get(2, false).link_busy);
+        assert!(
+            get(2, false).link_busy > 0.9,
+            "naive link {}",
+            get(2, false).link_busy
+        );
         let naive8 = get(8, false).speedup;
         assert!(naive8 < 1.6, "naive must flatline, got {naive8}");
         // The partitioned plan keeps scaling well past it (our
@@ -208,16 +248,25 @@ mod tests {
         // around 4–8 devices instead of 16 — see EXPERIMENTS.md).
         let parted8 = get(8, true).speedup;
         assert!(parted8 > 1.6, "partitioned 8-dev speedup {parted8}");
-        assert!(parted8 > naive8 * 1.25, "partitioned {parted8} vs naive {naive8}");
+        assert!(
+            parted8 > naive8 * 1.25,
+            "partitioned {parted8} vs naive {naive8}"
+        );
         // Partitioning beats naive at every device count …
         for d in [1, 2, 4, 8, 16, 32] {
-            assert!(get(d, true).seconds < get(d, false).seconds, "at {d} devices");
+            assert!(
+                get(d, true).seconds < get(d, false).seconds,
+                "at {d} devices"
+            );
         }
         // … and its advantage grows with devices (the paper's
         // 1.46× → 3.59× trend on ecoli100).
         let adv1 = get(1, false).seconds / get(1, true).seconds;
         let adv32 = get(32, false).seconds / get(32, true).seconds;
-        assert!(adv32 > adv1, "advantage must grow: 1dev {adv1:.2} 32dev {adv32:.2}");
+        assert!(
+            adv32 > adv1,
+            "advantage must grow: 1dev {adv1:.2} 32dev {adv32:.2}"
+        );
     }
 
     #[test]

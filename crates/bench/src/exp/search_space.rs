@@ -13,7 +13,13 @@ use xdrop_core::{xdrop3, XDropParams};
 
 fn pair(len: usize, err: MutationProfile, seed: u64) -> (Vec<u8>, Vec<u8>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let spec = PairSpec { len, seed_len: 17, seed_frac: 0.0, errors: err, alphabet: Alphabet::Dna };
+    let spec = PairSpec {
+        len,
+        seed_len: 17,
+        seed_frac: 0.0,
+        errors: err,
+        alphabet: Alphabet::Dna,
+    };
     let p = generate_pair(&mut rng, &spec);
     (p.h, p.v)
 }
@@ -190,7 +196,12 @@ pub fn fig3(len: usize, x: i32, seed: u64) -> Vec<MemoryRow> {
         .map(|err| {
             let (h, v) = pair(len, MutationProfile::uniform_mismatch(err), seed);
             let out = xdrop3::align(&h, &v, &dna_scorer(), XDropParams::new(x));
-            memory_row(format!("{:.0}% error", err * 100.0), x, out.stats.delta, out.stats.delta_w)
+            memory_row(
+                format!("{:.0}% error", err * 100.0),
+                x,
+                out.stats.delta,
+                out.stats.delta_w,
+            )
         })
         .collect()
 }
@@ -232,11 +243,19 @@ pub fn fig6(len: usize, xs: &[i32], seed: u64) -> Vec<Fig6Row> {
             let v: Vec<u8> = h_raw.iter().map(|&b| 2 + (b / 2)).collect();
             (h, v)
         } else {
-            pair(len, MutationProfile::uniform_mismatch(err_pct as f64 / 100.0), seed)
+            pair(
+                len,
+                MutationProfile::uniform_mismatch(err_pct as f64 / 100.0),
+                seed,
+            )
         };
         for &x in xs {
             let out = xdrop3::align(&h, &v, &sc, XDropParams::new(x));
-            rows.push(Fig6Row { error_pct: err_pct as u32, x, delta_w: out.stats.delta_w });
+            rows.push(Fig6Row {
+                error_pct: err_pct as u32,
+                x,
+                delta_w: out.stats.delta_w,
+            });
         }
     }
     rows
@@ -250,9 +269,18 @@ mod tests {
     fn fig1_band_misses_xdrop_finds() {
         let rows = fig1(7);
         let optimal = rows[0].score;
-        let narrow = rows.iter().find(|r| r.method == "static band w=16").expect("band row");
-        assert!(narrow.score < optimal, "narrow band must miss the indel path");
-        let xd = rows.iter().find(|r| r.method == "x-drop X=80").expect("xdrop row");
+        let narrow = rows
+            .iter()
+            .find(|r| r.method == "static band w=16")
+            .expect("band row");
+        assert!(
+            narrow.score < optimal,
+            "narrow band must miss the indel path"
+        );
+        let xd = rows
+            .iter()
+            .find(|r| r.method == "x-drop X=80")
+            .expect("xdrop row");
         assert!(xd.optimal, "X-Drop must find the optimum");
         // And with far fewer cells than the full matrix.
         assert!(xd.cells < rows[0].cells / 4);
@@ -274,7 +302,10 @@ mod tests {
     fn fig6_band_peaks_at_high_error() {
         let rows = fig6(1_200, &[10, 50], 11);
         let dw = |err: u32, x: i32| {
-            rows.iter().find(|r| r.error_pct == err && r.x == x).expect("row").delta_w
+            rows.iter()
+                .find(|r| r.error_pct == err && r.x == x)
+                .expect("row")
+                .delta_w
         };
         // Perfect match: tiny band. Mid-high error: much larger.
         assert!(dw(0, 50) < dw(60, 50));

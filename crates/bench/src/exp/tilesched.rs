@@ -9,8 +9,10 @@
 use ipu_sim::cost::{CostModel, OptFlags};
 use ipu_sim::spec::IpuSpec;
 use ipu_sim::tile::{schedule_tile, TileReport};
+use ipu_sim::trace::{ChromeTrace, TraceEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 
 /// One scheduling regime's outcome on a skewed unit list.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -58,13 +60,65 @@ pub fn fig4(n_units: usize, seed: u64) -> Vec<Fig4Row> {
         .collect();
     let spec = IpuSpec::gc200();
     let base = OptFlags::full();
-    let rr = OptFlags { work_stealing: false, ..base };
-    let steal_raw = OptFlags { steal_jitter: false, ..base };
+    let rr = OptFlags {
+        work_stealing: false,
+        ..base
+    };
+    let steal_raw = OptFlags {
+        steal_jitter: false,
+        ..base
+    };
     vec![
         to_row("static round-robin", schedule_tile(&units, &spec, &rr)),
-        to_row("stealing, no jitter", schedule_tile(&units, &spec, &steal_raw)),
-        to_row("eventual work stealing", schedule_tile(&units, &spec, &base)),
+        to_row(
+            "stealing, no jitter",
+            schedule_tile(&units, &spec, &steal_raw),
+        ),
+        to_row(
+            "eventual work stealing",
+            schedule_tile(&units, &spec, &base),
+        ),
     ]
+}
+
+/// Renders the Figure 4 regimes as a Chrome trace: one process per
+/// regime, one busy span per worker thread (its instruction load at
+/// the tile clock) plus the regime makespan, so the load imbalance
+/// the table reports becomes visible on a timeline.
+pub fn fig4_trace(n_units: usize, seed: u64) -> ChromeTrace {
+    let rows = fig4(n_units, seed);
+    let spec = IpuSpec::gc200();
+    let mut trace = ChromeTrace::new();
+    for (pid, row) in rows.iter().enumerate() {
+        let makespan_s = row.cycles as f64 / spec.clock_hz;
+        let mut args = BTreeMap::new();
+        args.insert("races".to_string(), row.races as f64);
+        args.insert("utilization".to_string(), row.utilization);
+        trace.traceEvents.push(TraceEvent::complete(
+            row.regime.clone(),
+            "makespan",
+            pid as u32,
+            u32::MAX,
+            0.0,
+            makespan_s,
+            args,
+        ));
+        for (tid, &instr) in row.thread_instr.iter().enumerate() {
+            let busy_s = (instr * spec.instr_cycles) as f64 / spec.clock_hz;
+            let mut args = BTreeMap::new();
+            args.insert("instructions".to_string(), instr as f64);
+            trace.traceEvents.push(TraceEvent::complete(
+                format!("{} t{tid}", row.regime),
+                "compute",
+                pid as u32,
+                tid as u32,
+                0.0,
+                busy_s,
+                args,
+            ));
+        }
+    }
+    trace
 }
 
 #[cfg(test)]
@@ -82,8 +136,27 @@ mod tests {
         assert!(jit.utilization > rr.utilization);
         assert!(jit.cycles <= rr.cycles);
         // Jitter slashes the race count (the paper's 16 K → 18).
-        assert!(jit.races * 10 < raw.races.max(10), "raw {} jit {}", raw.races, jit.races);
+        assert!(
+            jit.races * 10 < raw.races.max(10),
+            "raw {} jit {}",
+            raw.races,
+            jit.races
+        );
         // Six threads reported everywhere.
         assert!(rows.iter().all(|r| r.thread_instr.len() == 6));
+    }
+
+    #[test]
+    fn fig4_trace_covers_all_regime_threads() {
+        let t = fig4_trace(120, 3);
+        // Three regimes × (1 makespan + 6 thread spans).
+        assert_eq!(t.events_in("makespan").count(), 3);
+        assert_eq!(t.events_in("compute").count(), 18);
+        // Every thread span fits inside its regime's makespan.
+        for m in t.events_in("makespan") {
+            for e in t.events_in("compute").filter(|e| e.pid == m.pid) {
+                assert!(e.end_ts() <= m.end_ts() + 1e-6);
+            }
+        }
     }
 }

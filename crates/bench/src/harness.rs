@@ -1,10 +1,11 @@
 //! Shared harness: run a workload end-to-end on the simulated IPU.
 
 use ipu_sim::batch::{naive_batches, single_tile_batches, Batch};
-use ipu_sim::cluster::{run_cluster, ClusterReport};
+use ipu_sim::cluster::{run_cluster_opts, ClusterOptions, ClusterReport};
 use ipu_sim::cost::{CostModel, OptFlags};
 use ipu_sim::exec::{execute_workload, ExecConfig, ExecOutput};
 use ipu_sim::spec::IpuSpec;
+use ipu_sim::trace::ChromeTrace;
 use xdrop_core::scoring::Scorer;
 use xdrop_core::workload::Workload;
 use xdrop_core::xdrop2::BandPolicy;
@@ -55,7 +56,10 @@ impl IpuRunConfig {
 
     /// Same but on the GC200 (the Mk2 systems of §5).
     pub fn full_gc200(x: i32) -> Self {
-        Self { spec: IpuSpec::gc200(), ..Self::full(x) }
+        Self {
+            spec: IpuSpec::gc200(),
+            ..Self::full(x)
+        }
     }
 }
 
@@ -105,8 +109,24 @@ pub fn exec_for<S: Scorer + Sync>(w: &Workload, scorer: &S, cfg: &IpuRunConfig) 
 
 /// Plans and simulates the run given already-executed kernels.
 pub fn run_ipu_from_exec(w: &Workload, exec: &ExecOutput, cfg: &IpuRunConfig) -> IpuRunReport {
+    run_ipu_from_exec_traced(w, exec, cfg, false).0
+}
+
+/// [`run_ipu_from_exec`], optionally recording the cluster's
+/// Chrome-trace timeline (see `ipu_sim::trace`).
+pub fn run_ipu_from_exec_traced(
+    w: &Workload,
+    exec: &ExecOutput,
+    cfg: &IpuRunConfig,
+    collect_trace: bool,
+) -> (IpuRunReport, Option<ChromeTrace>) {
     let batches: Vec<Batch> = if !cfg.flags.all_tiles {
-        single_tile_batches(w, &exec.units, &cfg.spec, &PlanConfig::naive(cfg.delta_b).batch)
+        single_tile_batches(
+            w,
+            &exec.units,
+            &cfg.spec,
+            &PlanConfig::naive(cfg.delta_b).batch,
+        )
     } else if cfg.partitioned {
         plan_batches(
             w,
@@ -115,10 +135,26 @@ pub fn run_ipu_from_exec(w: &Workload, exec: &ExecOutput, cfg: &IpuRunConfig) ->
             &PlanConfig::partitioned(cfg.delta_b).with_min_batches(cfg.min_batches),
         )
     } else {
-        naive_batches(w, &exec.units, &cfg.spec, &PlanConfig::naive(cfg.delta_b).batch)
+        naive_batches(
+            w,
+            &exec.units,
+            &cfg.spec,
+            &PlanConfig::naive(cfg.delta_b).batch,
+        )
     };
-    let cluster: ClusterReport =
-        run_cluster(&exec.units, &batches, cfg.devices, &cfg.spec, &cfg.flags, &cfg.cost);
+    let opts = ClusterOptions {
+        host_threads: cfg.host_threads,
+        collect_trace,
+    };
+    let (cluster, trace): (ClusterReport, Option<ChromeTrace>) = run_cluster_opts(
+        &exec.units,
+        &batches,
+        cfg.devices,
+        &cfg.spec,
+        &cfg.flags,
+        &cfg.cost,
+        &opts,
+    );
     let races = cluster.batch_reports.iter().map(|b| b.races).sum();
     // On-device time: batches execute back to back across devices.
     let device_seconds: f64 = cluster
@@ -128,7 +164,7 @@ pub fn run_ipu_from_exec(w: &Workload, exec: &ExecOutput, cfg: &IpuRunConfig) ->
         .sum::<f64>()
         / cfg.devices.max(1) as f64;
     let theoretical = w.theoretical_cells();
-    IpuRunReport {
+    let report = IpuRunReport {
         seconds: cluster.total_seconds,
         device_seconds,
         gcups_device: if device_seconds > 0.0 {
@@ -144,7 +180,8 @@ pub fn run_ipu_from_exec(w: &Workload, exec: &ExecOutput, cfg: &IpuRunConfig) ->
         max_delta_w: exec.max_delta_w(),
         scores: exec.results.iter().map(|r| r.score).collect(),
         link_busy_fraction: cluster.link_busy_fraction,
-    }
+    };
+    (report, trace)
 }
 
 /// Executes `w` on the simulated IPU system described by `cfg`.

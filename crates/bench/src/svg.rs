@@ -48,13 +48,18 @@ const ML: f64 = 70.0; // margins
 const MR: f64 = 160.0;
 const MT: f64 = 46.0;
 const MB: f64 = 56.0;
-const PALETTE: [&str; 8] =
-    ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f"];
+const PALETTE: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
 
 fn tx(scale: Scale, v: f64, lo: f64, hi: f64) -> f64 {
     let (v, lo, hi) = match scale {
         Scale::Linear => (v, lo, hi),
-        Scale::Log => (v.max(1e-12).log10(), lo.max(1e-12).log10(), hi.max(1e-12).log10()),
+        Scale::Log => (
+            v.max(1e-12).log10(),
+            lo.max(1e-12).log10(),
+            hi.max(1e-12).log10(),
+        ),
     };
     if (hi - lo).abs() < 1e-12 {
         0.5
@@ -66,8 +71,11 @@ fn tx(scale: Scale, v: f64, lo: f64, hi: f64) -> f64 {
 impl LineChart {
     /// Renders the chart to an SVG string.
     pub fn render(&self) -> String {
-        let pts: Vec<(f64, f64)> =
-            self.series.iter().flat_map(|s| s.points.iter().copied()).collect();
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
         let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
         let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
         for &(x, y) in &pts {
@@ -153,7 +161,13 @@ impl LineChart {
             let color = PALETTE[si % PALETTE.len()];
             let mut path = String::new();
             for (pi, &(x, y)) in series.points.iter().enumerate() {
-                let _ = write!(path, "{}{:.1},{:.1} ", if pi == 0 { "M" } else { "L" }, px(x), py(y));
+                let _ = write!(
+                    path,
+                    "{}{:.1},{:.1} ",
+                    if pi == 0 { "M" } else { "L" },
+                    px(x),
+                    py(y)
+                );
             }
             let _ = write!(
                 s,
@@ -190,7 +204,9 @@ impl LineChart {
 }
 
 fn esc(t: &str) -> String {
-    t.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    t.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn fmt_num(v: f64) -> String {
@@ -226,8 +242,14 @@ mod tests {
             x_scale: Scale::Linear,
             y_scale: Scale::Log,
             series: vec![
-                Series { label: "X=10".into(), points: vec![(0.0, 8.0), (50.0, 41.0), (100.0, 63.0)] },
-                Series { label: "X=50".into(), points: vec![(0.0, 35.0), (50.0, 138.0)] },
+                Series {
+                    label: "X=10".into(),
+                    points: vec![(0.0, 8.0), (50.0, 41.0), (100.0, 63.0)],
+                },
+                Series {
+                    label: "X=50".into(),
+                    points: vec![(0.0, 35.0), (50.0, 138.0)],
+                },
             ],
         }
     }

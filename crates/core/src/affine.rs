@@ -57,7 +57,11 @@ struct Cell {
 }
 
 impl Cell {
-    const DEAD: Cell = Cell { h: NEG_INF, e: NEG_INF, f: NEG_INF };
+    const DEAD: Cell = Cell {
+        h: NEG_INF,
+        e: NEG_INF,
+        f: NEG_INF,
+    };
 
     #[inline]
     fn best(&self) -> i32 {
@@ -106,7 +110,11 @@ pub fn affine_xdrop_views<S: Scorer, HV: SeqView, VV: SeqView>(
     let mut prev2 = vec![Cell::DEAD; delta + 2];
     let mut prev = vec![Cell::DEAD; delta + 2];
     let mut cur = vec![Cell::DEAD; delta + 2];
-    prev[0] = Cell { h: 0, e: NEG_INF, f: NEG_INF };
+    prev[0] = Cell {
+        h: 0,
+        e: NEG_INF,
+        f: NEG_INF,
+    };
     let mut meta_prev = (0usize, 0usize, 0usize); // (cand_lo, cand_hi, geo_lo)
     let mut meta_prev2 = (1usize, 0usize, 0usize);
 
@@ -149,9 +157,16 @@ pub fn affine_xdrop_views<S: Scorer, HV: SeqView, VV: SeqView>(
             let j = d - i;
             // E: gap in V — left neighbour (i, j−1) on diag d−1.
             let left = get(&prev, meta_prev, i);
-            let e = left.h.saturating_add(oe).max(left.e.saturating_add(gaps.ext));
+            let e = left
+                .h
+                .saturating_add(oe)
+                .max(left.e.saturating_add(gaps.ext));
             // F: gap in H — up neighbour (i−1, j) on diag d−1.
-            let up = if i >= 1 { get(&prev, meta_prev, i - 1) } else { Cell::DEAD };
+            let up = if i >= 1 {
+                get(&prev, meta_prev, i - 1)
+            } else {
+                Cell::DEAD
+            };
             let f = up.h.saturating_add(oe).max(up.f.saturating_add(gaps.ext));
             // H: substitution — diagonal neighbour on diag d−2.
             let hh = if i >= 1 && j >= 1 {
@@ -164,7 +179,11 @@ pub fn affine_xdrop_views<S: Scorer, HV: SeqView, VV: SeqView>(
             } else {
                 NEG_INF
             };
-            let mut cell = Cell { h: hh.max(e).max(f), e, f };
+            let mut cell = Cell {
+                h: hh.max(e).max(f),
+                e,
+                f,
+            };
             stats.cells_computed += 1;
             if !is_dropped(cell.best()) && cell.best() < t_best - x {
                 cell = Cell::DEAD;
@@ -178,7 +197,11 @@ pub fn affine_xdrop_views<S: Scorer, HV: SeqView, VV: SeqView>(
                 if !is_dropped(cell.h) {
                     t_new = t_new.max(cell.h);
                     if cell.h > best.best_score {
-                        best = AlignResult { best_score: cell.h, end_h: j, end_v: i };
+                        best = AlignResult {
+                            best_score: cell.h,
+                            end_h: j,
+                            end_v: i,
+                        };
                     }
                 }
             }
@@ -196,7 +219,10 @@ pub fn affine_xdrop_views<S: Scorer, HV: SeqView, VV: SeqView>(
         meta_prev2 = meta_prev;
         meta_prev = (cand_lo, cand_hi, geo_lo);
     }
-    AlignOutput { result: best, stats }
+    AlignOutput {
+        result: best,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -221,7 +247,9 @@ mod tests {
         hm[0] = 0;
         let mut best = 0i32;
         for j in 1..=m {
-            em[j] = hm[j - 1].saturating_add(oe).max(em[j - 1].saturating_add(gaps.ext));
+            em[j] = hm[j - 1]
+                .saturating_add(oe)
+                .max(em[j - 1].saturating_add(gaps.ext));
             hm[j] = em[j];
             best = best.max(hm[j]);
         }
@@ -232,10 +260,12 @@ mod tests {
             hm[r] = fm[r];
             best = best.max(hm[r]);
             for j in 1..=m {
-                em[r + j] =
-                    hm[r + j - 1].saturating_add(oe).max(em[r + j - 1].saturating_add(gaps.ext));
-                fm[r + j] =
-                    hm[p + j].saturating_add(oe).max(fm[p + j].saturating_add(gaps.ext));
+                em[r + j] = hm[r + j - 1]
+                    .saturating_add(oe)
+                    .max(em[r + j - 1].saturating_add(gaps.ext));
+                fm[r + j] = hm[p + j]
+                    .saturating_add(oe)
+                    .max(fm[p + j].saturating_add(gaps.ext));
                 let diag = if hm[p + j - 1] <= NEG_INF / 2 {
                     NEG_INF
                 } else {
@@ -317,8 +347,13 @@ mod tests {
             }
             // open = 0 makes affine degenerate to linear; with a
             // generous X both kernels see the same search space.
-            let aff =
-                affine_xdrop(&h, &v, &sc(), AffineGaps::linear(-1), XDropParams::new(10_000));
+            let aff = affine_xdrop(
+                &h,
+                &v,
+                &sc(),
+                AffineGaps::linear(-1),
+                XDropParams::new(10_000),
+            );
             let lin = xdrop3::align(&h, &v, &sc(), XDropParams::new(10_000));
             assert_eq!(aff.result.best_score, lin.result.best_score);
         }

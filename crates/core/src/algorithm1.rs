@@ -141,8 +141,11 @@ pub fn algorithm1_views<S: Scorer, HV: SeqView, VV: SeqView>(
                 _ => <i32 as ScoreTy>::neg_inf(),
             }
         };
-        let mut wlast =
-            if lo >= 1 { read1(&a1, lo - 1) } else { <i32 as ScoreTy>::neg_inf() };
+        let mut wlast = if lo >= 1 {
+            read1(&a1, lo - 1)
+        } else {
+            <i32 as ScoreTy>::neg_inf()
+        };
 
         let mut t_new = t_prime;
         let (mut new_lo, mut new_hi) = (usize::MAX, 0usize);
@@ -184,7 +187,11 @@ pub fn algorithm1_views<S: Scorer, HV: SeqView, VV: SeqView>(
                 // l.19.
                 t_new = t_new.max(score);
                 if score > best.best_score {
-                    best = AlignResult { best_score: score, end_h: j, end_v: i };
+                    best = AlignResult {
+                        best_score: score,
+                        end_h: j,
+                        end_v: i,
+                    };
                 }
             }
         }
@@ -206,7 +213,10 @@ pub fn algorithm1_views<S: Scorer, HV: SeqView, VV: SeqView>(
         std::mem::swap(&mut base1, &mut base2);
         std::mem::swap(&mut live1, &mut live2);
     }
-    AlignOutput { result: best, stats }
+    AlignOutput {
+        result: best,
+        stats,
+    }
 }
 
 #[cfg(test)]

@@ -73,9 +73,7 @@ impl Alphabet {
                 3 => b'T',
                 _ => b'N',
             },
-            Alphabet::Protein => {
-                PROTEIN_ORDER.get(code as usize).copied().unwrap_or(b'X')
-            }
+            Alphabet::Protein => PROTEIN_ORDER.get(code as usize).copied().unwrap_or(b'X'),
         }
     }
 
@@ -154,7 +152,13 @@ mod tests {
     #[test]
     fn dna_rejects_garbage() {
         let err = Alphabet::Dna.encode(b"ACQT").unwrap_err();
-        assert_eq!(err, AlignError::InvalidSymbol { byte: b'Q', position: 2 });
+        assert_eq!(
+            err,
+            AlignError::InvalidSymbol {
+                byte: b'Q',
+                position: 2
+            }
+        );
     }
 
     #[test]
@@ -166,7 +170,10 @@ mod tests {
 
     #[test]
     fn protein_case_insensitive() {
-        assert_eq!(Alphabet::Protein.encode_byte(b'w'), Alphabet::Protein.encode_byte(b'W'));
+        assert_eq!(
+            Alphabet::Protein.encode_byte(b'w'),
+            Alphabet::Protein.encode_byte(b'W')
+        );
     }
 
     #[test]

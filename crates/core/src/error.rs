@@ -44,7 +44,11 @@ pub enum AlignError {
 impl fmt::Display for AlignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AlignError::BandExceeded { needed, delta_b, antidiagonal } => write!(
+            AlignError::BandExceeded {
+                needed,
+                delta_b,
+                antidiagonal,
+            } => write!(
                 f,
                 "band overflow on antidiagonal {antidiagonal}: needed width {needed} \
                  but δ_b = {delta_b}"
@@ -70,14 +74,24 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = AlignError::BandExceeded { needed: 100, delta_b: 64, antidiagonal: 42 };
+        let e = AlignError::BandExceeded {
+            needed: 100,
+            delta_b: 64,
+            antidiagonal: 42,
+        };
         let s = e.to_string();
         assert!(s.contains("100") && s.contains("64") && s.contains("42"));
 
-        let e = AlignError::InvalidSymbol { byte: 0x58, position: 7 };
+        let e = AlignError::InvalidSymbol {
+            byte: 0x58,
+            position: 7,
+        };
         assert!(e.to_string().contains("0x58"));
 
-        let e = AlignError::SeedOutOfBounds { seed: (10, 20), lens: (5, 5) };
+        let e = AlignError::SeedOutOfBounds {
+            seed: (10, 20),
+            lens: (5, 5),
+        };
         assert!(e.to_string().contains("h=10"));
 
         let e = AlignError::InvalidConfig("δ_b must be nonzero");

@@ -107,7 +107,12 @@ impl Extender {
     /// Creates an extender with the given X-Drop parameters and
     /// kernel backend.
     pub fn new(params: XDropParams, backend: Backend) -> Self {
-        Self { params, backend, ws2: xdrop2::Workspace::new(), ws3: xdrop3::Workspace::new() }
+        Self {
+            params,
+            backend,
+            ws2: xdrop2::Workspace::new(),
+            ws3: xdrop3::Workspace::new(),
+        }
     }
 
     /// The configured X-Drop parameters.
@@ -170,8 +175,14 @@ impl Extender {
             seed_score,
             left,
             right,
-            h_span: (seed.h_pos - left.result.end_h, seed.h_pos + seed.k + right.result.end_h),
-            v_span: (seed.v_pos - left.result.end_v, seed.v_pos + seed.k + right.result.end_v),
+            h_span: (
+                seed.h_pos - left.result.end_h,
+                seed.h_pos + seed.k + right.result.end_h,
+            ),
+            v_span: (
+                seed.v_pos - left.result.end_v,
+                seed.v_pos + seed.k + right.result.end_v,
+            ),
         })
     }
 
@@ -296,8 +307,15 @@ mod tests {
     #[test]
     fn out_of_bounds_seed_rejected() {
         let s = encode_dna(b"ACGT");
-        let err = extend_seed(&s, &s, SeedMatch::new(2, 2, 4), &sc(), params(), BandPolicy::Grow(8))
-            .unwrap_err();
+        let err = extend_seed(
+            &s,
+            &s,
+            SeedMatch::new(2, 2, 4),
+            &sc(),
+            params(),
+            BandPolicy::Grow(8),
+        )
+        .unwrap_err();
         assert!(matches!(err, AlignError::SeedOutOfBounds { .. }));
     }
 
@@ -308,8 +326,15 @@ mod tests {
         let v = encode_dna(b"CCCCCCCGTCGTGGGGGGG");
         let seed = SeedMatch::new(7, 6, 6);
         assert_eq!(&h[7..13], &v[6..12]);
-        let out = extend_seed(&h, &v, seed, &sc(), XDropParams::new(2), BandPolicy::Grow(8))
-            .unwrap();
+        let out = extend_seed(
+            &h,
+            &v,
+            seed,
+            &sc(),
+            XDropParams::new(2),
+            BandPolicy::Grow(8),
+        )
+        .unwrap();
         assert_eq!(out.score, 6);
         assert_eq!(out.h_span, (7, 13));
         assert_eq!(out.v_span, (6, 12));
@@ -345,9 +370,15 @@ mod tests {
     #[test]
     fn stats_merge_left_right() {
         let s = encode_dna(b"ACGTACGTACGTACGTACGT");
-        let out =
-            extend_seed(&s, &s, SeedMatch::new(8, 8, 4), &sc(), params(), BandPolicy::Grow(8))
-                .unwrap();
+        let out = extend_seed(
+            &s,
+            &s,
+            SeedMatch::new(8, 8, 4),
+            &sc(),
+            params(),
+            BandPolicy::Grow(8),
+        )
+        .unwrap();
         let merged = out.stats();
         assert_eq!(
             merged.cells_computed,

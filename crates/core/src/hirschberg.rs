@@ -61,7 +61,12 @@ pub fn hirschberg<S: Scorer>(h: &[u8], v: &[u8], scorer: &S) -> Alignment {
     let mut ops = Vec::with_capacity(h.len() + v.len());
     solve(h, v, scorer, &mut ops);
     let score = score_ops(h, v, scorer, &ops);
-    Alignment { score, ops, start: (0, 0), end: (h.len(), v.len()) }
+    Alignment {
+        score,
+        ops,
+        start: (0, 0),
+        end: (h.len(), v.len()),
+    }
 }
 
 fn score_ops<S: Scorer>(h: &[u8], v: &[u8], scorer: &S, ops: &[AlignOp]) -> i32 {
@@ -183,8 +188,16 @@ mod tests {
             let lin = hirschberg(&h, &v, &sc());
             assert_eq!(lin.score, full.score, "h={hl} v={vl}");
             // Path consumes both sequences entirely.
-            let hc = lin.ops.iter().filter(|o| !matches!(o, AlignOp::InsertV)).count();
-            let vc = lin.ops.iter().filter(|o| !matches!(o, AlignOp::InsertH)).count();
+            let hc = lin
+                .ops
+                .iter()
+                .filter(|o| !matches!(o, AlignOp::InsertV))
+                .count();
+            let vc = lin
+                .ops
+                .iter()
+                .filter(|o| !matches!(o, AlignOp::InsertH))
+                .count();
             assert_eq!((hc, vc), (h.len(), v.len()));
         }
     }

@@ -108,13 +108,19 @@ pub struct XDropParams {
 impl XDropParams {
     /// X-Drop parameters with threshold `x` and no iteration cap.
     pub fn new(x: i32) -> Self {
-        Self { x, max_antidiagonals: None }
+        Self {
+            x,
+            max_antidiagonals: None,
+        }
     }
 
     /// Effectively disables pruning, making X-Drop equivalent to the
     /// full semi-global extension (useful for testing; see Figure 2c).
     pub fn unbounded() -> Self {
-        Self { x: i32::MAX / 8, max_antidiagonals: None }
+        Self {
+            x: i32::MAX / 8,
+            max_antidiagonals: None,
+        }
     }
 
     /// Limits the number of antidiagonal sweeps.

@@ -50,7 +50,11 @@ impl PackedSeq {
             let off = (idx % per_word) as u32 * bits;
             data[w] |= (c as u64) << off;
         }
-        Self { data, len: codes.len(), bits }
+        Self {
+            data,
+            len: codes.len(),
+            bits,
+        }
     }
 
     /// Unpacks back into plain codes.

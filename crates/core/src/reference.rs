@@ -49,7 +49,10 @@ pub struct Alignment {
 impl Alignment {
     /// Number of substitution steps in the path.
     pub fn substitutions(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, AlignOp::Subst)).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, AlignOp::Subst))
+            .count()
     }
 
     /// Number of gap steps in the path.
@@ -116,8 +119,7 @@ pub fn needleman_wunsch<S: Scorer>(h: &[u8], v: &[u8], scorer: &S) -> Alignment 
     let (mut i, mut j) = (n, m);
     while i > 0 || j > 0 {
         let cur = dp[i * width + j];
-        if i > 0 && j > 0 && cur == dp[(i - 1) * width + (j - 1)] + scorer.sim(v[i - 1], h[j - 1])
-        {
+        if i > 0 && j > 0 && cur == dp[(i - 1) * width + (j - 1)] + scorer.sim(v[i - 1], h[j - 1]) {
             ops.push(AlignOp::Subst);
             i -= 1;
             j -= 1;
@@ -131,7 +133,12 @@ pub fn needleman_wunsch<S: Scorer>(h: &[u8], v: &[u8], scorer: &S) -> Alignment 
         }
     }
     ops.reverse();
-    Alignment { score: dp[n * width + m], ops, start: (0, 0), end: (m, n) }
+    Alignment {
+        score: dp[n * width + m],
+        ops,
+        start: (0, 0),
+        end: (m, n),
+    }
 }
 
 /// Local (Smith-Waterman) alignment of `h` against `v` with linear
@@ -176,7 +183,12 @@ pub fn smith_waterman<S: Scorer>(h: &[u8], v: &[u8], scorer: &S) -> Alignment {
         }
     }
     ops.reverse();
-    Alignment { score: best, ops, start: (j, i), end: (best_j, best_i) }
+    Alignment {
+        score: best,
+        ops,
+        start: (j, i),
+        end: (best_j, best_i),
+    }
 }
 
 /// Semi-global extension without pruning: the alignment is anchored
@@ -201,10 +213,13 @@ pub fn extend_full<S: Scorer>(h: &[u8], v: &[u8], scorer: &S) -> AlignOutput {
         let cand_d = i + j;
         let cur_d = best.end_antidiagonal();
         if score > best.best_score
-            || (score == best.best_score
-                && (cand_d < cur_d || (cand_d == cur_d && i < best.end_v)))
+            || (score == best.best_score && (cand_d < cur_d || (cand_d == cur_d && i < best.end_v)))
         {
-            *best = AlignResult { best_score: score, end_h: j, end_v: i };
+            *best = AlignResult {
+                best_score: score,
+                end_h: j,
+                end_v: i,
+            };
         }
     };
     for j in 0..=m {
@@ -311,8 +326,16 @@ pub fn xdrop_full_matrix_views<S: Scorer, HV: SeqView, VV: SeqView>(
             } else {
                 NEG_INF
             };
-            let left = if j >= 1 { dp[i * width + (j - 1)].saturating_add(gap) } else { NEG_INF };
-            let up = if i >= 1 { dp[(i - 1) * width + j].saturating_add(gap) } else { NEG_INF };
+            let left = if j >= 1 {
+                dp[i * width + (j - 1)].saturating_add(gap)
+            } else {
+                NEG_INF
+            };
+            let up = if i >= 1 {
+                dp[(i - 1) * width + j].saturating_add(gap)
+            } else {
+                NEG_INF
+            };
             let mut score = diag.max(left).max(up);
             stats.cells_computed += 1;
             if !is_dropped(score) && score < t_best - x {
@@ -326,7 +349,11 @@ pub fn xdrop_full_matrix_views<S: Scorer, HV: SeqView, VV: SeqView>(
                 new_hi = new_hi.max(i);
                 t_new = t_new.max(score);
                 if score > best.best_score {
-                    best = AlignResult { best_score: score, end_h: j, end_v: i };
+                    best = AlignResult {
+                        best_score: score,
+                        end_h: j,
+                        end_v: i,
+                    };
                 }
             }
         }
@@ -339,7 +366,10 @@ pub fn xdrop_full_matrix_views<S: Scorer, HV: SeqView, VV: SeqView>(
         stats.delta_w = stats.delta_w.max(hi - lo + 1);
         t_best = t_new;
     }
-    AlignOutput { result: best, stats }
+    AlignOutput {
+        result: best,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -471,8 +501,12 @@ mod tests {
     #[test]
     fn xdrop_max_antidiagonal_cap() {
         let s = encode_dna(b"ACGTACGTACGTACGT");
-        let out =
-            xdrop_full_matrix(&s, &s, &sc(), XDropParams::new(10).with_max_antidiagonals(4));
+        let out = xdrop_full_matrix(
+            &s,
+            &s,
+            &sc(),
+            XDropParams::new(10).with_max_antidiagonals(4),
+        );
         assert_eq!(out.stats.antidiagonals, 4);
         assert!(out.result.best_score <= 4);
     }

@@ -30,7 +30,11 @@ pub trait Scorer {
     /// differ.
     fn seed_score(&self, seed_h: &[u8], seed_v: &[u8]) -> i32 {
         debug_assert_eq!(seed_h.len(), seed_v.len());
-        seed_h.iter().zip(seed_v).map(|(&a, &b)| self.sim(a, b)).sum()
+        seed_h
+            .iter()
+            .zip(seed_v)
+            .map(|(&a, &b)| self.sim(a, b))
+            .sum()
     }
 }
 
@@ -52,7 +56,11 @@ impl MatchMismatch {
     /// Creates a scheme; `mat` should be positive, `mis` and `gap`
     /// negative.
     pub fn new(mat: i32, mis: i32, gap: i32) -> Self {
-        Self { match_score: mat, mismatch_score: mis, gap_penalty: gap }
+        Self {
+            match_score: mat,
+            mismatch_score: mis,
+            gap_penalty: gap,
+        }
     }
 
     /// The paper's DNA defaults: `+1 / −1 / −1`.
@@ -169,10 +177,7 @@ mod tests {
     fn blosum62_is_symmetric() {
         for a in 0..PROTEIN_CODES {
             for b in 0..PROTEIN_CODES {
-                assert_eq!(
-                    BLOSUM62[a][b], BLOSUM62[b][a],
-                    "asymmetric at ({a},{b})"
-                );
+                assert_eq!(BLOSUM62[a][b], BLOSUM62[b][a], "asymmetric at ({a},{b})");
             }
         }
     }

@@ -21,7 +21,11 @@ pub struct AlignResult {
 impl AlignResult {
     /// The empty extension: score 0 at the origin.
     pub fn empty() -> Self {
-        Self { best_score: 0, end_h: 0, end_v: 0 }
+        Self {
+            best_score: 0,
+            end_h: 0,
+            end_v: 0,
+        }
     }
 
     /// Antidiagonal index at which the best score was found.
@@ -125,14 +129,21 @@ mod tests {
 
     #[test]
     fn computed_fraction() {
-        let s = AlignStats { cells_computed: 50, ..Default::default() };
+        let s = AlignStats {
+            cells_computed: 50,
+            ..Default::default()
+        };
         assert!((s.computed_fraction(10, 10) - 0.5).abs() < 1e-12);
         assert_eq!(s.computed_fraction(0, 10), 0.0);
     }
 
     #[test]
     fn memory_reduction() {
-        let s = AlignStats { delta: 1000, work_bytes: 2 * 100 * 4, ..Default::default() };
+        let s = AlignStats {
+            delta: 1000,
+            work_bytes: 2 * 100 * 4,
+            ..Default::default()
+        };
         // 3*1000*4 / (2*100*4) = 15×
         assert!((s.memory_reduction_vs_3delta() - 15.0).abs() < 1e-12);
     }

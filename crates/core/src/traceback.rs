@@ -36,7 +36,11 @@ struct DiagRow {
 
 impl DiagRow {
     fn new(lo: usize, len: usize) -> Self {
-        Self { lo, dirs: vec![0u8; len.div_ceil(4)], len }
+        Self {
+            lo,
+            dirs: vec![0u8; len.div_ceil(4)],
+            len,
+        }
     }
 
     #[inline]
@@ -178,7 +182,11 @@ pub fn xdrop_traceback_views<S: Scorer, HV: SeqView, VV: SeqView>(
                 new_hi = new_hi.max(i);
                 t_new = t_new.max(score);
                 if score > best.best_score {
-                    best = AlignResult { best_score: score, end_h: j, end_v: i };
+                    best = AlignResult {
+                        best_score: score,
+                        end_h: j,
+                        end_v: i,
+                    };
                 }
             }
         }
@@ -202,7 +210,11 @@ pub fn xdrop_traceback_views<S: Scorer, HV: SeqView, VV: SeqView>(
     let (mut i, mut j) = (best.end_v, best.end_h);
     while i + j > 0 {
         let d = i + j;
-        let dir = if d >= 1 && d - 1 < rows.len() { rows[d - 1].get(i) } else { DIR_STOP };
+        let dir = if d >= 1 && d - 1 < rows.len() {
+            rows[d - 1].get(i)
+        } else {
+            DIR_STOP
+        };
         match dir {
             DIR_DIAG => {
                 ops.push(AlignOp::Subst);
@@ -229,7 +241,13 @@ pub fn xdrop_traceback_views<S: Scorer, HV: SeqView, VV: SeqView>(
         start: (0, 0),
         end: (best.end_h, best.end_v),
     };
-    (AlignOutput { result: best, stats }, alignment)
+    (
+        AlignOutput {
+            result: best,
+            stats,
+        },
+        alignment,
+    )
 }
 
 /// Recomputes an alignment's score from its operations — used to
@@ -292,7 +310,10 @@ mod tests {
         let (out, aln) = xdrop_align_with_traceback(&h, &v, &sc(), XDropParams::new(10));
         assert_eq!(out.result.best_score, 20 - 1);
         assert_eq!(aln.gaps(), 1);
-        assert_eq!(score_of_path(&Fwd(&h), &Fwd(&v), &sc(), &aln), out.result.best_score);
+        assert_eq!(
+            score_of_path(&Fwd(&h), &Fwd(&v), &sc(), &aln),
+            out.result.best_score
+        );
     }
 
     #[test]
@@ -325,10 +346,16 @@ mod tests {
                     score_of_path(&Fwd(&h), &Fwd(&v), &sc(), &aln),
                     out.result.best_score
                 );
-                let h_consumed =
-                    aln.ops.iter().filter(|o| !matches!(o, AlignOp::InsertV)).count();
-                let v_consumed =
-                    aln.ops.iter().filter(|o| !matches!(o, AlignOp::InsertH)).count();
+                let h_consumed = aln
+                    .ops
+                    .iter()
+                    .filter(|o| !matches!(o, AlignOp::InsertV))
+                    .count();
+                let v_consumed = aln
+                    .ops
+                    .iter()
+                    .filter(|o| !matches!(o, AlignOp::InsertH))
+                    .count();
                 assert_eq!(h_consumed, out.result.end_h);
                 assert_eq!(v_consumed, out.result.end_v);
             }

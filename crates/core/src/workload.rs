@@ -22,7 +22,10 @@ pub struct SeqSet {
 impl SeqSet {
     /// An empty pool.
     pub fn new(alphabet: Alphabet) -> Self {
-        Self { alphabet, seqs: Vec::new() }
+        Self {
+            alphabet,
+            seqs: Vec::new(),
+        }
     }
 
     /// Adds a sequence and returns its id.
@@ -54,7 +57,10 @@ impl SeqSet {
 
     /// Iterates over `(id, sequence)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (SeqId, &[u8])> {
-        self.seqs.iter().enumerate().map(|(i, s)| (i as SeqId, s.as_slice()))
+        self.seqs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as SeqId, s.as_slice()))
     }
 
     /// Total bytes of sequence payload (1 byte per symbol, as stored
@@ -98,7 +104,10 @@ pub struct Workload {
 impl Workload {
     /// An empty workload.
     pub fn new(alphabet: Alphabet) -> Self {
-        Self { seqs: SeqSet::new(alphabet), comparisons: Vec::new() }
+        Self {
+            seqs: SeqSet::new(alphabet),
+            comparisons: Vec::new(),
+        }
     }
 
     /// Work estimate for one comparison: the paper batches by the
@@ -140,7 +149,8 @@ impl Workload {
                     lens: (0, 0),
                 });
             }
-            c.seed.validate(self.seqs.seq_len(c.h), self.seqs.seq_len(c.v))?;
+            c.seed
+                .validate(self.seqs.seq_len(c.h), self.seqs.seq_len(c.v))?;
         }
         Ok(())
     }
@@ -154,7 +164,8 @@ mod tests {
         let mut w = Workload::new(Alphabet::Dna);
         let a = w.seqs.push(vec![0; 10]);
         let b = w.seqs.push(vec![1; 20]);
-        w.comparisons.push(Comparison::new(a, b, SeedMatch::new(2, 4, 3)));
+        w.comparisons
+            .push(Comparison::new(a, b, SeedMatch::new(2, 4, 3)));
         w
     }
 
@@ -189,14 +200,16 @@ mod tests {
     fn validate_catches_bad_seed() {
         let mut w = tiny();
         assert!(w.validate().is_ok());
-        w.comparisons.push(Comparison::new(0, 1, SeedMatch::new(9, 0, 5)));
+        w.comparisons
+            .push(Comparison::new(0, 1, SeedMatch::new(9, 0, 5)));
         assert!(w.validate().is_err());
     }
 
     #[test]
     fn validate_catches_bad_id() {
         let mut w = tiny();
-        w.comparisons.push(Comparison::new(7, 1, SeedMatch::new(0, 0, 1)));
+        w.comparisons
+            .push(Comparison::new(7, 1, SeedMatch::new(0, 0, 1)));
         assert!(w.validate().is_err());
     }
 }

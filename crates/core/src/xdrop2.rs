@@ -70,7 +70,9 @@ pub struct Workspace<T: ScoreTy> {
 impl<T: ScoreTy> Workspace<T> {
     /// An empty workspace; buffers are sized on first use.
     pub fn new() -> Self {
-        Self { bufs: [Vec::new(), Vec::new()] }
+        Self {
+            bufs: [Vec::new(), Vec::new()],
+        }
     }
 
     fn ensure(&mut self, cap: usize) {
@@ -95,7 +97,10 @@ struct DiagMeta {
 }
 
 impl DiagMeta {
-    const EMPTY: DiagMeta = DiagMeta { cand_lo: 1, cand_hi: 0 };
+    const EMPTY: DiagMeta = DiagMeta {
+        cand_lo: 1,
+        cand_hi: 0,
+    };
 
     #[inline(always)]
     fn contains(&self, i: usize) -> bool {
@@ -161,7 +166,13 @@ pub fn align_views_ty<T: ScoreTy, S: Scorer, HV: SeqView, VV: SeqView>(
     let x = params.x;
 
     // bufs[d % 2] holds antidiagonal d; metas[] mirror that.
-    let mut metas = [DiagMeta { cand_lo: 0, cand_hi: 0 }, DiagMeta::EMPTY];
+    let mut metas = [
+        DiagMeta {
+            cand_lo: 0,
+            cand_hi: 0,
+        },
+        DiagMeta::EMPTY,
+    ];
     ws.bufs[0][0] = T::from_i32(0);
     // Degenerate-but-valid: the buffer at index 1 has never been
     // written; its meta is EMPTY so it is never read.
@@ -233,9 +244,9 @@ pub fn align_views_ty<T: ScoreTy, S: Scorer, HV: SeqView, VV: SeqView>(
         let prev_idx = 1 - cur_idx;
         let meta_prev2 = metas[cur_idx]; // antidiagonal d − 2 (same buffer)
         let meta_prev = metas[prev_idx]; // antidiagonal d − 1
-        // Slot re-basing offset between d and d − 2 (the paper's
-        // L1_inc + L2_inc combination). Monotone band bounds
-        // guarantee cand_lo ≥ meta_prev2.cand_lo.
+                                         // Slot re-basing offset between d and d − 2 (the paper's
+                                         // L1_inc + L2_inc combination). Monotone band bounds
+                                         // guarantee cand_lo ≥ meta_prev2.cand_lo.
         let shift = cand_lo - meta_prev2.cand_lo.min(cand_lo);
         let in_place = shift == 0;
 
@@ -296,7 +307,11 @@ pub fn align_views_ty<T: ScoreTy, S: Scorer, HV: SeqView, VV: SeqView>(
                     new_best_i = i;
                 }
                 if s > best.best_score {
-                    best = AlignResult { best_score: s, end_h: d - i, end_v: i };
+                    best = AlignResult {
+                        best_score: s,
+                        end_h: d - i,
+                        end_v: i,
+                    };
                 }
             }
         }
@@ -311,7 +326,10 @@ pub fn align_views_ty<T: ScoreTy, S: Scorer, HV: SeqView, VV: SeqView>(
         stats.delta_w = stats.delta_w.max(live_hi - live_lo + 1);
         t_best = t_new;
     }
-    Ok(AlignOutput { result: best, stats })
+    Ok(AlignOutput {
+        result: best,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -349,7 +367,10 @@ mod tests {
             (b"ACGTACGTACGT", b"ACGTAACGTACGT"),
             (b"A", b"A"),
             (b"A", b"C"),
-            (b"ACGTACGTACGTACGTACGTACGTACGTACGT", b"ACGAACGTACGTACTTACGTACGAACGTACGT"),
+            (
+                b"ACGTACGTACGTACGTACGTACGTACGTACGT",
+                b"ACGAACGTACGTACTTACGTACGAACGTACGT",
+            ),
         ];
         for (h, v) in cases {
             let h = encode_dna(h);
@@ -367,10 +388,18 @@ mod tests {
         // With a huge X the band spans the whole matrix; δ_b = 2 must
         // overflow.
         let s = encode_dna(b"ACGTACGTACGTACGT");
-        let err = align(&s, &s, &sc(), XDropParams::new(10_000), BandPolicy::Exact(2))
-            .unwrap_err();
+        let err = align(
+            &s,
+            &s,
+            &sc(),
+            XDropParams::new(10_000),
+            BandPolicy::Exact(2),
+        )
+        .unwrap_err();
         match err {
-            AlignError::BandExceeded { needed, delta_b, .. } => {
+            AlignError::BandExceeded {
+                needed, delta_b, ..
+            } => {
                 assert!(needed > 2);
                 assert_eq!(delta_b, 2);
             }
@@ -420,7 +449,14 @@ mod tests {
     #[test]
     fn saturate_counts_clipped_cells() {
         let s = encode_dna(b"ACGTACGTACGTACGTACGTACGTACGTACGT");
-        let out = align(&s, &s, &sc(), XDropParams::new(10_000), BandPolicy::Saturate(3)).unwrap();
+        let out = align(
+            &s,
+            &s,
+            &sc(),
+            XDropParams::new(10_000),
+            BandPolicy::Saturate(3),
+        )
+        .unwrap();
         assert!(out.stats.cells_clipped > 0);
     }
 

@@ -31,7 +31,9 @@ pub struct Workspace<T: ScoreTy> {
 impl<T: ScoreTy> Workspace<T> {
     /// An empty workspace; buffers grow on first use.
     pub fn new() -> Self {
-        Self { bufs: [Vec::new(), Vec::new(), Vec::new()] }
+        Self {
+            bufs: [Vec::new(), Vec::new(), Vec::new()],
+        }
     }
 
     fn ensure(&mut self, delta: usize) {
@@ -53,7 +55,11 @@ struct DiagMeta {
 }
 
 impl DiagMeta {
-    const EMPTY: DiagMeta = DiagMeta { cand_lo: 1, cand_hi: 0, geo_lo: 0 };
+    const EMPTY: DiagMeta = DiagMeta {
+        cand_lo: 1,
+        cand_hi: 0,
+        geo_lo: 0,
+    };
 
     #[inline(always)]
     fn get<T: ScoreTy>(&self, buf: &[T], i: usize) -> T {
@@ -121,7 +127,11 @@ pub fn align_views_ty<T: ScoreTy, S: Scorer, HV: SeqView, VV: SeqView>(
 
     // Antidiagonal 0: the origin.
     b_prev[0] = T::from_i32(0);
-    let mut meta_prev = DiagMeta { cand_lo: 0, cand_hi: 0, geo_lo: 0 };
+    let mut meta_prev = DiagMeta {
+        cand_lo: 0,
+        cand_hi: 0,
+        geo_lo: 0,
+    };
     let mut meta_prev2 = DiagMeta::EMPTY;
 
     let mut best = AlignResult::empty();
@@ -148,7 +158,11 @@ pub fn align_views_ty<T: ScoreTy, S: Scorer, HV: SeqView, VV: SeqView>(
         if cand_lo > cand_hi {
             break;
         }
-        let meta_cur = DiagMeta { cand_lo, cand_hi, geo_lo };
+        let meta_cur = DiagMeta {
+            cand_lo,
+            cand_hi,
+            geo_lo,
+        };
 
         let mut t_new = t_best;
         let mut any_live = false;
@@ -166,7 +180,11 @@ pub fn align_views_ty<T: ScoreTy, S: Scorer, HV: SeqView, VV: SeqView>(
                 T::neg_inf()
             };
             let left = meta_prev.get(b_prev, i).add_i32(gap);
-            let up = if i >= 1 { meta_prev.get(b_prev, i - 1).add_i32(gap) } else { T::neg_inf() };
+            let up = if i >= 1 {
+                meta_prev.get(b_prev, i - 1).add_i32(gap)
+            } else {
+                T::neg_inf()
+            };
             let mut score = diag.maxv(left).maxv(up);
             stats.cells_computed += 1;
             if !score.is_dropped() && score.to_i32() < t_best - x {
@@ -181,7 +199,11 @@ pub fn align_views_ty<T: ScoreTy, S: Scorer, HV: SeqView, VV: SeqView>(
                 let s = score.to_i32();
                 t_new = t_new.max(s);
                 if s > best.best_score {
-                    best = AlignResult { best_score: s, end_h: j, end_v: i };
+                    best = AlignResult {
+                        best_score: s,
+                        end_h: j,
+                        end_v: i,
+                    };
                 }
             }
         }
@@ -200,7 +222,10 @@ pub fn align_views_ty<T: ScoreTy, S: Scorer, HV: SeqView, VV: SeqView>(
         meta_prev2 = meta_prev;
         meta_prev = meta_cur;
     }
-    AlignOutput { result: best, stats }
+    AlignOutput {
+        result: best,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -220,7 +245,10 @@ mod tests {
         let a = xdrop_full_matrix(h, v, &sc(), p);
         let b = align(h, v, &sc(), p);
         assert_eq!(a.result, b.result, "result mismatch for x={x}");
-        assert_eq!(a.stats.cells_computed, b.stats.cells_computed, "cells mismatch for x={x}");
+        assert_eq!(
+            a.stats.cells_computed, b.stats.cells_computed,
+            "cells mismatch for x={x}"
+        );
         assert_eq!(a.stats.antidiagonals, b.stats.antidiagonals);
         assert_eq!(a.stats.delta_w, b.stats.delta_w);
         assert_eq!(a.stats.cells_dropped, b.stats.cells_dropped);

@@ -243,7 +243,10 @@ fn regression_corpus_all_kernels_agree() {
             let c = xdrop2::align(&h, &v, &sc, p, BandPolicy::Grow(2)).unwrap();
             assert_eq!(a.result, b.result, "case {case} x {x}");
             assert_eq!(b.result, c.result, "case {case} x {x}");
-            assert_eq!(a.stats.cells_computed, c.stats.cells_computed, "case {case} x {x}");
+            assert_eq!(
+                a.stats.cells_computed, c.stats.cells_computed,
+                "case {case} x {x}"
+            );
         }
     }
 }

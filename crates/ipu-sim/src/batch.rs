@@ -42,7 +42,12 @@ impl BatchConfig {
     /// Defaults matching the paper's configuration (δ_b sized for
     /// X = 15-ish HiFi data, six threads, ~85 % of SRAM usable).
     pub fn new(delta_b: usize) -> Self {
-        Self { delta_b, threads: 6, sram_fraction: 0.85, max_load_per_tile: None }
+        Self {
+            delta_b,
+            threads: 6,
+            sram_fraction: 0.85,
+            max_load_per_tile: None,
+        }
     }
 
     /// Usable bytes per tile.
@@ -139,7 +144,11 @@ pub fn naive_batches(
             None => {
                 // Seal the batch and retry on a fresh one.
                 batches.push(Batch {
-                    tiles: tiles.iter().filter(|t| !t.units.is_empty()).cloned().collect(),
+                    tiles: tiles
+                        .iter()
+                        .filter(|t| !t.units.is_empty())
+                        .cloned()
+                        .collect(),
                 });
                 tiles = vec![TileAssignment::default(); spec.tiles];
                 tile_mem = vec![mem::tile_bytes(0, 0, cfg.threads, cfg.delta_b); spec.tiles];
@@ -160,8 +169,13 @@ pub fn naive_batches(
         }
     }
     if any {
-        batches
-            .push(Batch { tiles: tiles.iter().filter(|t| !t.units.is_empty()).cloned().collect() });
+        batches.push(Batch {
+            tiles: tiles
+                .iter()
+                .filter(|t| !t.units.is_empty())
+                .cloned()
+                .collect(),
+        });
     }
     batches
 }
@@ -193,7 +207,8 @@ mod tests {
         for i in 0..n {
             let h = w.seqs.push(vec![0; seq_len]);
             let v = w.seqs.push(vec![1; seq_len]);
-            w.comparisons.push(Comparison::new(h, v, SeedMatch::new(0, 0, 1)));
+            w.comparisons
+                .push(Comparison::new(h, v, SeedMatch::new(0, 0, 1)));
             units.push(WorkUnit {
                 cmp: i as u32,
                 side: None,
@@ -229,7 +244,11 @@ mod tests {
         let batches = naive_batches(&w, &units, &spec, &cfg);
         for b in &batches {
             for t in &b.tiles {
-                let bytes: usize = t.units.iter().map(|&u| unit_seq_bytes(&w, &units[u as usize])).sum();
+                let bytes: usize = t
+                    .units
+                    .iter()
+                    .map(|&u| unit_seq_bytes(&w, &units[u as usize]))
+                    .sum();
                 let total = mem::tile_bytes(bytes, t.units.len(), cfg.threads, cfg.delta_b);
                 assert!(total <= budget, "{total} > {budget}");
             }

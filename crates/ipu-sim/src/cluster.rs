@@ -9,12 +9,28 @@
 //! of transfer times exceeds the per-device compute time, adding
 //! IPUs stops helping — unless the graph partitioner shrinks the
 //! bytes per batch, which is exactly the Figure 7 result.
+//!
+//! The driver is an event-driven simulation: a min-heap of device
+//! fetch-engine events decides which device binds to the next queued
+//! batch at the moment it can start fetching (late binding, exactly
+//! the shared-queue pull model of the paper), while the shared host
+//! link serializes transfers and each device double-buffers. Kernel
+//! execution ([`run_batch_on_device`]) is off the scheduling
+//! critical path: batch reports are computed up front by a
+//! host-side thread pool ([`ClusterOptions::host_threads`]), which
+//! changes wall-clock only — modeled time is bit-identical for any
+//! thread count. The scheduler can also record a Chrome-trace
+//! timeline of the run ([`crate::trace`]).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::batch::Batch;
 use crate::cost::{CostModel, OptFlags};
 use crate::device::{run_batch_on_device, BatchReport};
 use crate::exec::WorkUnit;
 use crate::spec::IpuSpec;
+use crate::trace::{ChromeTrace, TraceBuilder};
 
 /// Outcome of a cluster run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -32,6 +48,14 @@ pub struct ClusterReport {
     pub link_busy_fraction: f64,
     /// Mean device compute-busy fraction.
     pub device_busy_fraction: f64,
+    /// Median batch queue wait: seconds from submission (t = 0; all
+    /// batches are fully preprocessed up front, §4.4) until the
+    /// batch's host-link transfer began.
+    pub queue_wait_p50: f64,
+    /// 99th-percentile batch queue wait.
+    pub queue_wait_p99: f64,
+    /// Per-device compute-busy fraction of the makespan.
+    pub per_device_busy: Vec<f64>,
     /// Per-batch device reports, in submission order.
     pub batch_reports: Vec<BatchReport>,
 }
@@ -47,13 +71,235 @@ impl ClusterReport {
     }
 }
 
+/// Host-side options of the cluster driver. These change how fast
+/// the simulation runs and what it records — never the modeled
+/// timing.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterOptions {
+    /// Threads of the host-side pool that runs the batch kernels
+    /// before scheduling. The schedule (and every report field) is
+    /// bit-identical for any value.
+    pub host_threads: usize,
+    /// Record a Chrome-trace timeline of the run.
+    pub collect_trace: bool,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            host_threads: 1,
+            collect_trace: false,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// One device's fetch engine becoming free, keyed for the min-heap
+/// (earliest free first, ties to the lowest device id — the same
+/// order the static driver's argmin scan produced).
+#[derive(Debug, Clone, Copy)]
+struct FetchFree {
+    at: f64,
+    device: usize,
+}
+
+impl PartialEq for FetchFree {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for FetchFree {}
+impl PartialOrd for FetchFree {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FetchFree {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at
+            .total_cmp(&other.at)
+            .then(self.device.cmp(&other.device))
+    }
+}
+
+/// Runs every batch's kernels on the host pool, preserving batch
+/// order. Deterministic for any thread count (contiguous chunks,
+/// concatenated in order — the same pattern as
+/// [`crate::exec::execute_workload`]).
+fn run_batches_pooled(
+    units: &[WorkUnit],
+    batches: &[Batch],
+    spec: &IpuSpec,
+    flags: &OptFlags,
+    cost: &CostModel,
+    host_threads: usize,
+) -> Vec<BatchReport> {
+    let n = batches.len();
+    let threads = host_threads.clamp(1, 64).min(n.max(1));
+    if threads <= 1 || n < 2 {
+        return batches
+            .iter()
+            .map(|b| run_batch_on_device(units, b, spec, flags, cost))
+            .collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let pieces: Vec<Vec<BatchReport>> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            handles.push(s.spawn(move |_| {
+                batches[lo..hi]
+                    .iter()
+                    .map(|b| run_batch_on_device(units, b, spec, flags, cost))
+                    .collect::<Vec<BatchReport>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch kernel thread panicked"))
+            .collect()
+    })
+    .expect("scope");
+    pieces.into_iter().flatten().collect()
+}
+
 /// Runs `batches` on `devices` IPUs sharing one host link.
 ///
-/// Deterministic event simulation: batches are handed out in order
-/// to the device that can start fetching earliest; each device
-/// double-buffers (it may fetch batch *n+1* while computing batch
-/// *n*); the host link serializes all transfers.
+/// Event-driven deterministic simulation: devices pull batches from
+/// the shared FIFO queue at the moment their fetch engine frees up
+/// (late binding); each device double-buffers (it may fetch batch
+/// *n+1* while computing batch *n*); the host link serializes all
+/// transfers. Equivalent to [`run_cluster_opts`] with default
+/// options (serial host pool, no trace).
 pub fn run_cluster(
+    units: &[WorkUnit],
+    batches: &[Batch],
+    devices: usize,
+    spec: &IpuSpec,
+    flags: &OptFlags,
+    cost: &CostModel,
+) -> ClusterReport {
+    run_cluster_opts(
+        units,
+        batches,
+        devices,
+        spec,
+        flags,
+        cost,
+        &ClusterOptions::default(),
+    )
+    .0
+}
+
+/// [`run_cluster`] with host-side options: a kernel thread pool
+/// (wall-clock only; modeled time is bit-identical for any
+/// `host_threads`) and optional Chrome-trace recording.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cluster_opts(
+    units: &[WorkUnit],
+    batches: &[Batch],
+    devices: usize,
+    spec: &IpuSpec,
+    flags: &OptFlags,
+    cost: &CostModel,
+    opts: &ClusterOptions,
+) -> (ClusterReport, Option<ChromeTrace>) {
+    let devices = devices.max(1);
+    // Kernel execution off the critical path: all batch reports come
+    // from the host pool before the event loop starts.
+    let reports = run_batches_pooled(units, batches, spec, flags, cost, opts.host_threads);
+
+    let mut link_free = 0.0f64;
+    let mut link_busy = 0.0f64;
+    let mut compute_free = vec![0.0f64; devices];
+    let mut compute_busy = vec![0.0f64; devices];
+    let mut host_bytes = 0u64;
+    let mut queue_waits = Vec::with_capacity(reports.len());
+    let mut tracer = opts.collect_trace.then(|| TraceBuilder::new(devices));
+
+    // Min-heap of fetch-engine-free events: the device popped first
+    // is the one that can start fetching earliest, and it binds to
+    // the batch at the head of the FIFO queue only at that moment.
+    let mut fetch_events: BinaryHeap<Reverse<FetchFree>> = (0..devices)
+        .map(|d| Reverse(FetchFree { at: 0.0, device: d }))
+        .collect();
+
+    for (i, report) in reports.iter().enumerate() {
+        let Reverse(ev) = fetch_events.pop().expect("one event per device");
+        let d = ev.device;
+        let transfer_time = report.host_bytes as f64 / spec.host_link_bytes_per_s;
+        let start = ev.at.max(link_free);
+        let fetched = start + transfer_time;
+        link_free = fetched;
+        link_busy += transfer_time;
+        // Double buffering: the device's next fetch may begin as soon
+        // as this one completed; compute begins when both the data is
+        // there and the previous batch finished.
+        fetch_events.push(Reverse(FetchFree {
+            at: fetched,
+            device: d,
+        }));
+        let begin = fetched.max(compute_free[d]);
+        compute_free[d] = begin + report.device_seconds();
+        compute_busy[d] += report.device_seconds();
+        host_bytes += report.host_bytes;
+        queue_waits.push(start);
+        if let Some(tb) = tracer.as_mut() {
+            tb.link(i, start, fetched, report.host_bytes);
+            tb.fetch(d, i, start, fetched, start);
+            tb.compute(d, i, begin, compute_free[d]);
+        }
+    }
+
+    let total = compute_free
+        .iter()
+        .chain(std::iter::once(&link_free))
+        .fold(0.0f64, |acc, &t| acc.max(t));
+    let per_device_busy: Vec<f64> = compute_busy
+        .iter()
+        .map(|&b| if total > 0.0 { b / total } else { 0.0 })
+        .collect();
+    let device_busy_fraction = if total > 0.0 {
+        compute_busy.iter().sum::<f64>() / (total * devices as f64)
+    } else {
+        1.0
+    };
+    let mut sorted_waits = queue_waits;
+    sorted_waits.sort_by(f64::total_cmp);
+    let report = ClusterReport {
+        total_seconds: total,
+        devices,
+        batches: batches.len(),
+        host_bytes,
+        link_busy_fraction: if total > 0.0 { link_busy / total } else { 0.0 },
+        device_busy_fraction,
+        queue_wait_p50: percentile(&sorted_waits, 0.50),
+        queue_wait_p99: percentile(&sorted_waits, 0.99),
+        per_device_busy,
+        batch_reports: reports,
+    };
+    let trace = tracer.map(|tb| tb.finish(total));
+    (report, trace)
+}
+
+/// The pre-event-driven driver: a static in-order handout loop that
+/// scans all devices for the earliest fetch slot and runs every
+/// batch kernel serially on the critical path. Kept verbatim as the
+/// differential-testing oracle for [`run_cluster`] — the two must
+/// agree bit-for-bit on every report field.
+pub fn run_cluster_reference(
     units: &[WorkUnit],
     batches: &[Batch],
     devices: usize,
@@ -64,13 +310,12 @@ pub fn run_cluster(
     let devices = devices.max(1);
     let mut link_free = 0.0f64;
     let mut link_busy = 0.0f64;
-    // Per device: when its input stream is free, and when its
-    // compute unit is free.
     let mut fetch_free = vec![0.0f64; devices];
     let mut compute_free = vec![0.0f64; devices];
     let mut compute_busy = vec![0.0f64; devices];
     let mut reports = Vec::with_capacity(batches.len());
     let mut host_bytes = 0u64;
+    let mut queue_waits = Vec::with_capacity(batches.len());
 
     for batch in batches {
         let report = run_batch_on_device(units, batch, spec, flags, cost);
@@ -88,14 +333,12 @@ pub fn run_cluster(
         let fetched = start + transfer_time;
         link_free = fetched;
         link_busy += transfer_time;
-        // Double buffering: next fetch may begin as soon as this one
-        // completed; compute begins when both the data is there and
-        // the previous batch finished.
         fetch_free[d] = fetched;
         let begin = fetched.max(compute_free[d]);
         compute_free[d] = begin + report.device_seconds();
         compute_busy[d] += report.device_seconds();
         host_bytes += report.host_bytes;
+        queue_waits.push(start);
         reports.push(report);
     }
 
@@ -103,11 +346,17 @@ pub fn run_cluster(
         .iter()
         .chain(std::iter::once(&link_free))
         .fold(0.0f64, |acc, &t| acc.max(t));
+    let per_device_busy: Vec<f64> = compute_busy
+        .iter()
+        .map(|&b| if total > 0.0 { b / total } else { 0.0 })
+        .collect();
     let device_busy_fraction = if total > 0.0 {
         compute_busy.iter().sum::<f64>() / (total * devices as f64)
     } else {
         1.0
     };
+    let mut sorted_waits = queue_waits;
+    sorted_waits.sort_by(f64::total_cmp);
     ClusterReport {
         total_seconds: total,
         devices,
@@ -115,6 +364,9 @@ pub fn run_cluster(
         host_bytes,
         link_busy_fraction: if total > 0.0 { link_busy / total } else { 0.0 },
         device_busy_fraction,
+        queue_wait_p50: percentile(&sorted_waits, 0.50),
+        queue_wait_p99: percentile(&sorted_waits, 0.99),
+        per_device_busy,
         batch_reports: reports,
     }
 }
@@ -129,7 +381,11 @@ mod tests {
         WorkUnit {
             cmp: 0,
             side: None,
-            stats: AlignStats { cells_computed: cells, antidiagonals: 10, ..Default::default() },
+            stats: AlignStats {
+                cells_computed: cells,
+                antidiagonals: 10,
+                ..Default::default()
+            },
             score: 0,
             est_complexity: cells,
         }
@@ -141,7 +397,11 @@ mod tests {
         let units = vec![unit(cells)];
         let batches = (0..n)
             .map(|_| Batch {
-                tiles: vec![TileAssignment { units: vec![0], transfer_bytes: bytes, est_load: 0 }],
+                tiles: vec![TileAssignment {
+                    units: vec![0],
+                    transfer_bytes: bytes,
+                    est_load: 0,
+                }],
             })
             .collect();
         (units, batches)
@@ -225,6 +485,8 @@ mod tests {
         );
         assert_eq!(r.total_seconds, 0.0);
         assert_eq!(r.gcups(1_000_000), 0.0);
+        assert_eq!(r.queue_wait_p50, 0.0);
+        assert_eq!(r.queue_wait_p99, 0.0);
     }
 
     #[test]
@@ -241,5 +503,127 @@ mod tests {
         let g = r.gcups(4_000_000_000);
         assert!(g > 0.0);
         assert!((g - 4.0 / r.total_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queue_wait_percentiles_ordered() {
+        let (units, batches) = mk_batches(20, 1_000_000_000, 1_000_000);
+        let r = run_cluster(
+            &units,
+            &batches,
+            2,
+            &IpuSpec::gc200(),
+            &OptFlags::full(),
+            &CostModel::default(),
+        );
+        // Link-bound run: later batches wait longer, so the tail
+        // percentile dominates the median and per-device fractions
+        // are populated.
+        assert!(r.queue_wait_p99 >= r.queue_wait_p50);
+        assert!(r.queue_wait_p99 > 0.0);
+        assert_eq!(r.per_device_busy.len(), 2);
+        let mean: f64 = r.per_device_busy.iter().sum::<f64>() / 2.0;
+        assert!((mean - r.device_busy_fraction).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_spans_cover_the_run() {
+        let (units, batches) = mk_batches(8, 500_000_000, 10_000_000);
+        let opts = ClusterOptions {
+            host_threads: 1,
+            collect_trace: true,
+        };
+        let (r, trace) = run_cluster_opts(
+            &units,
+            &batches,
+            2,
+            &IpuSpec::gc200(),
+            &OptFlags::full(),
+            &CostModel::default(),
+            &opts,
+        );
+        let trace = trace.expect("trace requested");
+        let total_us = r.total_seconds * 1e6;
+        // One fetch, one link, one compute span per batch; all
+        // within the makespan.
+        assert_eq!(trace.events_in("fetch").count(), 8);
+        assert_eq!(trace.events_in("link").count(), 8);
+        assert_eq!(trace.events_in("compute").count(), 8);
+        for e in &trace.traceEvents {
+            assert!(
+                e.ts >= -1e-9 && e.end_ts() <= total_us * (1.0 + 1e-9),
+                "{e:?}"
+            );
+        }
+        // The serialized host link's spans must not overlap.
+        let mut link: Vec<_> = trace.events_in("link").collect();
+        link.sort_by(|a, b| a.ts.total_cmp(&b.ts));
+        for w in link.windows(2) {
+            assert!(w[0].end_ts() <= w[1].ts + 1e-6);
+        }
+        // Compute busy time in the trace matches the report.
+        for d in 0..2usize {
+            let busy_us: f64 = trace
+                .events_in("compute")
+                .filter(|e| e.pid == d as u32 + 1)
+                .map(|e| e.dur)
+                .sum();
+            assert!((busy_us / 1e6 - r.per_device_busy[d] * r.total_seconds).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn host_pool_is_modeled_time_invariant() {
+        let (units, batches) = mk_batches(13, 700_000_000, 5_000_000);
+        let spec = IpuSpec::gc200();
+        let flags = OptFlags::full();
+        let cost = CostModel::default();
+        let serial = run_cluster_opts(
+            &units,
+            &batches,
+            3,
+            &spec,
+            &flags,
+            &cost,
+            &ClusterOptions {
+                host_threads: 1,
+                collect_trace: false,
+            },
+        )
+        .0;
+        let pooled = run_cluster_opts(
+            &units,
+            &batches,
+            3,
+            &spec,
+            &flags,
+            &cost,
+            &ClusterOptions {
+                host_threads: 8,
+                collect_trace: false,
+            },
+        )
+        .0;
+        assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn event_driver_matches_reference_exactly() {
+        for (n, bytes, cells) in [
+            (1, 0, 0),
+            (7, 1_000, 50_000_000),
+            (32, 5_000_000_000, 1_000),
+            (16, 1_250_000_000, 3_200_000),
+        ] {
+            let (units, batches) = mk_batches(n, bytes, cells);
+            for d in [1usize, 2, 3, 8] {
+                let spec = IpuSpec::gc200();
+                let flags = OptFlags::full();
+                let cost = CostModel::default();
+                let new = run_cluster(&units, &batches, d, &spec, &flags, &cost);
+                let old = run_cluster_reference(&units, &batches, d, &spec, &flags, &cost);
+                assert_eq!(new, old, "n={n} bytes={bytes} cells={cells} d={d}");
+            }
+        }
     }
 }

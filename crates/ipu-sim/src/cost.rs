@@ -58,11 +58,27 @@ impl OptFlags {
     /// The cumulative ablation ladder of Table 1, in row order.
     pub fn ablation_ladder() -> Vec<(&'static str, OptFlags)> {
         let base = Self::single_tile();
-        let t1472 = OptFlags { all_tiles: true, ..base };
-        let th6 = OptFlags { threads: 6, ..t1472 };
-        let lr = OptFlags { lr_split: true, ..th6 };
-        let ws = OptFlags { work_stealing: true, steal_jitter: true, ..lr };
-        let di = OptFlags { dual_issue: true, ..ws };
+        let t1472 = OptFlags {
+            all_tiles: true,
+            ..base
+        };
+        let th6 = OptFlags {
+            threads: 6,
+            ..t1472
+        };
+        let lr = OptFlags {
+            lr_split: true,
+            ..th6
+        };
+        let ws = OptFlags {
+            work_stealing: true,
+            steal_jitter: true,
+            ..lr
+        };
+        let di = OptFlags {
+            dual_issue: true,
+            ..ws
+        };
         vec![
             ("Single tile", base),
             ("Scale to 1472 tiles", t1472),
@@ -121,7 +137,11 @@ mod tests {
     use super::*;
 
     fn stats(cells: u64, diags: u64) -> AlignStats {
-        AlignStats { cells_computed: cells, antidiagonals: diags, ..Default::default() }
+        AlignStats {
+            cells_computed: cells,
+            antidiagonals: diags,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -138,8 +158,12 @@ mod tests {
     #[test]
     fn cost_monotone_in_work() {
         let m = CostModel::default();
-        assert!(m.unit_instructions(&stats(10, 1), false) < m.unit_instructions(&stats(20, 1), false));
-        assert!(m.unit_instructions(&stats(10, 1), false) < m.unit_instructions(&stats(10, 9), false));
+        assert!(
+            m.unit_instructions(&stats(10, 1), false) < m.unit_instructions(&stats(20, 1), false)
+        );
+        assert!(
+            m.unit_instructions(&stats(10, 1), false) < m.unit_instructions(&stats(10, 9), false)
+        );
     }
 
     #[test]

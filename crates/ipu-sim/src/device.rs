@@ -102,7 +102,11 @@ mod tests {
         WorkUnit {
             cmp: 0,
             side: None,
-            stats: AlignStats { cells_computed: cells, antidiagonals: 10, ..Default::default() },
+            stats: AlignStats {
+                cells_computed: cells,
+                antidiagonals: 10,
+                ..Default::default()
+            },
             score: 0,
             est_complexity: cells,
         }
@@ -112,7 +116,11 @@ mod tests {
         Batch {
             tiles: tiles
                 .into_iter()
-                .map(|units| TileAssignment { units, transfer_bytes: 1_000, est_load: 0 })
+                .map(|units| TileAssignment {
+                    units,
+                    transfer_bytes: 1_000,
+                    est_load: 0,
+                })
                 .collect(),
         }
     }
@@ -124,10 +132,18 @@ mod tests {
         let spec = IpuSpec::gc200();
         let r = run_batch_on_device(&units, &b, &spec, &OptFlags::full(), &CostModel::default());
         let solo = batch_of(vec![vec![1]]);
-        let r_solo =
-            run_batch_on_device(&units, &solo, &spec, &OptFlags::full(), &CostModel::default());
+        let r_solo = run_batch_on_device(
+            &units,
+            &solo,
+            &spec,
+            &OptFlags::full(),
+            &CostModel::default(),
+        );
         assert_eq!(r.compute_cycles, r_solo.compute_cycles);
-        assert!(r.tile_utilization < 1.0, "imbalanced batch must show poor utilization");
+        assert!(
+            r.tile_utilization < 1.0,
+            "imbalanced batch must show poor utilization"
+        );
     }
 
     #[test]

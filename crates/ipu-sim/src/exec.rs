@@ -35,7 +35,12 @@ pub struct ExecConfig {
 impl ExecConfig {
     /// Defaults: X = 15, growing band from δ_b = 256, LR split on.
     pub fn new(params: XDropParams) -> Self {
-        Self { params, policy: BandPolicy::Grow(256), lr_split: true, host_threads: 8 }
+        Self {
+            params,
+            policy: BandPolicy::Grow(256),
+            lr_split: true,
+            host_threads: 8,
+        }
     }
 }
 
@@ -86,7 +91,11 @@ impl ExecOutput {
     /// Largest live band width observed — the `δ_w` a static `δ_b`
     /// must dominate for the whole workload.
     pub fn max_delta_w(&self) -> usize {
-        self.units.iter().map(|u| u.stats.delta_w).max().unwrap_or(0)
+        self.units
+            .iter()
+            .map(|u| u.stats.delta_w)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -106,7 +115,10 @@ fn exec_range<S: Scorer + Sync>(
         let out = ext.extend(h, v, c.seed, scorer)?;
         let mut stats = out.left.stats;
         stats.merge(&out.right.stats);
-        results.push(UnitResult { score: out.score, stats });
+        results.push(UnitResult {
+            score: out.score,
+            stats,
+        });
         if cfg.lr_split {
             let (lh, lv) = w.left_lens(&c);
             let (rh, rv) = w.right_lens(&c);
@@ -162,7 +174,10 @@ pub fn execute_workload<S: Scorer + Sync>(
             }
             handles.push(s.spawn(move |_| exec_range(w, scorer, cfg, lo..hi)));
         }
-        handles.into_iter().map(|h| h.join().expect("kernel thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("kernel thread panicked"))
+            .collect()
     })
     .expect("scope");
     let mut units = Vec::new();
@@ -202,7 +217,8 @@ mod tests {
             other[pos..pos + 17].copy_from_slice(&root[pos..pos + 17]);
             let h = w.seqs.push(root);
             let v = w.seqs.push(other);
-            w.comparisons.push(Comparison::new(h, v, SeedMatch::new(pos, pos, 17)));
+            w.comparisons
+                .push(Comparison::new(h, v, SeedMatch::new(pos, pos, 17)));
         }
         w
     }

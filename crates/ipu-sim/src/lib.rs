@@ -36,10 +36,14 @@ pub mod exec;
 pub mod mem;
 pub mod spec;
 pub mod tile;
+pub mod trace;
 
 pub use batch::{naive_batches, Batch, BatchConfig, TileAssignment};
-pub use cluster::{run_cluster, ClusterReport};
+pub use cluster::{
+    run_cluster, run_cluster_opts, run_cluster_reference, ClusterOptions, ClusterReport,
+};
 pub use cost::{CostModel, OptFlags};
 pub use device::{run_batch_on_device, BatchReport};
 pub use exec::{execute_workload, ExecConfig, UnitResult, WorkUnit};
 pub use spec::IpuSpec;
+pub use trace::{ChromeTrace, TraceBuilder, TraceEvent};

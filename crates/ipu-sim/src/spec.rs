@@ -43,7 +43,12 @@ impl IpuSpec {
 
     /// The BOW IPU (GC200 silicon at 1.85 GHz).
     pub fn bow() -> Self {
-        Self { name: "BOW", clock_hz: 1.85e9, exchange_bytes_per_s: 10.9e12, ..Self::gc200() }
+        Self {
+            name: "BOW",
+            clock_hz: 1.85e9,
+            exchange_bytes_per_s: 10.9e12,
+            ..Self::gc200()
+        }
     }
 
     /// Total SRAM of the device (918 MB for 1472 × 624 KB).

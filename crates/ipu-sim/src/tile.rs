@@ -46,7 +46,12 @@ pub struct TileReport {
 impl TileReport {
     /// An idle tile.
     pub fn idle(threads: usize) -> Self {
-        Self { cycles: 0, thread_instr: vec![0; threads], races: 0, duplicated_instr: 0 }
+        Self {
+            cycles: 0,
+            thread_instr: vec![0; threads],
+            races: 0,
+            duplicated_instr: 0,
+        }
     }
 
     /// Useful instructions (sum over threads minus duplicates).
@@ -87,7 +92,12 @@ fn schedule_round_robin(unit_instr: &[u64], threads: usize) -> TileReport {
     for (i, &cost) in unit_instr.iter().enumerate() {
         thread_instr[i % threads] += cost;
     }
-    TileReport { cycles: 0, thread_instr, races: 0, duplicated_instr: 0 }
+    TileReport {
+        cycles: 0,
+        thread_instr,
+        races: 0,
+        duplicated_instr: 0,
+    }
 }
 
 /// The design the paper *rejected* (§4.1): combine the six hardware
@@ -156,7 +166,12 @@ fn schedule_stealing(unit_instr: &[u64], threads: usize, jitter: bool) -> TileRe
             }
         }
     }
-    TileReport { cycles: 0, thread_instr: t, races, duplicated_instr: duplicated }
+    TileReport {
+        cycles: 0,
+        thread_instr: t,
+        races,
+        duplicated_instr: duplicated,
+    }
 }
 
 #[cfg(test)]
@@ -219,7 +234,12 @@ mod tests {
         let units = vec![500u64; 24];
         let no_jit = schedule_tile(&units, &spec(), &flags(6, true, false));
         let jit = schedule_tile(&units, &spec(), &flags(6, true, true));
-        assert!(no_jit.races > 10 * jit.races, "no-jitter {} vs jitter {}", no_jit.races, jit.races);
+        assert!(
+            no_jit.races > 10 * jit.races,
+            "no-jitter {} vs jitter {}",
+            no_jit.races,
+            jit.races
+        );
         assert!(no_jit.duplicated_instr > 0);
         assert_eq!(jit.races, 0);
     }

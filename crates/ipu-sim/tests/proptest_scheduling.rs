@@ -2,7 +2,7 @@
 //! layers: work conservation, makespan bounds, determinism, and
 //! monotonicity — the invariants every timing conclusion rests on.
 
-use ipu_sim::cluster::run_cluster;
+use ipu_sim::cluster::{run_cluster, run_cluster_reference};
 use ipu_sim::cost::{CostModel, OptFlags};
 use ipu_sim::spec::IpuSpec;
 use ipu_sim::tile::{schedule_supervisor, schedule_tile, TileReport};
@@ -164,6 +164,31 @@ mod cluster_props {
             let expect: u64 = batches.iter().map(|b| b.transfer_bytes()).sum();
             prop_assert_eq!(r.host_bytes, expect);
             prop_assert_eq!(r.batch_reports.len(), batches.len());
+        }
+
+        /// Differential oracle: the event-driven driver agrees with
+        /// the retained static-handout reference on every field —
+        /// identical batch reports and host bytes, and a makespan
+        /// that is never worse (here: exactly equal, since the two
+        /// compute the same schedule with the same float ops).
+        #[test]
+        fn event_driver_matches_static_reference(
+            n in 1usize..40,
+            per_batch in 1usize..8,
+            bytes in 0u64..50_000_000,
+            devices in 1usize..9,
+        ) {
+            let units = mk_units(n);
+            let batches = mk_batches(&units, per_batch, bytes);
+            let spec = IpuSpec::gc200();
+            let f = OptFlags::full();
+            let cost = CostModel::default();
+            let new = run_cluster(&units, &batches, devices, &spec, &f, &cost);
+            let old = run_cluster_reference(&units, &batches, devices, &spec, &f, &cost);
+            prop_assert!(new.total_seconds <= old.total_seconds + 1e-12);
+            prop_assert_eq!(&new.batch_reports, &old.batch_reports);
+            prop_assert_eq!(new.host_bytes, old.host_bytes);
+            prop_assert_eq!(new, old);
         }
     }
 }

@@ -65,7 +65,10 @@ impl IpuSystem {
 
     /// A GC200 system.
     pub fn gc200() -> Self {
-        Self { spec: IpuSpec::gc200(), ..Self::bow() }
+        Self {
+            spec: IpuSpec::gc200(),
+            ..Self::bow()
+        }
     }
 
     /// Sets the device count (the paper's `NUMBER_IPUS`).
@@ -96,13 +99,24 @@ impl IpuSystem {
             PlanConfig::naive(self.delta_b).with_min_batches(self.min_batches)
         };
         let batches = plan_batches(w, &exec.units, &self.spec, &plan);
-        let cluster: ClusterReport =
-            run_cluster(&exec.units, &batches, self.devices, &self.spec, &self.flags, &self.cost);
+        let cluster: ClusterReport = run_cluster(
+            &exec.units,
+            &batches,
+            self.devices,
+            &self.spec,
+            &self.flags,
+            &self.cost,
+        );
         let theoretical = w.theoretical_cells();
         Ok(SystemReport {
             results: exec.results,
             cells_computed: exec.units.iter().map(|u| u.stats.cells_computed).sum(),
-            max_delta_w: exec.units.iter().map(|u| u.stats.delta_w).max().unwrap_or(0),
+            max_delta_w: exec
+                .units
+                .iter()
+                .map(|u| u.stats.delta_w)
+                .max()
+                .unwrap_or(0),
             seconds: cluster.total_seconds,
             gcups: cluster.gcups(theoretical),
             batches: batches.len(),
@@ -158,7 +172,8 @@ mod tests {
             other[pos..pos + 17].copy_from_slice(&root[pos..pos + 17]);
             let h = w.seqs.push(root);
             let v = w.seqs.push(other);
-            w.comparisons.push(Comparison::new(h, v, SeedMatch::new(pos, pos, 17)));
+            w.comparisons
+                .push(Comparison::new(h, v, SeedMatch::new(pos, pos, 17)));
         }
         w
     }
@@ -193,7 +208,12 @@ mod tests {
         let w = workload();
         let mut sys = IpuSystem::bow();
         sys.policy = BandPolicy::Exact(2);
-        let err = sys.align(&w, &MatchMismatch::dna_default(), 1000).unwrap_err();
-        assert!(matches!(err, xdrop_core::error::AlignError::BandExceeded { .. }));
+        let err = sys
+            .align(&w, &MatchMismatch::dna_default(), 1000)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            xdrop_core::error::AlignError::BandExceeded { .. }
+        ));
     }
 }

@@ -52,7 +52,11 @@ impl ComparisonGraph {
                 cursor[c.v as usize] += 1;
             }
         }
-        Self { offsets, edges, n_comparisons: w.comparisons.len() }
+        Self {
+            offsets,
+            edges,
+            n_comparisons: w.comparisons.len(),
+        }
     }
 
     /// Number of vertices (sequences).
@@ -120,7 +124,8 @@ mod tests {
     fn parallel_edges_kept() {
         let mut w = triangle();
         // Second seed between 0 and 1.
-        w.comparisons.push(Comparison::new(0, 1, SeedMatch::new(2, 2, 1)));
+        w.comparisons
+            .push(Comparison::new(0, 1, SeedMatch::new(2, 2, 1)));
         let g = ComparisonGraph::build(&w);
         assert_eq!(g.n_edges(), 4);
         assert_eq!(g.degree(0), 3);
@@ -131,7 +136,8 @@ mod tests {
     fn self_loop_counted_once() {
         let mut w = Workload::new(Alphabet::Dna);
         w.seqs.push(vec![0; 10]);
-        w.comparisons.push(Comparison::new(0, 0, SeedMatch::new(0, 0, 1)));
+        w.comparisons
+            .push(Comparison::new(0, 0, SeedMatch::new(0, 0, 1)));
         let g = ComparisonGraph::build(&w);
         assert_eq!(g.degree(0), 1);
         assert_eq!(g.neighbours(0), &[(0, 0)]);

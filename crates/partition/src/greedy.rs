@@ -37,7 +37,10 @@ struct Builder {
 
 impl Builder {
     fn new(threads: usize, delta_b: usize) -> Self {
-        Self { part: Partition::default(), mem_used: mem::tile_bytes(0, 0, threads, delta_b) }
+        Self {
+            part: Partition::default(),
+            mem_used: mem::tile_bytes(0, 0, threads, delta_b),
+        }
     }
 }
 
@@ -109,8 +112,7 @@ pub fn greedy_partitions_with_load_cap(
             }
             let over_load = max_load
                 .map(|cap| {
-                    !b.part.comparisons.is_empty()
-                        && b.part.est_load + w.complexity(c) > cap
+                    !b.part.comparisons.is_empty() && b.part.est_load + w.complexity(c) > cap
                 })
                 .unwrap_or(false);
             if b.mem_used + add > budget_bytes || over_load {
@@ -222,7 +224,8 @@ mod tests {
         let hub = w.seqs.push(vec![0; 1_000]);
         for _ in 0..50 {
             let leaf = w.seqs.push(vec![1; 1_000]);
-            w.comparisons.push(Comparison::new(hub, leaf, SeedMatch::new(0, 0, 1)));
+            w.comparisons
+                .push(Comparison::new(hub, leaf, SeedMatch::new(0, 0, 1)));
         }
         let parts = greedy_partitions(&w, 200 * 1024, 6, 64);
         assert_eq!(parts.len(), 1);
@@ -250,7 +253,8 @@ mod tests {
     fn self_comparison_counts_sequence_once() {
         let mut w = Workload::new(Alphabet::Dna);
         let a = w.seqs.push(vec![0; 1_000]);
-        w.comparisons.push(Comparison::new(a, a, SeedMatch::new(0, 0, 1)));
+        w.comparisons
+            .push(Comparison::new(a, a, SeedMatch::new(0, 0, 1)));
         let parts = greedy_partitions(&w, 64 * 1024, 6, 64);
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].seq_bytes, 1_000);

@@ -1,8 +1,8 @@
 //! Batch planning: partitions (or the naive layout) → device batches.
 
-use crate::greedy::{greedy_partitions_with_load_cap, Partition};
 #[cfg(test)]
 use crate::greedy::greedy_partitions;
+use crate::greedy::{greedy_partitions_with_load_cap, Partition};
 use ipu_sim::batch::{naive_batches, Batch, BatchConfig, TileAssignment};
 use ipu_sim::exec::WorkUnit;
 use ipu_sim::spec::IpuSpec;
@@ -27,12 +27,20 @@ pub struct PlanConfig {
 impl PlanConfig {
     /// Partitioning enabled with the given δ_b.
     pub fn partitioned(delta_b: usize) -> Self {
-        Self { batch: BatchConfig::new(delta_b), use_partitioning: true, min_batches: 2 }
+        Self {
+            batch: BatchConfig::new(delta_b),
+            use_partitioning: true,
+            min_batches: 2,
+        }
     }
 
     /// Naive mode (the Figure 7 "single comparison" baseline).
     pub fn naive(delta_b: usize) -> Self {
-        Self { batch: BatchConfig::new(delta_b), use_partitioning: false, min_batches: 2 }
+        Self {
+            batch: BatchConfig::new(delta_b),
+            use_partitioning: false,
+            min_batches: 2,
+        }
     }
 
     /// Requests at least `n` batches from the partitioned plan.
@@ -98,8 +106,8 @@ pub fn plan_batches(
     // least `min_batches` batches of `spec.tiles` slots exist — both
     // modes get the same batch granularity, as on full-size data
     // where memory pressure alone yields hundreds of batches.
-    let cap = (w.total_complexity() / (cfg.min_batches.max(1) as u64 * spec.tiles as u64).max(1))
-        .max(1);
+    let cap =
+        (w.total_complexity() / (cfg.min_batches.max(1) as u64 * spec.tiles as u64).max(1)).max(1);
     if cfg.use_partitioning {
         let parts = greedy_partitions_with_load_cap(
             w,
@@ -110,7 +118,10 @@ pub fn plan_batches(
         );
         partition_batches(w, units, &parts, spec)
     } else {
-        let batch = BatchConfig { max_load_per_tile: Some(cap), ..cfg.batch };
+        let batch = BatchConfig {
+            max_load_per_tile: Some(cap),
+            ..cfg.batch
+        };
         naive_batches(w, units, spec, &batch)
     }
 }
@@ -173,8 +184,11 @@ mod tests {
             }
             for i in 0..group_size as u32 {
                 for j in i + 1..group_size as u32 {
-                    w.comparisons
-                        .push(Comparison::new(base + i, base + j, SeedMatch::new(0, 0, 1)));
+                    w.comparisons.push(Comparison::new(
+                        base + i,
+                        base + j,
+                        SeedMatch::new(0, 0, 1),
+                    ));
                 }
             }
         }
@@ -213,7 +227,10 @@ mod tests {
                 }
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "each unit scheduled exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each unit scheduled exactly once"
+        );
     }
 
     #[test]
@@ -239,8 +256,12 @@ mod tests {
         let (w, _) = clustered(10, 8, 2_000);
         let cfg = PlanConfig::partitioned(64);
         let spec = IpuSpec::gc200();
-        let parts =
-            greedy_partitions(&w, cfg.batch.tile_budget(&spec), cfg.batch.threads, cfg.batch.delta_b);
+        let parts = greedy_partitions(
+            &w,
+            cfg.batch.tile_budget(&spec),
+            cfg.batch.threads,
+            cfg.batch.delta_b,
+        );
         let rs = reuse_stats(&w, &parts);
         // Each group: 28 comparisons × 2 seqs naive vs 8 unique.
         assert!(rs.reuse_factor > 3.0, "reuse {}", rs.reuse_factor);
@@ -269,7 +290,10 @@ mod tests {
     #[test]
     fn batches_bounded_by_tile_count() {
         let (w, units) = clustered(3, 4, 100_000);
-        let tiny_spec = IpuSpec { tiles: 2, ..IpuSpec::gc200() };
+        let tiny_spec = IpuSpec {
+            tiles: 2,
+            ..IpuSpec::gc200()
+        };
         let batches = plan_batches(&w, &units, &tiny_spec, &PlanConfig::partitioned(64));
         for b in &batches {
             assert!(b.tiles.len() <= 2);

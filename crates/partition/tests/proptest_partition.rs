@@ -19,15 +19,15 @@ use xdrop_partition::plan::{plan_batches, reuse_stats, PlanConfig};
 fn workload_strategy() -> impl Strategy<Value = Workload> {
     (2usize..40, 1usize..120, 50usize..2_000).prop_flat_map(|(n_seqs, n_cmp, max_len)| {
         let lens = prop::collection::vec(1usize..max_len.max(2), n_seqs);
-        let edges =
-            prop::collection::vec((0..n_seqs as u32, 0..n_seqs as u32), n_cmp);
+        let edges = prop::collection::vec((0..n_seqs as u32, 0..n_seqs as u32), n_cmp);
         (lens, edges).prop_map(|(lens, edges)| {
             let mut w = Workload::new(Alphabet::Dna);
             for len in lens {
                 w.seqs.push(vec![0u8; len]);
             }
             for (a, b) in edges {
-                w.comparisons.push(Comparison::new(a, b, SeedMatch::new(0, 0, 1)));
+                w.comparisons
+                    .push(Comparison::new(a, b, SeedMatch::new(0, 0, 1)));
             }
             w
         })
@@ -41,7 +41,11 @@ fn units_for(w: &Workload) -> Vec<WorkUnit> {
         .map(|(ci, c)| WorkUnit {
             cmp: ci as u32,
             side: None,
-            stats: AlignStats { cells_computed: 100, antidiagonals: 10, ..Default::default() },
+            stats: AlignStats {
+                cells_computed: 100,
+                antidiagonals: 10,
+                ..Default::default()
+            },
             score: 0,
             est_complexity: w.complexity(c).max(1),
         })

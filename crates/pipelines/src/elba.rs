@@ -111,7 +111,10 @@ pub fn run_elba_from_workload(
     cfg: &ElbaConfig,
 ) -> ElbaRun {
     let scorer = MatchMismatch::dna_default();
-    let mut ext = Extender::new(XDropParams::new(cfg.x), Backend::TwoDiag(BandPolicy::Grow(256)));
+    let mut ext = Extender::new(
+        XDropParams::new(cfg.x),
+        Backend::TwoDiag(BandPolicy::Grow(256)),
+    );
 
     // Stage 3: alignment + filtering of false matches.
     let mut scores = Vec::with_capacity(workload.comparisons.len());
@@ -205,8 +208,12 @@ pub fn run_elba_from_workload(
             }
         }
     }
-    let reduced: Vec<StringEdge> =
-        edges.iter().enumerate().filter(|&(i, _)| !redundant[i]).map(|(_, e)| *e).collect();
+    let reduced: Vec<StringEdge> = edges
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| !redundant[i])
+        .map(|(_, e)| *e)
+        .collect();
 
     // Stage 5: contig extraction — walk unbranched chains following
     // the best-scoring edge, never revisiting a read.
@@ -246,7 +253,14 @@ pub fn run_elba_from_workload(
         }
         contigs.push(contig);
     }
-    ElbaRun { sim, workload, scores, accepted, edges: reduced, contigs }
+    ElbaRun {
+        sim,
+        workload,
+        scores,
+        accepted,
+        edges: reduced,
+        contigs,
+    }
 }
 
 #[cfg(test)]
@@ -287,11 +301,7 @@ mod tests {
         assert!(!run.contigs.is_empty());
         // The longest contig must be an exact substring of the
         // genome (error-free reads) and cover most of it.
-        let longest = run
-            .contigs
-            .iter()
-            .max_by_key(|c| c.len())
-            .expect("contigs");
+        let longest = run.contigs.iter().max_by_key(|c| c.len()).expect("contigs");
         assert!(
             longest.len() as f64 > 0.5 * run.sim.genome.len() as f64,
             "longest contig {} of genome {}",

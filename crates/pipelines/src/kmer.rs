@@ -53,7 +53,9 @@ pub fn kmers_of(seq: &[u8], k: usize, alphabet: Alphabet) -> Vec<(u64, u32)> {
     if seq.len() < k || k == 0 {
         return Vec::new();
     }
-    (0..=seq.len() - k).map(|p| (pack(seq, p, k, alphabet), p as u32)).collect()
+    (0..=seq.len() - k)
+        .map(|p| (pack(seq, p, k, alphabet), p as u32))
+        .collect()
 }
 
 /// Counts distinct sequences containing each k-mer (the ELBA k-mer
@@ -87,7 +89,10 @@ pub fn reliable_kmers(counts: &HashMap<u64, u32>, min: u32, max: u32) -> HashMap
         .map(|(&km, _)| km)
         .collect();
     keep.sort_unstable();
-    keep.into_iter().enumerate().map(|(i, km)| (km, i as u32)).collect()
+    keep.into_iter()
+        .enumerate()
+        .map(|(i, km)| (km, i as u32))
+        .collect()
 }
 
 /// Reverse complement of a packed DNA k-mer.

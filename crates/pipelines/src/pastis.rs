@@ -154,7 +154,10 @@ pub fn run_pastis_from_workload(
     cfg: &PastisConfig,
 ) -> PastisRun {
     let scorer = Blosum62::new(cfg.gap);
-    let mut ext = Extender::new(XDropParams::new(cfg.x), Backend::TwoDiag(BandPolicy::Grow(256)));
+    let mut ext = Extender::new(
+        XDropParams::new(cfg.x),
+        Backend::TwoDiag(BandPolicy::Grow(256)),
+    );
     let mut scores = Vec::with_capacity(workload.comparisons.len());
     let mut accepted = Vec::new();
     for (ci, c) in workload.comparisons.iter().enumerate() {
@@ -188,11 +191,20 @@ pub fn run_pastis_from_workload(
     let mut clusters_map: std::collections::HashMap<u32, Vec<SeqId>> =
         std::collections::HashMap::new();
     for s in 0..n as u32 {
-        clusters_map.entry(find(&mut parent, s)).or_default().push(s);
+        clusters_map
+            .entry(find(&mut parent, s))
+            .or_default()
+            .push(s);
     }
     let mut clusters: Vec<Vec<SeqId>> = clusters_map.into_values().collect();
     clusters.sort_by_key(|c| (std::cmp::Reverse(c.len()), c[0]));
-    PastisRun { seqs_workload: workload, families, scores, accepted, clusters }
+    PastisRun {
+        seqs_workload: workload,
+        families,
+        scores,
+        accepted,
+        clusters,
+    }
 }
 
 #[cfg(test)]
@@ -217,7 +229,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(32);
         let cfg = PastisConfig::small(60);
         let run = run_pastis(&mut rng, &cfg);
-        assert!(!run.seqs_workload.comparisons.is_empty(), "candidates found");
+        assert!(
+            !run.seqs_workload.comparisons.is_empty(),
+            "candidates found"
+        );
         assert!(!run.accepted.is_empty(), "homologs accepted");
         assert!(run.precision() > 0.95, "precision {}", run.precision());
         assert!(run.recall() > 0.7, "recall {}", run.recall());
@@ -238,7 +253,10 @@ mod tests {
                 impure += 1;
             }
         }
-        assert!(impure <= run.clusters.len() / 10, "{impure} impure clusters");
+        assert!(
+            impure <= run.clusters.len() / 10,
+            "{impure} impure clusters"
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl<V> Csr<V> {
     pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, &V)> {
         let lo = self.indptr[r];
         let hi = self.indptr[r + 1];
-        self.indices[lo..hi].iter().copied().zip(&self.values[lo..hi])
+        self.indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(&self.values[lo..hi])
     }
 }
 
@@ -65,7 +68,13 @@ impl<V: Clone> Csr<V> {
         for i in 0..rows {
             indptr[i + 1] += indptr[i];
         }
-        Self { rows, cols, indptr, indices, values }
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Transposes the matrix.
@@ -136,7 +145,13 @@ pub fn spgemm<VA, VB, VC: Clone>(
         }
         indptr[r + 1] = indices.len();
     }
-    Csr { rows: a.rows, cols: b.cols, indptr, indices, values }
+    Csr {
+        rows: a.rows,
+        cols: b.cols,
+        indptr,
+        indices,
+        values,
+    }
 }
 
 #[cfg(test)]
@@ -170,12 +185,9 @@ mod tests {
 
     #[test]
     fn triplets_merge_duplicates() {
-        let m = Csr::from_triplets(
-            2,
-            2,
-            vec![(0, 1, 2i64), (0, 1, 3), (1, 0, 5)],
-            |a, b| *a += b,
-        );
+        let m = Csr::from_triplets(2, 2, vec![(0, 1, 2i64), (0, 1, 3), (1, 0, 5)], |a, b| {
+            *a += b
+        });
         assert_eq!(m.nnz(), 2);
         assert_eq!(dense(&m), vec![vec![0, 5], vec![5, 0]]);
     }

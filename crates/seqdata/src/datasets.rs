@@ -97,7 +97,12 @@ pub struct Dataset {
 impl Dataset {
     /// A dataset at the given scale with the default seed.
     pub fn new(kind: DatasetKind, scale: f64) -> Self {
-        Self { kind, scale, seed: 0x5EED_0000 ^ kind.paper_cmp_count(), max_comparisons: None }
+        Self {
+            kind,
+            scale,
+            seed: 0x5EED_0000 ^ kind.paper_cmp_count(),
+            max_comparisons: None,
+        }
     }
 
     /// Bench-sized defaults: scales and caps chosen so each dataset
@@ -114,7 +119,10 @@ impl Dataset {
             DatasetKind::Elegans => (0.02, Some(4_600)),
             DatasetKind::Metaclust500k => (0.0008, None), // 400 proteins
         };
-        Self { max_comparisons: cap, ..Self::new(kind, scale) }
+        Self {
+            max_comparisons: cap,
+            ..Self::new(kind, scale)
+        }
     }
 
     /// Caps the number of comparisons generated.
@@ -185,11 +193,9 @@ impl Dataset {
                 let count = ((40_000.0 * self.scale) as usize).max(1);
                 gen::generate_pair_workload(&mut rng, &PairSpec::simulated85(), count)
             }
-            DatasetKind::Metaclust500k => protein_family_workload(
-                &mut rng,
-                ((500_000.0 * self.scale) as usize).max(8),
-                6,
-            ),
+            DatasetKind::Metaclust500k => {
+                protein_family_workload(&mut rng, ((500_000.0 * self.scale) as usize).max(8), 6)
+            }
             _ => {
                 let p = self.read_params().expect("DNA pipeline dataset");
                 reads::simulate_workload(&mut rng, &p, self.max_comparisons)
@@ -225,7 +231,8 @@ pub fn protein_family_workload<R: Rng>(rng: &mut R, n_seqs: usize, k: usize) -> 
         }
         for (i, &a) in member_ids.iter().enumerate() {
             for &b in &member_ids[i + 1..] {
-                w.comparisons.push(Comparison::new(a, b, SeedMatch::new(anchor, anchor, k)));
+                w.comparisons
+                    .push(Comparison::new(a, b, SeedMatch::new(anchor, anchor, k)));
             }
         }
         remaining = remaining.saturating_sub(fam_size);
@@ -276,7 +283,9 @@ mod tests {
         let b = Dataset::new(DatasetKind::Simulated85, 0.0005).generate();
         assert_eq!(a.comparisons, b.comparisons);
         assert_eq!(a.seqs.total_bytes(), b.seqs.total_bytes());
-        let c = Dataset::new(DatasetKind::Simulated85, 0.0005).with_seed(1).generate();
+        let c = Dataset::new(DatasetKind::Simulated85, 0.0005)
+            .with_seed(1)
+            .generate();
         assert_ne!(a.seqs.get(0), c.seqs.get(0));
     }
 

@@ -31,7 +31,10 @@ pub fn read_fasta<R: BufRead>(reader: R) -> io::Result<Vec<Record>> {
             if let Some(rec) = cur.take() {
                 records.push(rec);
             }
-            cur = Some(Record { id: header.to_string(), seq: Vec::new() });
+            cur = Some(Record {
+                id: header.to_string(),
+                seq: Vec::new(),
+            });
         } else if let Some(rec) = cur.as_mut() {
             rec.seq.extend_from_slice(line.as_bytes());
         } else {
@@ -76,13 +79,20 @@ impl FastqRecord {
         if self.qual.is_empty() {
             return 0.0;
         }
-        let sum: u64 = self.qual.iter().map(|&q| (q.saturating_sub(33)) as u64).sum();
+        let sum: u64 = self
+            .qual
+            .iter()
+            .map(|&q| (q.saturating_sub(33)) as u64)
+            .sum();
         sum as f64 / self.qual.len() as f64
     }
 
     /// Drops the qualities, keeping a FASTA record.
     pub fn into_fasta(self) -> Record {
-        Record { id: self.id, seq: self.seq }
+        Record {
+            id: self.id,
+            seq: self.seq,
+        }
     }
 }
 
@@ -108,7 +118,10 @@ pub fn read_fastq<R: BufRead>(reader: R) -> io::Result<Vec<FastqRecord>> {
             .next()
             .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "missing separator"))??;
         if !plus.starts_with('+') {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "separator must start with +"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "separator must start with +",
+            ));
         }
         let qual = lines
             .next()
@@ -119,7 +132,11 @@ pub fn read_fastq<R: BufRead>(reader: R) -> io::Result<Vec<FastqRecord>> {
                 "quality and sequence lengths differ",
             ));
         }
-        records.push(FastqRecord { id, seq: seq.into_bytes(), qual: qual.into_bytes() });
+        records.push(FastqRecord {
+            id,
+            seq: seq.into_bytes(),
+            qual: qual.into_bytes(),
+        });
     }
     Ok(records)
 }
@@ -148,7 +165,10 @@ pub fn records_to_seqset(records: &[Record], alphabet: Alphabet) -> Result<SeqSe
 /// Decodes a [`SeqSet`] back into FASTA records named `seq<N>`.
 pub fn seqset_to_records(set: &SeqSet) -> Vec<Record> {
     set.iter()
-        .map(|(id, s)| Record { id: format!("seq{id}"), seq: set.alphabet.decode(s) })
+        .map(|(id, s)| Record {
+            id: format!("seq{id}"),
+            seq: set.alphabet.decode(s),
+        })
         .collect()
 }
 
@@ -180,7 +200,10 @@ mod tests {
 
     #[test]
     fn roundtrip_with_wrapping() {
-        let rec = Record { id: "x".into(), seq: vec![b'A'; 200] };
+        let rec = Record {
+            id: "x".into(),
+            seq: vec![b'A'; 200],
+        };
         let mut buf = Vec::new();
         write_fasta(&mut buf, std::slice::from_ref(&rec)).unwrap();
         let text = String::from_utf8(buf.clone()).unwrap();
@@ -235,7 +258,10 @@ mod tests {
 
     #[test]
     fn encode_rejects_bad_symbols() {
-        let recs = vec![Record { id: "bad".into(), seq: b"ACQT".to_vec() }];
+        let recs = vec![Record {
+            id: "bad".into(),
+            seq: b"ACQT".to_vec(),
+        }];
         assert!(records_to_seqset(&recs, Alphabet::Dna).is_err());
     }
 }

@@ -24,25 +24,41 @@ pub struct MutationProfile {
 impl MutationProfile {
     /// No errors at all.
     pub fn exact() -> Self {
-        Self { sub: 0.0, ins: 0.0, del: 0.0 }
+        Self {
+            sub: 0.0,
+            ins: 0.0,
+            del: 0.0,
+        }
     }
 
     /// Substitutions only, as in the paper's synthetic datasets
     /// ("uniform-randomly mutating individual bases outside the seed
     /// position", §5.2).
     pub fn uniform_mismatch(rate: f64) -> Self {
-        Self { sub: rate, ins: 0.0, del: 0.0 }
+        Self {
+            sub: rate,
+            ins: 0.0,
+            del: 0.0,
+        }
     }
 
     /// PacBio HiFi-like: very low error, slightly indel-biased.
     pub fn hifi() -> Self {
-        Self { sub: 0.001, ins: 0.002, del: 0.002 }
+        Self {
+            sub: 0.001,
+            ins: 0.002,
+            del: 0.002,
+        }
     }
 
     /// Noisy long-read profile (CLR/Nanopore-like): indel-dominated,
     /// the regime where static bands fail (§2.2).
     pub fn noisy_long_read(total: f64) -> Self {
-        Self { sub: total * 0.2, ins: total * 0.4, del: total * 0.4 }
+        Self {
+            sub: total * 0.2,
+            ins: total * 0.4,
+            del: total * 0.4,
+        }
     }
 
     /// Total per-symbol error rate.
@@ -187,7 +203,11 @@ pub fn generate_pair<R: Rng>(rng: &mut R, spec: &PairSpec) -> SeedPair {
     let mut v = prefix;
     v.extend_from_slice(&h[protect.0..protect.1]);
     v.extend_from_slice(&suffix);
-    SeedPair { h, v, seed: SeedMatch::new(seed_start, v_pos, spec.seed_len) }
+    SeedPair {
+        h,
+        v,
+        seed: SeedMatch::new(seed_start, v_pos, spec.seed_len),
+    }
 }
 
 /// Builds a [`Workload`] of `count` independent synthetic pairs
@@ -237,7 +257,13 @@ mod tests {
     fn substitution_rate_approximate() {
         let mut r = rng();
         let s = random_seq(&mut r, Alphabet::Dna, 20_000);
-        let m = mutate(&mut r, &s, Alphabet::Dna, MutationProfile::uniform_mismatch(0.15), None);
+        let m = mutate(
+            &mut r,
+            &s,
+            Alphabet::Dna,
+            MutationProfile::uniform_mismatch(0.15),
+            None,
+        );
         assert_eq!(s.len(), m.len()); // subs only: length preserved
         let diffs = s.iter().zip(&m).filter(|(a, b)| a != b).count();
         let rate = diffs as f64 / s.len() as f64;
@@ -248,7 +274,13 @@ mod tests {
     fn substitutions_always_change_symbol() {
         let mut r = rng();
         let s = vec![0u8; 5000];
-        let m = mutate(&mut r, &s, Alphabet::Dna, MutationProfile::uniform_mismatch(1.0), None);
+        let m = mutate(
+            &mut r,
+            &s,
+            Alphabet::Dna,
+            MutationProfile::uniform_mismatch(1.0),
+            None,
+        );
         assert!(m.iter().all(|&b| b != 0));
     }
 
@@ -270,7 +302,13 @@ mod tests {
     fn indels_change_length() {
         let mut r = rng();
         let s = random_seq(&mut r, Alphabet::Dna, 10_000);
-        let m = mutate(&mut r, &s, Alphabet::Dna, MutationProfile::noisy_long_read(0.15), None);
+        let m = mutate(
+            &mut r,
+            &s,
+            Alphabet::Dna,
+            MutationProfile::noisy_long_read(0.15),
+            None,
+        );
         assert_ne!(s.len(), m.len());
     }
 

@@ -164,7 +164,11 @@ pub fn random_genome<R: Rng>(rng: &mut R, len: usize, lc: Option<LowComplexity>)
             let array_len = rng.gen_range(lc.array_len.0..=lc.array_len.1);
             for i in 0..array_len {
                 let base = motif[i % motif_len];
-                g.push(if rng.gen_bool(0.02) { rng.gen_range(0..4) } else { base });
+                g.push(if rng.gen_bool(0.02) {
+                    rng.gen_range(0..4)
+                } else {
+                    base
+                });
             }
         } else if lc.repeat_rate > 0.0
             && g.len() > lc.repeat_len.1 * 2
@@ -172,11 +176,17 @@ pub fn random_genome<R: Rng>(rng: &mut R, len: usize, lc: Option<LowComplexity>)
         {
             // Dispersed repeat: copy an earlier segment with slight
             // divergence.
-            let rep_len = rng.gen_range(lc.repeat_len.0..=lc.repeat_len.1).min(g.len() / 2);
+            let rep_len = rng
+                .gen_range(lc.repeat_len.0..=lc.repeat_len.1)
+                .min(g.len() / 2);
             let src = rng.gen_range(0..g.len() - rep_len);
             for i in src..src + rep_len {
                 let base = g[i];
-                g.push(if rng.gen_bool(0.02) { rng.gen_range(0..4) } else { base });
+                g.push(if rng.gen_bool(0.02) {
+                    rng.gen_range(0..4)
+                } else {
+                    base
+                });
             }
         } else {
             g.push(rng.gen_range(0..4));
@@ -201,7 +211,12 @@ pub fn simulate_reads<R: Rng>(rng: &mut R, p: &ReadSimParams) -> SimulatedReads 
         intervals.push((start, start + len));
         maps.push(map);
     }
-    SimulatedReads { genome, reads, intervals, maps }
+    SimulatedReads {
+        genome,
+        reads,
+        intervals,
+        maps,
+    }
 }
 
 /// Finds an exact shared k-mer between reads `a` and `b` near genome
@@ -225,7 +240,11 @@ fn find_seed(
     let step = (k / 2).max(1);
     for trial in 0..64 {
         let off = (trial / 2) * step;
-        let g = if trial % 2 == 0 { g_mid.checked_add(off)? } else { g_mid.checked_sub(off)? };
+        let g = if trial % 2 == 0 {
+            g_mid.checked_add(off)?
+        } else {
+            g_mid.checked_sub(off)?
+        };
         if g < ov_lo || g > last_start {
             continue;
         }
@@ -257,8 +276,8 @@ pub fn overlap_workload<R: Rng>(
     }
     // When capped, reserve the false-pair share of the budget so the
     // true-overlap sweep cannot exhaust it first.
-    let true_cap = max_comparisons
-        .map(|cap| ((cap as f64) * (1.0 - p.false_pair_rate)).ceil() as usize);
+    let true_cap =
+        max_comparisons.map(|cap| ((cap as f64) * (1.0 - p.false_pair_rate)).ceil() as usize);
     // Sort read ids by interval start for a sweep-line pair scan.
     let mut order: Vec<usize> = (0..sim.reads.len()).collect();
     order.sort_by_key(|&r| sim.intervals[r].0);
@@ -274,7 +293,8 @@ pub fn overlap_workload<R: Rng>(
                 continue;
             }
             if let Some(seed) = find_seed(sim, a, b, ov, p.seed_k) {
-                w.comparisons.push(Comparison::new(a as u32, b as u32, seed));
+                w.comparisons
+                    .push(Comparison::new(a as u32, b as u32, seed));
                 if let Some(cap) = true_cap {
                     if w.comparisons.len() >= cap {
                         break 'outer;
@@ -313,7 +333,8 @@ pub fn overlap_workload<R: Rng>(
                 rng.gen_range(0..lb - p.seed_k),
                 p.seed_k,
             );
-            w.comparisons.push(Comparison::new(a as u32, b as u32, seed));
+            w.comparisons
+                .push(Comparison::new(a as u32, b as u32, seed));
             want -= 1;
         }
     }
@@ -388,7 +409,10 @@ mod tests {
         let mut r = rng();
         let p = tiny_params();
         let w = simulate_workload(&mut r, &p, None);
-        assert!(!w.comparisons.is_empty(), "overlaps must exist at 8x coverage");
+        assert!(
+            !w.comparisons.is_empty(),
+            "overlaps must exist at 8x coverage"
+        );
         w.validate().unwrap();
         for c in &w.comparisons {
             let h = w.seqs.get(c.h);
@@ -452,7 +476,10 @@ mod tests {
             }
         }
         let frac = period_hits as f64 / (g.len() - 3) as f64;
-        assert!(frac > 0.253, "arrays should raise short-period self-similarity: {frac}");
+        assert!(
+            frac > 0.253,
+            "arrays should raise short-period self-similarity: {frac}"
+        );
         // Dispersed repeats: some 64-mer occurs at two distant
         // positions.
         use std::collections::HashMap;

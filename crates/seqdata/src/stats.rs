@@ -21,7 +21,13 @@ impl Distribution {
     /// Computes the summary of `values` (empty input gives zeros).
     pub fn of(values: &[f64]) -> Self {
         if values.is_empty() {
-            return Self { p10: 0.0, avg: 0.0, p90: 0.0, min: 0.0, max: 0.0 };
+            return Self {
+                p10: 0.0,
+                avg: 0.0,
+                p90: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
         }
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
@@ -170,8 +176,10 @@ mod tests {
         let b = w.seqs.push(vec![1; 200]);
         let c = w.seqs.push(vec![2; 300]); // unused
         let _ = c;
-        w.comparisons.push(Comparison::new(a, b, SeedMatch::new(10, 20, 5)));
-        w.comparisons.push(Comparison::new(a, b, SeedMatch::new(50, 60, 5)));
+        w.comparisons
+            .push(Comparison::new(a, b, SeedMatch::new(10, 20, 5)));
+        w.comparisons
+            .push(Comparison::new(a, b, SeedMatch::new(50, 60, 5)));
         let s = WorkloadStats::of(&w);
         assert_eq!(s.cmp_count, 2);
         assert_eq!(s.seq_count, 3);

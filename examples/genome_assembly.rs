@@ -42,13 +42,19 @@ fn main() {
 
     println!("\npipeline stages:");
     println!("  reads sequenced          {}", run.sim.reads.len());
-    println!("  overlap candidates (AAᵀ) {}", run.workload.comparisons.len());
+    println!(
+        "  overlap candidates (AAᵀ) {}",
+        run.workload.comparisons.len()
+    );
     println!(
         "  accepted after X-Drop    {} ({:.1}%)",
         run.accepted.len(),
         100.0 * run.accepted.len() as f64 / run.workload.comparisons.len().max(1) as f64
     );
-    println!("  string-graph edges       {} (after transitive reduction)", run.edges.len());
+    println!(
+        "  string-graph edges       {} (after transitive reduction)",
+        run.edges.len()
+    );
     println!("  contigs                  {}", run.contigs.len());
 
     let mut lens: Vec<usize> = run.contigs.iter().map(Vec::len).collect();
@@ -75,7 +81,10 @@ fn main() {
     // density against the genome is a good proxy.)
     let longest = run.contigs.iter().max_by_key(|c| c.len()).expect("contigs");
     let cover = longest.len() as f64 / run.sim.genome.len() as f64;
-    println!("  longest contig spans {:.1}% of the genome length", 100.0 * cover);
+    println!(
+        "  longest contig spans {:.1}% of the genome length",
+        100.0 * cover
+    );
 
     let align_stats: u64 = run.scores.iter().map(|&s| s.max(0) as u64).sum();
     println!("\nalignment phase total score mass: {align_stats}");

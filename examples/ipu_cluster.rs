@@ -44,13 +44,21 @@ fn main() {
     let flags = OptFlags::full();
     let cost = CostModel::default();
     for partitioned in [false, true] {
-        let cfg = if partitioned { PlanConfig::partitioned(512) } else { PlanConfig::naive(512) }
-            .with_min_batches(32);
+        let cfg = if partitioned {
+            PlanConfig::partitioned(512)
+        } else {
+            PlanConfig::naive(512)
+        }
+        .with_min_batches(32);
         let batches = plan_batches(&w, &exec.units, &spec, &cfg);
         let bytes: u64 = batches.iter().map(Batch::transfer_bytes).sum();
         println!(
             "\n{} batching: {} batches, {:.1} MB host transfer",
-            if partitioned { "graph-partitioned" } else { "naive" },
+            if partitioned {
+                "graph-partitioned"
+            } else {
+                "naive"
+            },
             batches.len(),
             bytes as f64 / 1e6
         );

@@ -66,7 +66,11 @@ fn main() {
 
     // Too small a bound fails loudly (Exact) …
     match xdrop2::align(&p.h, &p.v, &scorer, params, BandPolicy::Exact(delta_b / 4)) {
-        Err(AlignError::BandExceeded { needed, delta_b, antidiagonal }) => println!(
+        Err(AlignError::BandExceeded {
+            needed,
+            delta_b,
+            antidiagonal,
+        }) => println!(
             "  δ_b = {} fails as it should: needed {} at antidiagonal {}",
             delta_b, needed, antidiagonal
         ),
@@ -74,10 +78,15 @@ fn main() {
     }
 
     // … or degrades gracefully (Saturate): never over-reports.
-    let sat =
-        xdrop2::align(&p.h, &p.v, &scorer, params, BandPolicy::Saturate(delta_b / 4)).unwrap();
-    let exact =
-        xdrop2::align(&p.h, &p.v, &scorer, params, BandPolicy::Exact(delta_b)).unwrap();
+    let sat = xdrop2::align(
+        &p.h,
+        &p.v,
+        &scorer,
+        params,
+        BandPolicy::Saturate(delta_b / 4),
+    )
+    .unwrap();
+    let exact = xdrop2::align(&p.h, &p.v, &scorer, params, BandPolicy::Exact(delta_b)).unwrap();
     println!(
         "  Saturate(δ_b/4): score {} (exact {}), {} cells clipped",
         sat.result.best_score, exact.result.best_score, sat.stats.cells_clipped

@@ -26,7 +26,10 @@ fn main() {
     println!("\nhomology search (A S Aᵀ with substitute 6-mers, BLOSUM62 X-Drop):");
     println!("  sequences            {}", run.seqs_workload.seqs.len());
     println!("  planted families     {n_families}");
-    println!("  candidate pairs      {}", run.seqs_workload.comparisons.len());
+    println!(
+        "  candidate pairs      {}",
+        run.seqs_workload.comparisons.len()
+    );
     println!("  accepted homologies  {}", run.accepted.len());
     println!("  precision            {:.3}", run.precision());
     println!("  recall               {:.3}", run.recall());

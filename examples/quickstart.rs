@@ -36,8 +36,15 @@ fn main() {
 
     // 1. The paper's kernel: two antidiagonals, δ_b-bounded memory.
     let x = XDropParams::new(15);
-    let out = extend_seed(&pair.h, &pair.v, pair.seed, &scorer, x, BandPolicy::Grow(64))
-        .expect("alignment");
+    let out = extend_seed(
+        &pair.h,
+        &pair.v,
+        pair.seed,
+        &scorer,
+        x,
+        BandPolicy::Grow(64),
+    )
+    .expect("alignment");
     let stats = out.stats();
     println!("\nmemory-restricted X-Drop (Algorithm 1):");
     println!("  score          {}", out.score);
@@ -66,18 +73,36 @@ fn main() {
     );
     println!("\nfull-matrix right extension (no pruning):");
     println!("  score          {}", full.result.best_score);
-    println!("  cells computed {} (X-Drop computed {} on that side)",
-        full.stats.cells_computed, out.right.stats.cells_computed);
+    println!(
+        "  cells computed {} (X-Drop computed {} on that side)",
+        full.stats.cells_computed, out.right.stats.cells_computed
+    );
     assert_eq!(full.result.best_score, out.right.result.best_score);
-    println!("\nX-Drop found the optimal extension while computing {:.2}% of the matrix.",
-        100.0 * out.right.stats.cells_computed as f64 / full.stats.cells_computed as f64);
+    println!(
+        "\nX-Drop found the optimal extension while computing {:.2}% of the matrix.",
+        100.0 * out.right.stats.cells_computed as f64 / full.stats.cells_computed as f64
+    );
 
     // 4. Protein mode: one API, different scorer.
     let prot = SeedMatch::new(0, 0, 6);
-    let a = Alphabet::Protein.encode(b"MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ").unwrap();
-    let b = Alphabet::Protein.encode(b"MKTAYIAKQRNISFVKSHFSRQLEQRLGLIEVQ").unwrap();
+    let a = Alphabet::Protein
+        .encode(b"MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQ")
+        .unwrap();
+    let b = Alphabet::Protein
+        .encode(b"MKTAYIAKQRNISFVKSHFSRQLEQRLGLIEVQ")
+        .unwrap();
     let blosum = Blosum62::pastis_default();
-    let pout = extend_seed(&a, &b, prot, &blosum, XDropParams::new(49), BandPolicy::Grow(64))
-        .expect("protein alignment");
-    println!("\nprotein alignment (BLOSUM62, X = 49): score {}", pout.score);
+    let pout = extend_seed(
+        &a,
+        &b,
+        prot,
+        &blosum,
+        XDropParams::new(49),
+        BandPolicy::Grow(64),
+    )
+    .expect("protein alignment");
+    println!(
+        "\nprotein alignment (BLOSUM62, X = 49): score {}",
+        pout.score
+    );
 }

@@ -93,11 +93,22 @@ fn cmd_align(args: &[String]) {
     if o.positional.len() != 2 {
         usage();
     }
-    let x: i32 = o.flags.get("x").map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(15);
-    let delta_b: usize =
-        o.flags.get("delta-b").map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(256);
+    let x: i32 = o
+        .flags
+        .get("x")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(15);
+    let delta_b: usize = o
+        .flags
+        .get("delta-b")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(256);
     let protein = o.switches.contains("protein");
-    let alphabet = if protein { Alphabet::Protein } else { Alphabet::Dna };
+    let alphabet = if protein {
+        Alphabet::Protein
+    } else {
+        Alphabet::Dna
+    };
     let a = read_fasta_file(&o.positional[0]);
     let b = read_fasta_file(&o.positional[1]);
     if a.is_empty() || b.is_empty() {
@@ -125,8 +136,13 @@ fn cmd_align(args: &[String]) {
                 let sc = Blosum62::pastis_default();
                 if let Some(g) = affine {
                     let out = affine_xdrop(h, v, &sc, g, params);
-                    (out.result.best_score, out.result.end_h, out.result.end_v,
-                     out.stats.delta_w, out.stats.work_bytes)
+                    (
+                        out.result.best_score,
+                        out.result.end_h,
+                        out.result.end_v,
+                        out.stats.delta_w,
+                        out.stats.work_bytes,
+                    )
                 } else {
                     let policy = if o.switches.contains("exact") {
                         BandPolicy::Exact(delta_b)
@@ -134,8 +150,13 @@ fn cmd_align(args: &[String]) {
                         BandPolicy::Grow(delta_b)
                     };
                     match xdrop2::align(h, v, &sc, params, policy) {
-                        Ok(out) => (out.result.best_score, out.result.end_h,
-                                    out.result.end_v, out.stats.delta_w, out.stats.work_bytes),
+                        Ok(out) => (
+                            out.result.best_score,
+                            out.result.end_h,
+                            out.result.end_v,
+                            out.stats.delta_w,
+                            out.stats.work_bytes,
+                        ),
                         Err(e) => fail(&format!("{e}")),
                     }
                 }
@@ -143,8 +164,13 @@ fn cmd_align(args: &[String]) {
                 let sc = MatchMismatch::dna_default();
                 if let Some(g) = affine {
                     let out = affine_xdrop(h, v, &sc, g, params);
-                    (out.result.best_score, out.result.end_h, out.result.end_v,
-                     out.stats.delta_w, out.stats.work_bytes)
+                    (
+                        out.result.best_score,
+                        out.result.end_h,
+                        out.result.end_v,
+                        out.stats.delta_w,
+                        out.stats.work_bytes,
+                    )
                 } else {
                     let policy = if o.switches.contains("exact") {
                         BandPolicy::Exact(delta_b)
@@ -152,8 +178,13 @@ fn cmd_align(args: &[String]) {
                         BandPolicy::Grow(delta_b)
                     };
                     match xdrop2::align(h, v, &sc, params, policy) {
-                        Ok(out) => (out.result.best_score, out.result.end_h,
-                                    out.result.end_v, out.stats.delta_w, out.stats.work_bytes),
+                        Ok(out) => (
+                            out.result.best_score,
+                            out.result.end_h,
+                            out.result.end_v,
+                            out.stats.delta_w,
+                            out.stats.work_bytes,
+                        ),
                         Err(e) => fail(&format!("{e}")),
                     }
                 }
@@ -180,12 +211,21 @@ fn cmd_simulate(args: &[String]) {
         .get("genome-len")
         .map(|v| v.parse().unwrap_or_else(|_| usage()))
         .unwrap_or_else(|| fail("--genome-len required"));
-    let coverage: f64 =
-        o.flags.get("coverage").map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(12.0);
-    let read_len: f64 =
-        o.flags.get("read-len").map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(8_000.0);
-    let seed: u64 =
-        o.flags.get("seed").map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(42);
+    let coverage: f64 = o
+        .flags
+        .get("coverage")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(12.0);
+    let read_len: f64 = o
+        .flags
+        .get("read-len")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(8_000.0);
+    let seed: u64 = o
+        .flags
+        .get("seed")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(42);
     let errors = match o.flags.get("error").map(String::as_str) {
         None | Some("hifi") => MutationProfile::hifi(),
         Some("noisy") => MutationProfile::noisy_long_read(0.1),
@@ -213,7 +253,10 @@ fn cmd_simulate(args: &[String]) {
         .iter()
         .enumerate()
         .map(|(i, r)| fasta::Record {
-            id: format!("read{} pos={}..{}", i, sim.intervals[i].0, sim.intervals[i].1),
+            id: format!(
+                "read{} pos={}..{}",
+                i, sim.intervals[i].0, sim.intervals[i].1
+            ),
             seq: Alphabet::Dna.decode(r),
         })
         .collect();
@@ -234,11 +277,19 @@ fn cmd_assemble(args: &[String]) {
     if o.positional.len() != 1 {
         usage();
     }
-    let x: i32 = o.flags.get("x").map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(15);
-    let k: usize = o.flags.get("k").map(|v| v.parse().unwrap_or_else(|_| usage())).unwrap_or(17);
+    let x: i32 = o
+        .flags
+        .get("x")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(15);
+    let k: usize = o
+        .flags
+        .get("k")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(17);
     let records = read_fasta_file(&o.positional[0]);
-    let set = fasta::records_to_seqset(&records, Alphabet::Dna)
-        .unwrap_or_else(|e| fail(&format!("{e}")));
+    let set =
+        fasta::records_to_seqset(&records, Alphabet::Dna).unwrap_or_else(|e| fail(&format!("{e}")));
     println!("{} reads loaded", set.len());
     let overlap = OverlapConfig::elba(k);
     let workload = detect_overlaps(&set, &overlap);
@@ -308,7 +359,12 @@ fn cmd_stats(args: &[String]) {
     println!("records      {}", lens.len());
     println!("total bases  {total}");
     if !lens.is_empty() {
-        println!("min/median/max  {} / {} / {}", lens[0], pct(0.5), lens[lens.len() - 1]);
+        println!(
+            "min/median/max  {} / {} / {}",
+            lens[0],
+            pct(0.5),
+            lens[lens.len() - 1]
+        );
         println!("p10/p90         {} / {}", pct(0.1), pct(0.9));
         println!("mean            {:.1}", total as f64 / lens.len() as f64);
         // N50.

@@ -9,7 +9,9 @@ use xdrop_ipu::prelude::*;
 use xdrop_ipu::sim::{execute_workload, ExecConfig};
 
 fn workload() -> Workload {
-    Dataset::new(DatasetKind::Ecoli, 0.01).with_max_comparisons(80).generate()
+    Dataset::new(DatasetKind::Ecoli, 0.01)
+        .with_max_comparisons(80)
+        .generate()
 }
 
 #[test]
@@ -41,8 +43,17 @@ fn logan_scores_never_exceed_exact() {
     }
     // And on HiFi-like data the band is generous enough that nearly
     // everything matches exactly.
-    let same = exact.scores.iter().zip(&logan.scores).filter(|(a, b)| a == b).count();
-    assert!(same * 10 >= exact.scores.len() * 9, "{same}/{} identical", exact.scores.len());
+    let same = exact
+        .scores
+        .iter()
+        .zip(&logan.scores)
+        .filter(|(a, b)| a == b)
+        .count();
+    assert!(
+        same * 10 >= exact.scores.len() * 9,
+        "{same}/{} identical",
+        exact.scores.len()
+    );
 }
 
 #[test]

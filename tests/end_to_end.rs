@@ -8,7 +8,9 @@ use xdrop_ipu::sim::batch::Batch;
 use xdrop_ipu::sim::{execute_workload, run_cluster, CostModel, ExecConfig, IpuSpec, OptFlags};
 
 fn small_ecoli() -> Workload {
-    Dataset::new(DatasetKind::Ecoli, 0.01).with_max_comparisons(120).generate()
+    Dataset::new(DatasetKind::Ecoli, 0.01)
+        .with_max_comparisons(120)
+        .generate()
 }
 
 #[test]
@@ -68,7 +70,10 @@ fn partitioning_reduces_host_bytes_on_real_shape() {
     let exec = execute_workload(&w, &sc, &ExecConfig::new(XDropParams::new(10))).unwrap();
     let spec = IpuSpec::gc200();
     let bytes = |plan: PlanConfig| -> u64 {
-        plan_batches(&w, &exec.units, &spec, &plan).iter().map(Batch::transfer_bytes).sum()
+        plan_batches(&w, &exec.units, &spec, &plan)
+            .iter()
+            .map(Batch::transfer_bytes)
+            .sum()
     };
     let naive = bytes(PlanConfig::naive(128));
     let parted = bytes(PlanConfig::partitioned(128));
@@ -88,7 +93,14 @@ fn device_count_monotone_makespan() {
     let cost = CostModel::default();
     let mut prev = f64::INFINITY;
     for devices in [1, 2, 4, 8] {
-        let r = run_cluster(&exec.units, &batches, devices, &spec, &OptFlags::full(), &cost);
+        let r = run_cluster(
+            &exec.units,
+            &batches,
+            devices,
+            &spec,
+            &OptFlags::full(),
+            &cost,
+        );
         assert!(
             r.total_seconds <= prev * 1.0001,
             "{devices} devices slower than fewer: {} > {prev}",

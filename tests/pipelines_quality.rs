@@ -62,9 +62,7 @@ fn elba_workload_partitions_cleanly() {
         .workload
         .comparisons
         .iter()
-        .map(|c| {
-            (run.workload.seqs.seq_len(c.h) + run.workload.seqs.seq_len(c.v)) as u64
-        })
+        .map(|c| (run.workload.seqs.seq_len(c.h) + run.workload.seqs.seq_len(c.v)) as u64)
         .sum();
     let unique: u64 = parts.iter().map(|p| p.seq_bytes).sum();
     assert!(naive as f64 / unique as f64 > 1.5);

@@ -1,0 +1,105 @@
+//! Golden-file tests for the cluster telemetry serialization: a
+//! deterministic cluster run must serialize to byte-identical JSON
+//! (both the `ClusterReport` and its Chrome trace), and both dumps
+//! must deserialize back to equal values.
+//!
+//! Regenerate the fixtures after an intentional format change with
+//! `UPDATE_FIXTURES=1 cargo test --test trace_golden`.
+
+use std::path::PathBuf;
+
+use xdrop_ipu::sim::batch::{Batch, TileAssignment};
+use xdrop_ipu::sim::cluster::{run_cluster_opts, ClusterOptions, ClusterReport};
+use xdrop_ipu::sim::cost::{CostModel, OptFlags};
+use xdrop_ipu::sim::exec::WorkUnit;
+use xdrop_ipu::sim::spec::IpuSpec;
+use xdrop_ipu::sim::trace::ChromeTrace;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// A small fixed scenario: three devices, five batches with varied
+/// transfer and compute weights. Everything is constant, so the
+/// JSON is reproducible down to the byte.
+fn scenario() -> (ClusterReport, ChromeTrace) {
+    let units: Vec<WorkUnit> = (0..5u64)
+        .map(|i| WorkUnit {
+            cmp: i as u32,
+            side: None,
+            stats: xdrop_ipu::core::stats::AlignStats {
+                cells_computed: 4_000_000 + i * 1_500_000,
+                antidiagonals: 128,
+                ..Default::default()
+            },
+            score: 0,
+            est_complexity: 1,
+        })
+        .collect();
+    let batches: Vec<Batch> = (0..5usize)
+        .map(|i| Batch {
+            tiles: vec![TileAssignment {
+                units: vec![i as u32],
+                transfer_bytes: 800_000_000 + i as u64 * 350_000_000,
+                est_load: 1,
+            }],
+        })
+        .collect();
+    let (report, trace) = run_cluster_opts(
+        &units,
+        &batches,
+        3,
+        &IpuSpec::gc200(),
+        &OptFlags::full(),
+        &CostModel::default(),
+        &ClusterOptions {
+            host_threads: 1,
+            collect_trace: true,
+        },
+    );
+    (report, trace.expect("trace requested"))
+}
+
+fn check_golden(name: &str, json: &str) {
+    let path = fixture_path(name);
+    if std::env::var("UPDATE_FIXTURES").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, json).unwrap();
+        return;
+    }
+    let fixture = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with UPDATE_FIXTURES=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        json,
+        fixture.as_str(),
+        "{name} drifted from its golden fixture"
+    );
+}
+
+#[test]
+fn cluster_report_golden_roundtrip() {
+    let (report, _) = scenario();
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    check_golden("cluster_report.json", &json);
+    let back: ClusterReport = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, report);
+}
+
+#[test]
+fn chrome_trace_golden_roundtrip() {
+    let (_, trace) = scenario();
+    let json = trace.to_json();
+    check_golden("cluster_trace.json", &json);
+    let back: ChromeTrace = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, trace);
+    // Structural sanity of the Chrome format.
+    assert!(json.starts_with('{'));
+    assert!(json.contains("\"traceEvents\""));
+    assert!(trace.traceEvents.iter().all(|e| e.ph == "X"));
+}

@@ -1,0 +1,638 @@
+//! Offline stand-in for `proptest`.
+//!
+//! crates.io is unreachable in this build environment, so this crate
+//! reimplements the slice of proptest the workspace uses: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`,
+//! range and tuple strategies, [`collection::vec`],
+//! [`arbitrary::any`], [`test_runner::ProptestConfig`], and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_assume!`
+//! macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the case number and
+//!   seed instead of a minimized input. Failures stay reproducible
+//!   because case seeds derive deterministically from the test name.
+//! * **No persistence files**, no fork, no timeout.
+//!
+//! Neither limitation changes whether a property holds.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Generates values of `Self::Value` from a random source.
+    ///
+    /// The real crate separates strategies from value trees to
+    /// support shrinking; without shrinking a strategy is just a
+    /// seeded generator.
+    pub trait Strategy {
+        /// Type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Uses each generated value to build a follow-up strategy,
+        /// then draws from that.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+    trait DynStrategy {
+        type Value;
+        fn dyn_new_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_new_value(rng)
+        }
+    }
+
+    /// Strategy returning a clone of a fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// References to strategies draw like the strategy itself.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {:?}", self
+                    );
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The canonical strategy for `T` (`any::<T>()`).
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Returns the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.gen::<$wide>() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(
+        u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => u64,
+        i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => u64
+    );
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.gen()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            rng.gen()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Bounds on a generated collection's length.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        /// Inclusive minimum length.
+        pub min: usize,
+        /// Inclusive maximum length.
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range {r:?}");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length falls in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.min == self.size.max {
+                self.size.min
+            } else {
+                rng.gen_range(self.size.min..=self.size.max)
+            };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Deterministic random source handed to strategies.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Creates a generator for one test case.
+        pub fn seed_from_u64(seed: u64) -> Self {
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.0.fill_bytes(dest)
+        }
+    }
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config requiring `cases` passing cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; draw new ones.
+        Reject,
+        /// The property failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// Drives one property over many generated cases.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// Creates a runner.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Runs `case` until `config.cases` cases pass, panicking on
+        /// the first failure. Case seeds derive from the test name so
+        /// every run of a given binary explores the same inputs
+        /// (there is no shrinker to minimize a novel failure with).
+        pub fn run_named(
+            &mut self,
+            name: &str,
+            mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        ) {
+            let base = fnv1a(name.as_bytes());
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            let max_rejects = self.config.cases.saturating_mul(16).max(1024);
+            let mut case_index = 0u64;
+            while passed < self.config.cases {
+                let seed = base ^ case_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut rng = TestRng::seed_from_u64(seed);
+                match case(&mut rng) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject) => {
+                        rejected += 1;
+                        if rejected > max_rejects {
+                            panic!(
+                                "property `{name}`: too many prop_assume! \
+                                 rejections ({rejected}) for {} passing cases",
+                                passed
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{name}` failed at case {case_index} \
+                             (seed {seed:#x}): {msg}"
+                        );
+                    }
+                }
+                case_index += 1;
+            }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}
+
+/// Everything a property test module needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror so `prop::collection::vec` works.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each `fn` runs its body over many
+/// generated inputs. Parameters are either `pat in strategy` or
+/// `name: Type` (shorthand for `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr);) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($config);
+            runner.run_named(stringify!($name), |__proptest_rng| {
+                $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                let __proptest_outcome: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                __proptest_outcome
+            });
+        }
+        $crate::__proptest_fns! { ($config); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds one parameter list.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $arg:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $arg: $ty = $crate::strategy::Strategy::new_value(
+            &$crate::arbitrary::any::<$ty>(),
+            $rng,
+        );
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $pat:pat in $strategy:expr $(, $($rest:tt)*)?) => {
+        let $pat = $crate::strategy::Strategy::new_value(&$strategy, $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left == *right,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), left, right
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(*left == *right, $($fmt)+);
+            }
+        }
+    };
+}
+
+/// Fails the current case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left != *right,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left
+                );
+            }
+        }
+    };
+}
+
+/// Rejects the current case (draws a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 3usize..9, b in -4i32..4, f in 0.25f64..0.75) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-4..4).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn typed_args_and_tuples(flag: bool, (x, y) in (0u8..10, 10u8..20)) {
+            prop_assert!(usize::from(flag) <= 1);
+            prop_assert!(x < 10 && (10..20).contains(&y));
+        }
+
+        #[test]
+        fn vec_and_flat_map(v in prop::collection::vec(1u64..100, 0..16)) {
+            prop_assert!(v.len() < 16);
+            prop_assert!(v.iter().all(|&e| (1..100).contains(&e)));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_chains_sizes() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = (2usize..6)
+            .prop_flat_map(|n| crate::collection::vec(0u8..3, n).prop_map(move |v| (n, v)));
+        let mut rng = TestRng::seed_from_u64(7);
+        for _ in 0..32 {
+            let (n, v) = strat.new_value(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRunner;
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            let mut runner = TestRunner::new(crate::test_runner::ProptestConfig::with_cases(8));
+            runner.run_named("determinism_probe", |rng| {
+                out.push((0u64..1000).new_value(rng));
+                Ok(())
+            });
+        }
+        assert_eq!(first, second);
+    }
+}
