@@ -47,6 +47,9 @@ pub struct LoganOutcome {
 /// Runs one LOGAN-style extension.
 pub fn logan_extend<S: Scorer>(h: &[u8], v: &[u8], scorer: &S, x: i32) -> LoganOutcome {
     let w = band_width(x);
+    // `xdrop2::align` dispatches on `XDropParams::kernel` (auto by
+    // default), so this baseline gets the lane-parallel host kernels
+    // for free without its numbers changing.
     let output = xdrop2::align(h, v, scorer, XDropParams::new(x), BandPolicy::Saturate(w))
         .expect("saturate policy cannot fail");
     let lane_width = w.min(h.len().min(v.len()) + 1).div_ceil(WARP) * WARP;

@@ -15,6 +15,7 @@
 //!   partition  §4.3     batch counts and sequence reuse
 //!   elba       §6.3.1   ELBA alignment phase CPU/GPU/IPUs
 //!   pastis     §6.3.2   PASTIS alignment step CPU vs IPU
+//!   bench      host-kernel A/B (scalar/chunked/simd cells/sec)
 //!   all        everything above
 //! ```
 //!
@@ -25,7 +26,9 @@
 
 use seqdata::{Dataset, DatasetKind};
 use xdrop_bench::exp;
-use xdrop_bench::exp::{compare, realworld, scaling, search_space, table1, table2, tilesched};
+use xdrop_bench::exp::{
+    compare, kernelbench, realworld, scaling, search_space, table1, table2, tilesched,
+};
 use xdrop_bench::svg;
 use xdrop_pipelines::elba::ElbaConfig;
 use xdrop_pipelines::overlap::OverlapConfig;
@@ -36,6 +39,7 @@ struct Args {
     scale: f64,
     threads: usize,
     trace: bool,
+    bench_json: bool,
 }
 
 fn parse_args() -> Args {
@@ -44,6 +48,7 @@ fn parse_args() -> Args {
         scale: 1.0,
         threads: 8,
         trace: false,
+        bench_json: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -61,6 +66,7 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage("--threads needs a number"))
             }
             "--trace" => args.trace = true,
+            "--bench-json" => args.bench_json = true,
             "-h" | "--help" => usage(""),
             name if args.name.is_empty() => args.name = name.to_string(),
             other => usage(&format!("unexpected argument {other}")),
@@ -77,10 +83,12 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage: experiments <table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|sec61|partition|elba|pastis|all> [--scale F] [--threads N] [--trace]\n\
+        "usage: experiments <table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|sec61|partition|elba|pastis|bench|all> [--scale F] [--threads N] [--trace] [--bench-json]\n\
          \n\
-         --trace  also dump a Chrome trace_event timeline to\n\
-         \x20        results/<name>.trace.json (fig4, fig7, elba, pastis)"
+         --trace       also dump a Chrome trace_event timeline to\n\
+         \x20             results/<name>.trace.json (fig4, fig7, elba, pastis)\n\
+         --bench-json  with `bench`: also write the machine-readable\n\
+         \x20             perf baseline BENCH_xdrop.json at the repo root"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -394,6 +402,18 @@ fn run_one(name: &str, args: &Args) {
             exp::save_json("elba", &rows);
             if args.trace {
                 exp::save_trace("elba", &realworld::elba_trace(&cfg, 15, 8, 5));
+            }
+        }
+        "bench" => {
+            let rows = kernelbench::run(args.scale);
+            println!("Host-kernel A/B: DP cells/second per kernel");
+            print!("{}", kernelbench::render(&rows));
+            exp::save_json("bench_kernel", &rows);
+            if args.bench_json {
+                match kernelbench::write_bench_json(&rows) {
+                    Ok(path) => println!("   wrote {}", path.display()),
+                    Err(e) => eprintln!("   could not write BENCH_xdrop.json: {e}"),
+                }
             }
         }
         "pastis" => {

@@ -1,0 +1,246 @@
+//! Host-kernel A/B benchmark and the machine-readable perf baseline
+//! (`BENCH_xdrop.json`).
+//!
+//! Measures cells/second of every [`KernelKind`] on a deterministic
+//! DNA grid: per steady band width (pinned via
+//! `BandPolicy::Saturate(w)` on identical sequences with an
+//! effectively unbounded X, so every kernel sweeps exactly `w` cells
+//! per antidiagonal) and per sequence length, plus one realistic
+//! 10%-error `Grow` configuration. All kernels are bit-identical —
+//! the `kernel_bit_identity` proptest enforces that — so the only
+//! thing measured here is host wall-clock.
+//!
+//! Reproduce with:
+//!
+//! ```text
+//! cargo run --release -p xdrop-bench --bin experiments -- bench --bench-json
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use seqdata::gen::{generate_pair, MutationProfile, PairSpec};
+use std::time::Instant;
+use xdrop_core::alphabet::Alphabet;
+use xdrop_core::kernel::{self, KernelKind};
+use xdrop_core::seqview::Fwd;
+use xdrop_core::xdrop2::{BandPolicy, Workspace};
+use xdrop_core::XDropParams;
+
+/// One measured (kernel × configuration) cell.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Row {
+    /// Kernel name (`scalar` / `chunked` / `simd`).
+    pub kernel: String,
+    /// Benchmark configuration label.
+    pub config: String,
+    /// Sequence length (symbols per side).
+    pub len: usize,
+    /// Steady band width (δ_b for Saturate; 0 for the Grow config,
+    /// where the band follows the live width).
+    pub band: usize,
+    /// X-Drop threshold used.
+    pub x: i32,
+    /// DP cells computed per alignment (identical across kernels).
+    pub cells: u64,
+    /// Wall-clock seconds per alignment (mean over iterations).
+    pub seconds: f64,
+    /// Throughput in DP cells per second.
+    pub cells_per_sec: f64,
+    /// Throughput relative to the scalar kernel on this config.
+    pub speedup_vs_scalar: f64,
+}
+
+/// Top-level schema of `BENCH_xdrop.json`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct BenchFile {
+    /// Schema tag for downstream readers.
+    pub schema: String,
+    /// The exact command that regenerates the file.
+    pub command: String,
+    /// What `KernelKind::detect()` picked on the producing host.
+    pub detected_kernel: String,
+    /// The measurements.
+    pub rows: Vec<Row>,
+}
+
+fn pair(len: usize, err: f64) -> (Vec<u8>, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let spec = PairSpec {
+        len,
+        seed_len: 17,
+        seed_frac: 0.0,
+        errors: MutationProfile::uniform_mismatch(err),
+        alphabet: Alphabet::Dna,
+    };
+    let p = generate_pair(&mut rng, &spec);
+    (p.h, p.v)
+}
+
+/// Times one (kernel, config): repeats the alignment until ≥ 0.2 s
+/// or ≥ 3 iterations, whichever is later, and reports the mean.
+fn measure(
+    kind: KernelKind,
+    h: &[u8],
+    v: &[u8],
+    params: XDropParams,
+    policy: BandPolicy,
+) -> (u64, f64) {
+    let sc = super::dna_scorer();
+    let mut ws = Workspace::<i32>::new();
+    // Warm-up (also grows the workspace so allocation is excluded).
+    let out = kernel::align_views(kind, &Fwd(h), &Fwd(v), &sc, params, policy, &mut ws)
+        .expect("bench alignment");
+    let cells = out.stats.cells_computed;
+    let mut iters = 0u32;
+    let start = Instant::now();
+    loop {
+        let o = kernel::align_views(kind, &Fwd(h), &Fwd(v), &sc, params, policy, &mut ws)
+            .expect("bench alignment");
+        std::hint::black_box(&o);
+        iters += 1;
+        if iters >= 3 && start.elapsed().as_secs_f64() >= 0.2 {
+            break;
+        }
+        if iters >= 10_000 {
+            break;
+        }
+    }
+    (cells, start.elapsed().as_secs_f64() / f64::from(iters))
+}
+
+/// Runs the full grid. `scale` multiplies the sequence lengths.
+pub fn run(scale: f64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let lens: Vec<usize> = [1_000usize, 10_000]
+        .iter()
+        .map(|&l| ((l as f64 * scale) as usize).max(64))
+        .collect();
+
+    // Axis 1: steady band width × length (identical sequences,
+    // saturated band, unbounded X → exactly `w` cells per sweep).
+    for &len in &lens {
+        let (h, _) = pair(len, 0.0);
+        for w in [16usize, 64, 256] {
+            let params = XDropParams::unbounded();
+            let policy = BandPolicy::Saturate(w);
+            push_config(
+                &mut rows,
+                &format!("band{w}/len{len}"),
+                len,
+                w,
+                params.x,
+                |kind| measure(kind, &h, &h, params.with_kernel(kind), policy),
+            );
+        }
+    }
+
+    // Axis 2: realistic X-Drop extension (10% error, growing band).
+    for &len in &lens {
+        let (h, v) = pair(len, 0.10);
+        let params = XDropParams::new(50);
+        let policy = BandPolicy::Grow(256);
+        push_config(
+            &mut rows,
+            &format!("grow10pct/len{len}"),
+            len,
+            0,
+            params.x,
+            |kind| measure(kind, &h, &v, params.with_kernel(kind), policy),
+        );
+    }
+    rows
+}
+
+fn push_config(
+    rows: &mut Vec<Row>,
+    config: &str,
+    len: usize,
+    band: usize,
+    x: i32,
+    mut measure_one: impl FnMut(KernelKind) -> (u64, f64),
+) {
+    let mut scalar_cps = 0.0;
+    for kind in KernelKind::ALL {
+        let (cells, seconds) = measure_one(kind);
+        let cps = cells as f64 / seconds;
+        if kind == KernelKind::Scalar {
+            scalar_cps = cps;
+        }
+        rows.push(Row {
+            kernel: kind.name().to_string(),
+            config: config.to_string(),
+            len,
+            band,
+            x,
+            cells,
+            seconds,
+            cells_per_sec: cps,
+            speedup_vs_scalar: if scalar_cps > 0.0 {
+                cps / scalar_cps
+            } else {
+                1.0
+            },
+        });
+    }
+}
+
+/// Renders the rows as an aligned text table.
+pub fn render(rows: &[Row]) -> String {
+    let mut s = String::from(
+        "config               kernel    cells/align      s/align     Mcells/s   vs scalar\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:<20} {:<8} {:>12} {:>12.6} {:>12.2} {:>10.2}x\n",
+            r.config,
+            r.kernel,
+            r.cells,
+            r.seconds,
+            r.cells_per_sec / 1e6,
+            r.speedup_vs_scalar
+        ));
+    }
+    s
+}
+
+/// The command documented to regenerate `BENCH_xdrop.json`.
+pub const REPRO_COMMAND: &str =
+    "cargo run --release -p xdrop-bench --bin experiments -- bench --bench-json";
+
+/// Writes the machine-readable baseline at the repository root.
+pub fn write_bench_json(rows: &[Row]) -> std::io::Result<std::path::PathBuf> {
+    let file = BenchFile {
+        schema: "xdrop-kernel-bench/v1".to_string(),
+        command: REPRO_COMMAND.to_string(),
+        detected_kernel: KernelKind::detect().name().to_string(),
+        rows: rows.to_vec(),
+    };
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_xdrop.json");
+    let json =
+        serde_json::to_string_pretty(&file).map_err(|e| std::io::Error::other(e.to_string()))?;
+    std::fs::write(&path, json)?;
+    Ok(path.canonicalize().unwrap_or(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_all_kernels_and_reports_identical_cells() {
+        // Tiny scale so the test stays fast; the structure (not the
+        // timing) is what's asserted.
+        let rows = run(0.08);
+        assert_eq!(rows.len() % KernelKind::ALL.len(), 0);
+        for chunk in rows.chunks(KernelKind::ALL.len()) {
+            assert_eq!(chunk[0].kernel, "scalar");
+            for r in chunk {
+                assert_eq!(r.cells, chunk[0].cells, "bit-identity implies equal work");
+                assert!(r.cells_per_sec > 0.0);
+                assert!(r.speedup_vs_scalar > 0.0);
+            }
+        }
+        let txt = render(&rows);
+        assert!(txt.contains("vs scalar"));
+    }
+}

@@ -134,7 +134,8 @@ impl Extender {
 
         let (left, right) = match self.backend {
             Backend::TwoDiag(policy) => (
-                xdrop2::align_views_ty(
+                crate::kernel::align_views(
+                    self.params.kernel,
                     &Rev(h_left),
                     &Rev(v_left),
                     scorer,
@@ -142,7 +143,8 @@ impl Extender {
                     policy,
                     &mut self.ws2,
                 )?,
-                xdrop2::align_views_ty(
+                crate::kernel::align_views(
+                    self.params.kernel,
                     &Fwd(h_right),
                     &Fwd(v_right),
                     scorer,
@@ -201,7 +203,8 @@ impl Extender {
         let (h_left, _, h_right) = split3(h, seed.h_pos, seed.k);
         let (v_left, _, v_right) = split3(v, seed.v_pos, seed.k);
         match (side, self.backend) {
-            (Side::Left, Backend::TwoDiag(policy)) => xdrop2::align_views_ty(
+            (Side::Left, Backend::TwoDiag(policy)) => crate::kernel::align_views(
+                self.params.kernel,
                 &Rev(h_left),
                 &Rev(v_left),
                 scorer,
@@ -209,7 +212,8 @@ impl Extender {
                 policy,
                 &mut self.ws2,
             ),
-            (Side::Right, Backend::TwoDiag(policy)) => xdrop2::align_views_ty(
+            (Side::Right, Backend::TwoDiag(policy)) => crate::kernel::align_views(
+                self.params.kernel,
                 &Fwd(h_right),
                 &Fwd(v_right),
                 scorer,
@@ -244,6 +248,7 @@ pub enum Side {
     Right,
 }
 
+#[inline(always)]
 fn split3(s: &[u8], pos: usize, k: usize) -> (&[u8], &[u8], &[u8]) {
     (&s[..pos], &s[pos..pos + k], &s[pos + k..])
 }

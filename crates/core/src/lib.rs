@@ -48,6 +48,7 @@ pub mod alphabet;
 pub mod error;
 pub mod extension;
 pub mod hirschberg;
+pub mod kernel;
 pub mod packing;
 pub mod reference;
 pub mod scorety;
@@ -64,6 +65,7 @@ pub mod prelude {
     pub use crate::alphabet::{decode_dna, encode_dna, encode_protein, Alphabet};
     pub use crate::error::{AlignError, Result};
     pub use crate::extension::{extend_seed, ExtendOutcome, SeedMatch};
+    pub use crate::kernel::KernelKind;
     pub use crate::scoring::{Blosum62, MatchMismatch, Scorer};
     pub use crate::seqview::{Fwd, Rev, SeqView};
     pub use crate::stats::{AlignResult, AlignStats};
@@ -103,14 +105,21 @@ pub struct XDropParams {
     /// Optional hard cap on the number of antidiagonals processed
     /// (`None` means run until the live band empties).
     pub max_antidiagonals: Option<usize>,
+    /// Which antidiagonal inner-loop implementation runs the
+    /// alignment. All kernels are bit-identical (see [`kernel`]);
+    /// this only affects host wall-clock, never results or the
+    /// modeled IPU cost.
+    pub kernel: kernel::KernelKind,
 }
 
 impl XDropParams {
-    /// X-Drop parameters with threshold `x` and no iteration cap.
+    /// X-Drop parameters with threshold `x`, no iteration cap, and
+    /// the auto-detected kernel ([`kernel::KernelKind::auto`]).
     pub fn new(x: i32) -> Self {
         Self {
             x,
             max_antidiagonals: None,
+            kernel: kernel::KernelKind::auto(),
         }
     }
 
@@ -120,12 +129,19 @@ impl XDropParams {
         Self {
             x: i32::MAX / 8,
             max_antidiagonals: None,
+            kernel: kernel::KernelKind::auto(),
         }
     }
 
     /// Limits the number of antidiagonal sweeps.
     pub fn with_max_antidiagonals(mut self, n: usize) -> Self {
         self.max_antidiagonals = Some(n);
+        self
+    }
+
+    /// Forces a specific antidiagonal kernel.
+    pub fn with_kernel(mut self, kernel: kernel::KernelKind) -> Self {
+        self.kernel = kernel;
         self
     }
 }

@@ -93,6 +93,54 @@ impl SeqView for PackedSeq {
         let off = (idx % per_word) as u32 * self.bits;
         ((self.data[w] >> off) & ((1u64 << self.bits) - 1)) as u8
     }
+
+    /// Word-level unpack: one 64-bit load serves up to 32 DNA symbols
+    /// instead of a shift/mask per symbol — the packed-DNA fast path
+    /// the lane-parallel kernels stage their chunks through.
+    #[inline(always)]
+    fn fill_fwd(&self, start: usize, out: &mut [u8]) {
+        debug_assert!(start + out.len() <= self.len);
+        let bits = self.bits;
+        let per_word = (64 / bits) as usize;
+        let mask = (1u64 << bits) - 1;
+        let mut idx = start;
+        let mut k = 0;
+        while k < out.len() {
+            let w = idx / per_word;
+            let in_word = idx % per_word;
+            let mut word = self.data[w] >> (in_word as u32 * bits);
+            let take = (per_word - in_word).min(out.len() - k);
+            for o in &mut out[k..k + take] {
+                *o = (word & mask) as u8;
+                word >>= bits;
+            }
+            idx += take;
+            k += take;
+        }
+    }
+
+    #[inline(always)]
+    fn fill_rev(&self, start: usize, out: &mut [u8]) {
+        debug_assert!(start < self.len && start + 1 >= out.len());
+        let bits = self.bits;
+        let per_word = (64 / bits) as usize;
+        let mask = (1u64 << bits) - 1;
+        let mut idx = start;
+        let mut k = 0;
+        while k < out.len() {
+            let w = idx / per_word;
+            let in_word = idx % per_word;
+            let word = self.data[w];
+            let take = (in_word + 1).min(out.len() - k);
+            let mut shift = in_word as u32 * bits;
+            for o in &mut out[k..k + take] {
+                *o = ((word >> shift) & mask) as u8;
+                shift = shift.wrapping_sub(bits);
+            }
+            idx -= take.min(idx); // saturate at 0 on the final word
+            k += take;
+        }
+    }
 }
 
 /// Reverse view over a packed sequence (the `op(·)` transform for
@@ -109,6 +157,18 @@ impl SeqView for PackedRev<'_> {
     #[inline(always)]
     fn at(&self, idx: usize) -> u8 {
         self.0.at(self.0.len() - 1 - idx)
+    }
+
+    #[inline(always)]
+    fn fill_fwd(&self, start: usize, out: &mut [u8]) {
+        // Logical ascending = physical descending.
+        self.0.fill_rev(self.0.len() - 1 - start, out);
+    }
+
+    #[inline(always)]
+    fn fill_rev(&self, start: usize, out: &mut [u8]) {
+        // Logical descending = physical ascending.
+        self.0.fill_fwd(self.0.len() - 1 - start, out);
     }
 }
 
@@ -193,6 +253,49 @@ mod tests {
         let rev: Vec<u8> = s.iter().rev().copied().collect();
         let b = xdrop2::align(&rev, &s, &sc, XDropParams::new(5), BandPolicy::Grow(4)).unwrap();
         assert_eq!(a.result, b.result);
+    }
+
+    #[test]
+    fn fill_matches_at_across_word_boundaries() {
+        // 71 symbols: spans three 2-bit words with ragged edges.
+        let codes: Vec<u8> = (0..71u8).map(|i| i % 4).collect();
+        let p = PackedSeq::pack(&codes, Alphabet::Dna);
+        let r = PackedRev(&p);
+        let mut got = [0u8; 37];
+        for start in 0..codes.len() {
+            for n in [1usize, 3, 16, 37] {
+                if start + n <= codes.len() {
+                    p.fill_fwd(start, &mut got[..n]);
+                    for (k, &g) in got[..n].iter().enumerate() {
+                        assert_eq!(g, p.at(start + k), "fwd s={start} n={n} k={k}");
+                    }
+                    r.fill_fwd(start, &mut got[..n]);
+                    for (k, &g) in got[..n].iter().enumerate() {
+                        assert_eq!(g, r.at(start + k), "rev-fwd s={start} n={n} k={k}");
+                    }
+                }
+                if start + 1 >= n {
+                    p.fill_rev(start, &mut got[..n]);
+                    for (k, &g) in got[..n].iter().enumerate() {
+                        assert_eq!(g, p.at(start - k), "bwd s={start} n={n} k={k}");
+                    }
+                    r.fill_rev(start, &mut got[..n]);
+                    for (k, &g) in got[..n].iter().enumerate() {
+                        assert_eq!(g, r.at(start - k), "rev-bwd s={start} n={n} k={k}");
+                    }
+                }
+            }
+        }
+        // Protein width (5 bits, 12 symbols per word) too.
+        let codes: Vec<u8> = (0..50u8).map(|i| i % 24).collect();
+        let p = PackedSeq::pack(&codes, Alphabet::Protein);
+        let mut got = [0u8; 17];
+        for start in 0..codes.len() - 17 {
+            p.fill_fwd(start, &mut got);
+            for (k, &g) in got[..17].iter().enumerate() {
+                assert_eq!(g, p.at(start + k));
+            }
+        }
     }
 
     #[test]

@@ -36,6 +36,18 @@ pub trait Scorer {
             .map(|(&a, &b)| self.sim(a, b))
             .sum()
     }
+
+    /// Returns the scheme's parameters if it is a plain
+    /// match/mismatch scheme.
+    ///
+    /// The explicit-SIMD kernel uses this to replace the per-cell
+    /// `sim` call (a table gather for matrix scorers) with a vector
+    /// compare-and-select. Matrix scorers return `None` and keep the
+    /// generic per-cell path.
+    #[inline(always)]
+    fn as_match_mismatch(&self) -> Option<MatchMismatch> {
+        None
+    }
 }
 
 /// Match/mismatch scoring for DNA with a linear gap penalty.
@@ -86,6 +98,11 @@ impl Scorer for MatchMismatch {
 
     fn alphabet(&self) -> Alphabet {
         Alphabet::Dna
+    }
+
+    #[inline(always)]
+    fn as_match_mismatch(&self) -> Option<MatchMismatch> {
+        Some(*self)
     }
 }
 
@@ -205,6 +222,13 @@ mod tests {
         for a in 0..20 {
             assert!(BLOSUM62[a][a] > 0, "self-score of residue {a} not positive");
         }
+    }
+
+    #[test]
+    fn match_mismatch_downcast_hook() {
+        let s = MatchMismatch::new(2, -3, -4);
+        assert_eq!(s.as_match_mismatch(), Some(s));
+        assert_eq!(Blosum62::pastis_default().as_match_mismatch(), None);
     }
 
     #[test]

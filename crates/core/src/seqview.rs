@@ -22,6 +22,35 @@ pub trait SeqView {
 
     /// The symbol at logical position `idx` (`idx < len()`).
     fn at(&self, idx: usize) -> u8;
+
+    /// Fills `out` with the symbols at logical positions
+    /// `start, start + 1, …, start + out.len() − 1`.
+    ///
+    /// The whole range must be in bounds. The lane-parallel kernels
+    /// use this to stage one chunk of symbols per fixed-width sweep
+    /// instead of issuing a generic `at` per cell; implementors
+    /// override it with a bulk copy (or a word-level unpack for
+    /// packed storage).
+    #[inline(always)]
+    fn fill_fwd(&self, start: usize, out: &mut [u8]) {
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = self.at(start + k);
+        }
+    }
+
+    /// Fills `out` with the symbols at logical positions
+    /// `start, start − 1, …, start + 1 − out.len()` (descending).
+    ///
+    /// The whole range must be in bounds (`start + 1 ≥ out.len()`).
+    /// This is the access pattern of the `H` sequence along an
+    /// antidiagonal: as the row index `i` ascends, the column index
+    /// `j = d − i` descends.
+    #[inline(always)]
+    fn fill_rev(&self, start: usize, out: &mut [u8]) {
+        for (k, o) in out.iter_mut().enumerate() {
+            *o = self.at(start - k);
+        }
+    }
 }
 
 /// Forward view: logical index `i` maps to physical index `i`.
@@ -37,6 +66,19 @@ impl SeqView for Fwd<'_> {
     #[inline(always)]
     fn at(&self, idx: usize) -> u8 {
         self.0[idx]
+    }
+
+    #[inline(always)]
+    fn fill_fwd(&self, start: usize, out: &mut [u8]) {
+        out.copy_from_slice(&self.0[start..start + out.len()]);
+    }
+
+    #[inline(always)]
+    fn fill_rev(&self, start: usize, out: &mut [u8]) {
+        let src = &self.0[start + 1 - out.len()..=start];
+        for (o, s) in out.iter_mut().zip(src.iter().rev()) {
+            *o = *s;
+        }
     }
 }
 
@@ -54,6 +96,23 @@ impl SeqView for Rev<'_> {
     #[inline(always)]
     fn at(&self, idx: usize) -> u8 {
         self.0[self.0.len() - 1 - idx]
+    }
+
+    #[inline(always)]
+    fn fill_fwd(&self, start: usize, out: &mut [u8]) {
+        // Logical ascending = physical descending from len − 1 − start.
+        let phys = self.0.len() - 1 - start;
+        let src = &self.0[phys + 1 - out.len()..=phys];
+        for (o, s) in out.iter_mut().zip(src.iter().rev()) {
+            *o = *s;
+        }
+    }
+
+    #[inline(always)]
+    fn fill_rev(&self, start: usize, out: &mut [u8]) {
+        // Logical descending = physical ascending: a contiguous copy.
+        let phys = self.0.len() - 1 - start;
+        out.copy_from_slice(&self.0[phys..phys + out.len()]);
     }
 }
 
@@ -88,6 +147,34 @@ mod tests {
         let s: [u8; 0] = [];
         assert!(Fwd(&s).is_empty());
         assert!(Rev(&s).is_empty());
+    }
+
+    #[test]
+    fn fill_matches_at_for_both_directions() {
+        let s: Vec<u8> = (0..37u8).collect();
+        let fwd = Fwd(&s);
+        let rev = Rev(&s);
+        let mut got = [0u8; 5];
+        for start in 0..s.len() {
+            let n = (s.len() - start).min(5);
+            fwd.fill_fwd(start, &mut got[..n]);
+            for (k, &g) in got[..n].iter().enumerate() {
+                assert_eq!(g, fwd.at(start + k), "Fwd::fill_fwd {start}+{k}");
+            }
+            rev.fill_fwd(start, &mut got[..n]);
+            for (k, &g) in got[..n].iter().enumerate() {
+                assert_eq!(g, rev.at(start + k), "Rev::fill_fwd {start}+{k}");
+            }
+            let n = (start + 1).min(5);
+            fwd.fill_rev(start, &mut got[..n]);
+            for (k, &g) in got[..n].iter().enumerate() {
+                assert_eq!(g, fwd.at(start - k), "Fwd::fill_rev {start}-{k}");
+            }
+            rev.fill_rev(start, &mut got[..n]);
+            for (k, &g) in got[..n].iter().enumerate() {
+                assert_eq!(g, rev.at(start - k), "Rev::fill_rev {start}-{k}");
+            }
+        }
     }
 
     #[test]

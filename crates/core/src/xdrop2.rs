@@ -54,6 +54,7 @@ pub enum BandPolicy {
 
 impl BandPolicy {
     /// The configured band bound `δ_b`.
+    #[inline(always)]
     pub fn delta_b(self) -> usize {
         match self {
             BandPolicy::Exact(b) | BandPolicy::Grow(b) | BandPolicy::Saturate(b) => b,
@@ -61,10 +62,18 @@ impl BandPolicy {
     }
 }
 
-/// Reusable pair of band buffers for [`align_with_workspace`].
+/// Reusable band buffers for [`align_with_workspace`].
+///
+/// `bufs` are the two antidiagonal buffers of Algorithm 1; `scratch`
+/// is a third, host-side staging buffer used only by the
+/// lane-parallel kernels ([`crate::kernel`]) to snapshot the `d − 2`
+/// segment before the in-place overwrite. It is *not* part of the
+/// modeled `2 δ_b` working set ([`AlignStats::work_bytes`]), which
+/// describes the device kernel's footprint.
 #[derive(Debug, Default)]
 pub struct Workspace<T: ScoreTy> {
-    bufs: [Vec<T>; 2],
+    pub(crate) bufs: [Vec<T>; 2],
+    pub(crate) scratch: Vec<T>,
 }
 
 impl<T: ScoreTy> Workspace<T> {
@@ -72,44 +81,88 @@ impl<T: ScoreTy> Workspace<T> {
     pub fn new() -> Self {
         Self {
             bufs: [Vec::new(), Vec::new()],
+            scratch: Vec::new(),
         }
     }
 
-    fn ensure(&mut self, cap: usize) {
+    /// Grows every buffer to at least `cap` cells.
+    ///
+    /// Already-sized workspaces take the early return and never touch
+    /// the vectors — `ensure` sits on the per-alignment hot path and
+    /// batches reuse one workspace across thousands of calls.
+    #[inline(always)]
+    pub(crate) fn ensure(&mut self, cap: usize) {
+        if self.capacity() >= cap && self.scratch.len() >= cap {
+            return;
+        }
+        self.grow_to(cap);
+    }
+
+    #[cold]
+    fn grow_to(&mut self, cap: usize) {
         for b in &mut self.bufs {
             if b.len() < cap {
                 b.resize(cap, T::neg_inf());
             }
         }
+        if self.scratch.len() < cap {
+            self.scratch.resize(cap, T::neg_inf());
+        }
     }
 
-    fn capacity(&self) -> usize {
+    /// Usable band capacity: the size of the smaller antidiagonal
+    /// buffer (the scratch buffer is excluded — it mirrors them).
+    #[inline(always)]
+    pub(crate) fn capacity(&self) -> usize {
         self.bufs[0].len().min(self.bufs[1].len())
+    }
+
+    /// Truncates all buffers to length zero (capacity is kept).
+    ///
+    /// Calling this between alignments is **never required for
+    /// correctness**: every read of a band slot is guarded by the
+    /// `DiagMeta` candidate interval of the antidiagonal that last
+    /// wrote it *in the current call* (`contains(i)`), and the metas
+    /// restart from the origin/`EMPTY` state on every call — so cells
+    /// left over from a previous, larger alignment are unreachable,
+    /// not merely ignored. The guard is what
+    /// `workspace_reuse_is_clean` and the cross-size regression tests
+    /// pin down. `reset_len` exists for diagnostics: after it, the
+    /// next `ensure` re-fills every cell with `-∞`, so a kernel that
+    /// *did* depend on stale contents would fail loudly.
+    pub fn reset_len(&mut self) {
+        for b in &mut self.bufs {
+            b.clear();
+        }
+        self.scratch.clear();
     }
 }
 
 /// Candidate interval of a stored antidiagonal; slot `0` of its
 /// buffer corresponds to `i = base` (`base == cand_lo`).
 #[derive(Debug, Clone, Copy)]
-struct DiagMeta {
-    cand_lo: usize,
-    cand_hi: usize,
+pub(crate) struct DiagMeta {
+    pub(crate) cand_lo: usize,
+    pub(crate) cand_hi: usize,
 }
 
 impl DiagMeta {
-    const EMPTY: DiagMeta = DiagMeta {
+    pub(crate) const EMPTY: DiagMeta = DiagMeta {
         cand_lo: 1,
         cand_hi: 0,
     };
 
     #[inline(always)]
-    fn contains(&self, i: usize) -> bool {
+    pub(crate) fn contains(&self, i: usize) -> bool {
         i >= self.cand_lo && i <= self.cand_hi
     }
 }
 
 /// Memory-restricted X-Drop extension with `i32` scores and forward
 /// sequence access.
+///
+/// Runs the lane-parallel kernel selected by `params.kernel`
+/// (bit-identical to the scalar reference; see [`crate::kernel`]).
 pub fn align<S: Scorer>(
     h: &[u8],
     v: &[u8],
@@ -118,7 +171,15 @@ pub fn align<S: Scorer>(
     policy: BandPolicy,
 ) -> Result<AlignOutput> {
     let mut ws = Workspace::<i32>::new();
-    align_views_ty(&Fwd(h), &Fwd(v), scorer, params, policy, &mut ws)
+    crate::kernel::align_views(
+        params.kernel,
+        &Fwd(h),
+        &Fwd(v),
+        scorer,
+        params,
+        policy,
+        &mut ws,
+    )
 }
 
 /// [`align`] reusing a caller-provided workspace across calls.
@@ -130,7 +191,7 @@ pub fn align_with_workspace<S: Scorer>(
     policy: BandPolicy,
     ws: &mut Workspace<i32>,
 ) -> Result<AlignOutput> {
-    align_views_ty(&Fwd(h), &Fwd(v), scorer, params, policy, ws)
+    crate::kernel::align_views(params.kernel, &Fwd(h), &Fwd(v), scorer, params, policy, ws)
 }
 
 /// [`align`] with `f32` score cells (the dual-issue variant, §4.1.4).
@@ -142,11 +203,21 @@ pub fn align_f32<S: Scorer>(
     policy: BandPolicy,
 ) -> Result<AlignOutput> {
     let mut ws = Workspace::<f32>::new();
-    align_views_ty(&Fwd(h), &Fwd(v), scorer, params, policy, &mut ws)
+    crate::kernel::align_views(
+        params.kernel,
+        &Fwd(h),
+        &Fwd(v),
+        scorer,
+        params,
+        policy,
+        &mut ws,
+    )
 }
 
 /// The two-antidiagonal kernel: generic over score cell type and
 /// sequence direction (Algorithm 1 with the `op(·)` transform).
+/// **This scalar implementation is the reference** every kernel in
+/// [`crate::kernel`] is pinned bit-identical to.
 pub fn align_views_ty<T: ScoreTy, S: Scorer, HV: SeqView, VV: SeqView>(
     h: &HV,
     v: &VV,
@@ -516,6 +587,79 @@ mod tests {
         let reused = align_with_workspace(&h, &v, &sc(), p, BandPolicy::Grow(4), &mut ws).unwrap();
         assert_eq!(fresh.result, reused.result);
         assert_eq!(fresh.stats.cells_computed, reused.stats.cells_computed);
+    }
+
+    /// Regression: one workspace reused back-to-back across
+    /// alignments of very different sizes and across all three band
+    /// policies must never read stale cells from an earlier, larger
+    /// call — the meta-guard invariant documented on
+    /// [`Workspace::reset_len`].
+    #[test]
+    fn workspace_reuse_across_sizes_and_policies() {
+        let big = encode_dna(&b"ACGTACGTGGATCCAT".repeat(24)); // 384 bp
+        let mid = encode_dna(b"ACGTACGTACGTACGTACGTACGTACGTACGT");
+        let tiny = encode_dna(b"ACGT");
+        let seqs: [&[u8]; 5] = [&big, &tiny, &mid, &tiny, &big];
+        let policies = [
+            BandPolicy::Grow(4),
+            BandPolicy::Saturate(8),
+            BandPolicy::Grow(64),
+            BandPolicy::Exact(512),
+            BandPolicy::Saturate(3),
+        ];
+        let mut ws = Workspace::<i32>::new();
+        // Dirty the workspace with a large, band-heavy alignment.
+        let _ = align_with_workspace(
+            &big,
+            &big,
+            &sc(),
+            XDropParams::unbounded(),
+            BandPolicy::Grow(4),
+            &mut ws,
+        );
+        for x in [2, 25, 10_000] {
+            let p = XDropParams::new(x);
+            for (s, policy) in seqs.iter().zip(policies) {
+                let mut h = s.to_vec();
+                if let Some(c) = h.first_mut() {
+                    *c = (*c + 1) % 4;
+                }
+                let fresh = align(&h, s, &sc(), p, policy).unwrap();
+                let reused = align_with_workspace(&h, s, &sc(), p, policy, &mut ws).unwrap();
+                assert_eq!(fresh.result, reused.result, "policy {policy:?} x={x}");
+                // Under Grow the modeled footprint reflects the
+                // workspace's current capacity, so a pre-grown reused
+                // workspace legitimately reports more work_bytes;
+                // every other field must match exactly.
+                let mut reused_stats = reused.stats;
+                if matches!(policy, BandPolicy::Grow(_)) {
+                    assert!(reused_stats.work_bytes >= fresh.stats.work_bytes);
+                    reused_stats.work_bytes = fresh.stats.work_bytes;
+                }
+                assert_eq!(fresh.stats, reused_stats, "policy {policy:?} x={x}");
+            }
+        }
+        // reset_len is allowed but never required: results unchanged.
+        ws.reset_len();
+        assert_eq!(ws.capacity(), 0);
+        let p = XDropParams::new(25);
+        let after = align_with_workspace(&mid, &mid, &sc(), p, BandPolicy::Grow(4), &mut ws);
+        let fresh = align(&mid, &mid, &sc(), p, BandPolicy::Grow(4));
+        assert_eq!(after.unwrap().result, fresh.unwrap().result);
+    }
+
+    #[test]
+    fn ensure_skips_resize_when_already_sized() {
+        let mut ws = Workspace::<i32>::new();
+        ws.ensure(64);
+        assert_eq!(ws.capacity(), 64);
+        let ptrs = [ws.bufs[0].as_ptr(), ws.bufs[1].as_ptr()];
+        ws.ensure(16); // smaller: must be a no-op
+        ws.ensure(64); // equal: must be a no-op
+        assert_eq!([ws.bufs[0].as_ptr(), ws.bufs[1].as_ptr()], ptrs);
+        ws.ensure(65); // larger: must grow all buffers in lockstep
+        assert!(ws.capacity() >= 65);
+        assert!(ws.scratch.len() >= 65);
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl ClusterReport {
 pub struct ClusterOptions {
     /// Threads of the host-side pool that runs the batch kernels
     /// before scheduling. The schedule (and every report field) is
-    /// bit-identical for any value.
+    /// bit-identical for any value. The kernels themselves also
+    /// honor `XDropParams::kernel` (scalar / chunked / SIMD) — like
+    /// the thread count, that only moves host wall-clock, never the
+    /// modeled time.
     pub host_threads: usize,
     /// Record a Chrome-trace timeline of the run.
     pub collect_trace: bool,

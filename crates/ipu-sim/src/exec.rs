@@ -20,7 +20,10 @@ use xdrop_core::XDropParams;
 /// Execution configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ExecConfig {
-    /// X-Drop parameters.
+    /// X-Drop parameters. The embedded [`XDropParams::kernel`]
+    /// choice (scalar / chunked / SIMD) only changes host wall-clock
+    /// while replaying the kernels — all kernels are bit-identical,
+    /// so modeled time and every reported statistic are unaffected.
     pub params: XDropParams,
     /// Band policy for the memory-restricted kernel.
     pub policy: BandPolicy,

@@ -1,0 +1,62 @@
+//! `BENCH_xdrop.json` schema check.
+//!
+//! The machine-readable perf baseline committed at the repository
+//! root must stay parseable by the vendored `serde_json` and keep the
+//! invariants downstream tooling relies on: every configuration lists
+//! every kernel, the scalar row leads each configuration, and —
+//! because all kernels are bit-identical — the per-alignment cell
+//! count is constant within a configuration. Regenerate with:
+//! `cargo run --release -p xdrop-bench --bin experiments -- bench --bench-json`.
+
+use xdrop_bench::exp::kernelbench::{BenchFile, REPRO_COMMAND};
+
+fn load() -> BenchFile {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_xdrop.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing perf baseline {}: {e}", path.display()));
+    serde_json::from_str(&text).expect("BENCH_xdrop.json must parse against the v1 schema")
+}
+
+#[test]
+fn baseline_parses_and_is_well_formed() {
+    let file = load();
+    assert_eq!(file.schema, "xdrop-kernel-bench/v1");
+    assert_eq!(file.command, REPRO_COMMAND);
+    assert!(!file.rows.is_empty());
+
+    let kernels = ["scalar", "chunked", "simd"];
+    assert_eq!(file.rows.len() % kernels.len(), 0);
+    for group in file.rows.chunks(kernels.len()) {
+        for (row, expected) in group.iter().zip(kernels) {
+            assert_eq!(row.kernel, expected, "kernel order in {}", row.config);
+            assert_eq!(row.config, group[0].config);
+            // Bit-identity implies identical work per configuration.
+            assert_eq!(row.cells, group[0].cells, "cells in {}", row.config);
+            assert!(
+                row.seconds > 0.0 && row.cells_per_sec > 0.0,
+                "{}",
+                row.config
+            );
+            assert!(row.speedup_vs_scalar > 0.0, "{}", row.config);
+        }
+        assert!((group[0].speedup_vs_scalar - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn committed_baseline_shows_lane_parallel_win() {
+    // The committed artifact documents this repository's reference
+    // machine, where at least one lane-parallel kernel clears 2x
+    // scalar throughput on at least one DNA configuration.
+    let file = load();
+    let best = file
+        .rows
+        .iter()
+        .filter(|r| r.kernel != "scalar")
+        .map(|r| r.speedup_vs_scalar)
+        .fold(0.0f64, f64::max);
+    assert!(
+        best >= 2.0,
+        "expected a >=2x lane-parallel speedup in the committed baseline, best was {best:.2}x"
+    );
+}

@@ -1,0 +1,187 @@
+//! Differential bit-identity proptest for the lane-parallel kernels.
+//!
+//! The kernel contract (see `xdrop_core::kernel`) is that every
+//! [`KernelKind`] produces byte-identical output to the scalar
+//! reference: the same [`AlignResult`], every [`AlignStats`] field,
+//! and — under [`BandPolicy::Exact`] — the same error. These
+//! properties drive all kernels over randomized related pairs across
+//! every band policy (including the Saturate clipping path), both
+//! score cell types (`i32` and the f32 dual-issue variant), and both
+//! extension directions.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xdrop_ipu::core::kernel::{self, KernelKind, KERNEL_ENV};
+use xdrop_ipu::core::scorety::ScoreTy;
+use xdrop_ipu::core::scoring::{MatchMismatch, Scorer};
+use xdrop_ipu::core::seqview::{Fwd, Rev, SeqView};
+use xdrop_ipu::core::stats::AlignOutput;
+use xdrop_ipu::core::xdrop2::{self, BandPolicy, Workspace};
+use xdrop_ipu::core::{Result, XDropParams};
+
+fn dna_seq(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..4, 0..max_len)
+}
+
+/// A pair of related sequences: a root plus mutations, so the
+/// partially-aligning region of the parameter space is exercised
+/// rather than just random noise.
+fn related_pair() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    (dna_seq(120), any::<u64>(), 0.0f64..0.4).prop_map(|(root, seed, err)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut other = Vec::with_capacity(root.len() + 8);
+        for &b in &root {
+            let r: f64 = rng.gen();
+            if r < err * 0.6 {
+                other.push(rng.gen_range(0..4)); // substitution
+            } else if r < err * 0.8 {
+                // insertion
+                other.push(rng.gen_range(0..4));
+                other.push(b);
+            } else if r < err {
+                // deletion: skip
+            } else {
+                other.push(b);
+            }
+        }
+        (root, other)
+    })
+}
+
+/// Runs the scalar reference and one lane-parallel kernel on the same
+/// inputs and asserts the outcomes are identical down to the last
+/// stats field (or the same error).
+fn assert_identical<T: ScoreTy, S: Scorer, HV: SeqView, VV: SeqView>(
+    kind: KernelKind,
+    h: &HV,
+    v: &VV,
+    scorer: &S,
+    params: XDropParams,
+    policy: BandPolicy,
+) -> std::result::Result<(), TestCaseError> {
+    let mut ws = Workspace::<T>::new();
+    let reference: Result<AlignOutput> =
+        xdrop2::align_views_ty(h, v, scorer, params, policy, &mut ws);
+    let mut ws = Workspace::<T>::new();
+    let got = kernel::align_views(kind, h, v, scorer, params, policy, &mut ws);
+    match (&reference, &got) {
+        (Ok(a), Ok(b)) => {
+            prop_assert_eq!(a.result, b.result, "result {:?} {:?}", kind, policy);
+            prop_assert_eq!(a.stats, b.stats, "stats {:?} {:?}", kind, policy);
+        }
+        (Err(a), Err(b)) => prop_assert_eq!(a, b, "error {:?} {:?}", kind, policy),
+        _ => prop_assert!(
+            false,
+            "outcome mismatch {:?} {:?}: {:?} vs {:?}",
+            kind,
+            policy,
+            reference,
+            got
+        ),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tentpole property: Chunked and Simd are bit-identical to
+    /// Scalar across all three band policies, in both extension
+    /// directions, for i32 cells.
+    #[test]
+    fn kernel_bit_identity(
+        (h, v) in related_pair(),
+        x in 0i32..60,
+        db in 1usize..24,
+    ) {
+        let sc = MatchMismatch::dna_default();
+        let p = XDropParams::new(x);
+        let policies = [
+            BandPolicy::Grow(db),
+            BandPolicy::Exact(db),      // may legitimately error
+            BandPolicy::Saturate(db),   // exercises the clipping path
+        ];
+        for policy in policies {
+            for kind in [KernelKind::Chunked, KernelKind::Simd] {
+                assert_identical::<i32, _, _, _>(kind, &Fwd(&h), &Fwd(&v), &sc, p, policy)?;
+                assert_identical::<i32, _, _, _>(kind, &Rev(&h), &Rev(&v), &sc, p, policy)?;
+            }
+        }
+    }
+
+    /// Same property for the f32 dual-issue cell type (which takes
+    /// the generic chunked sweep even under `Simd`).
+    #[test]
+    fn kernel_bit_identity_f32(
+        (h, v) in related_pair(),
+        x in 0i32..60,
+        db in 1usize..12,
+    ) {
+        let sc = MatchMismatch::dna_default();
+        let p = XDropParams::new(x);
+        for policy in [BandPolicy::Grow(db), BandPolicy::Saturate(db)] {
+            for kind in [KernelKind::Chunked, KernelKind::Simd] {
+                assert_identical::<f32, _, _, _>(kind, &Fwd(&h), &Fwd(&v), &sc, p, policy)?;
+            }
+        }
+    }
+
+    /// The public entry points dispatch through `params.kernel`: any
+    /// forced kernel returns the same output as the scalar reference.
+    #[test]
+    fn public_align_respects_kernel_choice((h, v) in related_pair(), x in 0i32..40) {
+        let sc = MatchMismatch::dna_default();
+        let reference = xdrop2::align(
+            &h,
+            &v,
+            &sc,
+            XDropParams::new(x).with_kernel(KernelKind::Scalar),
+            BandPolicy::Grow(4),
+        ).unwrap();
+        for kind in [KernelKind::Chunked, KernelKind::Simd] {
+            let got = xdrop2::align(
+                &h,
+                &v,
+                &sc,
+                XDropParams::new(x).with_kernel(kind),
+                BandPolicy::Grow(4),
+            ).unwrap();
+            prop_assert_eq!(reference.result, got.result);
+            prop_assert_eq!(reference.stats, got.stats);
+        }
+    }
+}
+
+/// The `XDROP_KERNEL` environment knob forces the kernel selected by
+/// `XDropParams::new`, and a forced run still matches the reference.
+/// (Lives here, not in the proptest block, so the env mutation
+/// happens exactly once.)
+#[test]
+fn env_knob_end_to_end() {
+    let sc = MatchMismatch::dna_default();
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let h: Vec<u8> = (0..200).map(|_| rng.gen_range(0..4)).collect();
+    let mut v = h.clone();
+    for i in (5..v.len()).step_by(9) {
+        v[i] = (v[i] + 1) % 4;
+    }
+    let reference = xdrop2::align(
+        &h,
+        &v,
+        &sc,
+        XDropParams::new(20).with_kernel(KernelKind::Scalar),
+        BandPolicy::Grow(8),
+    )
+    .unwrap();
+    for name in ["scalar", "chunked", "simd"] {
+        std::env::set_var(KERNEL_ENV, name);
+        let p = XDropParams::new(20);
+        assert_eq!(p.kernel, KernelKind::parse(name).unwrap(), "{name}");
+        let got = xdrop2::align(&h, &v, &sc, p, BandPolicy::Grow(8)).unwrap();
+        assert_eq!(reference.result, got.result, "{name}");
+        assert_eq!(reference.stats, got.stats, "{name}");
+    }
+    std::env::remove_var(KERNEL_ENV);
+    assert_eq!(XDropParams::new(20).kernel, KernelKind::detect());
+}

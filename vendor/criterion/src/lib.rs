@@ -21,15 +21,25 @@ const MEASURE_ITERS: u32 = 3;
 #[derive(Default)]
 pub struct Criterion {
     filter: Option<String>,
+    test_mode: bool,
 }
 
 impl Criterion {
-    /// Creates a benchmark context, honouring a name filter and
-    /// ignoring harness flags (`--bench`, `--test`, ...) passed by
-    /// cargo.
+    /// Creates a benchmark context, honouring a name filter and the
+    /// `--test` smoke flag (run every body exactly once, no timing —
+    /// what `cargo bench -- --test` uses in CI); other harness flags
+    /// (`--bench`, ...) passed by cargo are ignored.
     pub fn from_args() -> Self {
-        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Criterion { filter }
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Criterion { filter, test_mode }
     }
 
     /// Opens a named group of related benchmarks.
@@ -46,7 +56,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let filter = self.filter.clone();
-        run_one(filter.as_deref(), name, f);
+        run_one(filter.as_deref(), self.test_mode, name, f);
         self
     }
 }
@@ -75,7 +85,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id.into().0);
-        run_one(self._criterion.filter.as_deref(), &full, f);
+        run_one(
+            self._criterion.filter.as_deref(),
+            self._criterion.test_mode,
+            &full,
+            f,
+        );
         self
     }
 
@@ -90,7 +105,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id.0);
-        run_one(self._criterion.filter.as_deref(), &full, |b| f(b, input));
+        run_one(
+            self._criterion.filter.as_deref(),
+            self._criterion.test_mode,
+            &full,
+            |b| f(b, input),
+        );
         self
     }
 
@@ -129,11 +149,19 @@ impl From<String> for BenchmarkId {
 pub struct Bencher {
     elapsed: Duration,
     iters: u32,
+    test_mode: bool,
 }
 
 impl Bencher {
-    /// Runs `routine` a fixed number of times and records the mean.
+    /// Runs `routine` a fixed number of times and records the mean;
+    /// in `--test` smoke mode the routine runs exactly once, untimed.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.elapsed = Duration::ZERO;
+            self.iters = 1;
+            return;
+        }
         for _ in 0..WARMUP_ITERS {
             black_box(routine());
         }
@@ -146,7 +174,7 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(filter: Option<&str>, id: &str, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(filter: Option<&str>, test_mode: bool, id: &str, mut f: F) {
     if let Some(needle) = filter {
         if !id.contains(needle) {
             return;
@@ -155,8 +183,13 @@ fn run_one<F: FnMut(&mut Bencher)>(filter: Option<&str>, id: &str, mut f: F) {
     let mut bencher = Bencher {
         elapsed: Duration::ZERO,
         iters: 1,
+        test_mode,
     };
     f(&mut bencher);
+    if test_mode {
+        println!("bench: {id:<60} ok (--test, 1 iter)");
+        return;
+    }
     let mean = bencher.elapsed / bencher.iters.max(1);
     println!(
         "bench: {id:<60} {mean:>12.3?}/iter ({} iters)",
@@ -203,6 +236,17 @@ mod tests {
         });
         group.finish();
         assert!(calls >= MEASURE_ITERS);
+    }
+
+    #[test]
+    fn test_mode_runs_each_body_once() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: true,
+        };
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
     }
 
     #[test]
