@@ -16,6 +16,7 @@
 //!   elba       §6.3.1   ELBA alignment phase CPU/GPU/IPUs
 //!   pastis     §6.3.2   PASTIS alignment step CPU vs IPU
 //!   bench      host-kernel A/B (scalar/chunked/simd cells/sec)
+//!   e2e        host pipeline: streaming vs barriered wall-clock
 //!   all        everything above
 //! ```
 //!
@@ -27,7 +28,7 @@
 use seqdata::{Dataset, DatasetKind};
 use xdrop_bench::exp;
 use xdrop_bench::exp::{
-    compare, kernelbench, realworld, scaling, search_space, table1, table2, tilesched,
+    compare, e2e, kernelbench, realworld, scaling, search_space, table1, table2, tilesched,
 };
 use xdrop_bench::svg;
 use xdrop_pipelines::elba::ElbaConfig;
@@ -38,6 +39,7 @@ struct Args {
     name: String,
     scale: f64,
     threads: usize,
+    iters: usize,
     trace: bool,
     bench_json: bool,
 }
@@ -47,6 +49,7 @@ fn parse_args() -> Args {
         name: String::new(),
         scale: 1.0,
         threads: 8,
+        iters: 3,
         trace: false,
         bench_json: false,
     };
@@ -64,6 +67,12 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--threads needs a number"))
+            }
+            "--iters" => {
+                args.iters = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--iters needs a number"))
             }
             "--trace" => args.trace = true,
             "--bench-json" => args.bench_json = true,
@@ -83,11 +92,13 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage: experiments <table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|sec61|partition|elba|pastis|bench|all> [--scale F] [--threads N] [--trace] [--bench-json]\n\
+        "usage: experiments <table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|sec61|partition|elba|pastis|bench|e2e|all> [--scale F] [--threads N] [--iters N] [--trace] [--bench-json]\n\
          \n\
+         --iters       with `e2e`: timing iterations per configuration\n\
+         \x20             (best wins; default 3)\n\
          --trace       also dump a Chrome trace_event timeline to\n\
          \x20             results/<name>.trace.json (fig4, fig7, elba, pastis)\n\
-         --bench-json  with `bench`: also write the machine-readable\n\
+         --bench-json  with `bench`/`e2e`: also write the machine-readable\n\
          \x20             perf baseline BENCH_xdrop.json at the repo root"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
@@ -411,6 +422,18 @@ fn run_one(name: &str, args: &Args) {
             exp::save_json("bench_kernel", &rows);
             if args.bench_json {
                 match kernelbench::write_bench_json(&rows) {
+                    Ok(path) => println!("   wrote {}", path.display()),
+                    Err(e) => eprintln!("   could not write BENCH_xdrop.json: {e}"),
+                }
+            }
+        }
+        "e2e" => {
+            let rows = e2e::run(args.scale, args.iters);
+            println!("End-to-end host pipeline: streaming vs barriered reference");
+            print!("{}", e2e::render(&rows));
+            exp::save_json("e2e", &rows);
+            if args.bench_json {
+                match kernelbench::write_e2e_json(&rows) {
                     Ok(path) => println!("   wrote {}", path.display()),
                     Err(e) => eprintln!("   could not write BENCH_xdrop.json: {e}"),
                 }

@@ -55,12 +55,17 @@ pub struct Row {
 pub struct BenchFile {
     /// Schema tag for downstream readers.
     pub schema: String,
-    /// The exact command that regenerates the file.
+    /// The exact command that regenerates the kernel rows.
     pub command: String,
     /// What `KernelKind::detect()` picked on the producing host.
     pub detected_kernel: String,
-    /// The measurements.
+    /// The kernel measurements.
     pub rows: Vec<Row>,
+    /// The command that regenerates the end-to-end section.
+    pub e2e_command: String,
+    /// End-to-end host-pipeline measurements (`experiments e2e`):
+    /// reference vs streaming wall-clock at 1/2/4/8 threads.
+    pub e2e: Vec<super::e2e::E2eRow>,
 }
 
 fn pair(len: usize, err: f64) -> (Vec<u8>, Vec<u8>) {
@@ -203,23 +208,63 @@ pub fn render(rows: &[Row]) -> String {
     s
 }
 
-/// The command documented to regenerate `BENCH_xdrop.json`.
+/// The command documented to regenerate the kernel rows of
+/// `BENCH_xdrop.json`.
 pub const REPRO_COMMAND: &str =
     "cargo run --release -p xdrop-bench --bin experiments -- bench --bench-json";
 
-/// Writes the machine-readable baseline at the repository root.
+/// Schema tag of `BENCH_xdrop.json` (v2 added the `e2e` section).
+pub const SCHEMA: &str = "xdrop-kernel-bench/v2";
+
+fn bench_json_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_xdrop.json")
+}
+
+/// The committed baseline, if present and parseable at the current
+/// schema. Used to preserve the section the caller is *not*
+/// regenerating.
+fn read_existing() -> Option<BenchFile> {
+    let text = std::fs::read_to_string(bench_json_path()).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+fn write_file(file: &BenchFile) -> std::io::Result<std::path::PathBuf> {
+    let path = bench_json_path();
+    let json =
+        serde_json::to_string_pretty(file).map_err(|e| std::io::Error::other(e.to_string()))?;
+    std::fs::write(&path, json)?;
+    Ok(path.canonicalize().unwrap_or(path))
+}
+
+/// Writes the kernel rows of the machine-readable baseline at the
+/// repository root, preserving any committed e2e section.
 pub fn write_bench_json(rows: &[Row]) -> std::io::Result<std::path::PathBuf> {
-    let file = BenchFile {
-        schema: "xdrop-kernel-bench/v1".to_string(),
+    let e2e = read_existing().map(|f| f.e2e).unwrap_or_default();
+    write_file(&BenchFile {
+        schema: SCHEMA.to_string(),
         command: REPRO_COMMAND.to_string(),
         detected_kernel: KernelKind::detect().name().to_string(),
         rows: rows.to_vec(),
-    };
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_xdrop.json");
-    let json =
-        serde_json::to_string_pretty(&file).map_err(|e| std::io::Error::other(e.to_string()))?;
-    std::fs::write(&path, json)?;
-    Ok(path.canonicalize().unwrap_or(path))
+        e2e_command: super::e2e::E2E_REPRO_COMMAND.to_string(),
+        e2e,
+    })
+}
+
+/// Writes the e2e section of the baseline, preserving any committed
+/// kernel rows.
+pub fn write_e2e_json(e2e: &[super::e2e::E2eRow]) -> std::io::Result<std::path::PathBuf> {
+    let existing = read_existing();
+    let (detected_kernel, rows) = existing
+        .map(|f| (f.detected_kernel, f.rows))
+        .unwrap_or_else(|| (KernelKind::detect().name().to_string(), Vec::new()));
+    write_file(&BenchFile {
+        schema: SCHEMA.to_string(),
+        command: REPRO_COMMAND.to_string(),
+        detected_kernel,
+        rows,
+        e2e_command: super::e2e::E2E_REPRO_COMMAND.to_string(),
+        e2e: e2e.to_vec(),
+    })
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Experiment modules, one per table/figure (see `DESIGN.md` §4).
 
 pub mod compare;
+pub mod e2e;
 pub mod kernelbench;
 pub mod realworld;
 pub mod scaling;

@@ -33,7 +33,8 @@ pub struct IpuRunConfig {
     /// Minimum batch count the partitioned planner aims for (must be
     /// ≥ the device count for multi-device scaling to engage).
     pub min_batches: usize,
-    /// Host threads for running the kernels (simulation-side only).
+    /// Host threads for running the kernels (simulation-side only;
+    /// `0` = auto-detect).
     pub host_threads: usize,
 }
 
@@ -50,7 +51,7 @@ impl IpuRunConfig {
             delta_b: 512,
             partitioned: true,
             min_batches: 2,
-            host_threads: 8,
+            host_threads: 0,
         }
     }
 
@@ -145,6 +146,7 @@ pub fn run_ipu_from_exec_traced(
     let opts = ClusterOptions {
         host_threads: cfg.host_threads,
         collect_trace,
+        streaming: true,
     };
     let (cluster, trace): (ClusterReport, Option<ChromeTrace>) = run_cluster_opts(
         &exec.units,

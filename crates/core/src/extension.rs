@@ -253,6 +253,83 @@ fn split3(s: &[u8], pos: usize, k: usize) -> (&[u8], &[u8], &[u8]) {
     (&s[..pos], &s[pos..pos + k], &s[pos + k..])
 }
 
+/// A shared checkout pool of [`Extender`]s for host-side thread
+/// pools.
+///
+/// Each [`Extender`] owns grown band workspaces; rebuilding one per
+/// work chunk (the pre-pool behaviour) re-pays the allocation and
+/// growth on every chunk. Worker threads instead
+/// [`checkout`](ExtenderPool::checkout) an extender for their whole
+/// lifetime — the guard returns it on drop, so a later pool (e.g.
+/// the batch-replay stage) reuses the already-grown buffers.
+#[derive(Debug)]
+pub struct ExtenderPool {
+    params: XDropParams,
+    backend: Backend,
+    free: std::sync::Mutex<Vec<Extender>>,
+}
+
+impl ExtenderPool {
+    /// An empty pool; extenders are created lazily on checkout.
+    pub fn new(params: XDropParams, backend: Backend) -> Self {
+        Self {
+            params,
+            backend,
+            free: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes an idle extender, or creates one when none is free.
+    pub fn checkout(&self) -> PooledExtender<'_> {
+        let ext = self
+            .free
+            .lock()
+            .expect("extender pool poisoned")
+            .pop()
+            .unwrap_or_else(|| Extender::new(self.params, self.backend));
+        PooledExtender {
+            pool: self,
+            ext: Some(ext),
+        }
+    }
+
+    /// Number of idle extenders currently parked in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("extender pool poisoned").len()
+    }
+}
+
+/// Checkout guard for an [`ExtenderPool`]; derefs to the
+/// [`Extender`] and returns it to the pool on drop.
+#[derive(Debug)]
+pub struct PooledExtender<'a> {
+    pool: &'a ExtenderPool,
+    ext: Option<Extender>,
+}
+
+impl std::ops::Deref for PooledExtender<'_> {
+    type Target = Extender;
+    fn deref(&self) -> &Extender {
+        self.ext.as_ref().expect("extender taken")
+    }
+}
+
+impl std::ops::DerefMut for PooledExtender<'_> {
+    fn deref_mut(&mut self) -> &mut Extender {
+        self.ext.as_mut().expect("extender taken")
+    }
+}
+
+impl Drop for PooledExtender<'_> {
+    fn drop(&mut self) {
+        if let Some(ext) = self.ext.take() {
+            if let Ok(mut free) = self.pool.free.lock() {
+                free.push(ext);
+            }
+        }
+    }
+}
+
 /// One-shot convenience wrapper around [`Extender::extend`] using the
 /// memory-restricted kernel with a growing band.
 pub fn extend_seed<S: Scorer>(
@@ -391,6 +468,25 @@ mod tests {
         );
         assert_eq!(out.h_len(), 20);
         assert_eq!(out.v_len(), 20);
+    }
+
+    #[test]
+    fn pool_reuses_returned_extenders() {
+        let pool = ExtenderPool::new(params(), Backend::TwoDiag(BandPolicy::Grow(8)));
+        assert_eq!(pool.idle(), 0);
+        let s = encode_dna(b"ACGTACGTACGTACGTACGT");
+        {
+            let mut e = pool.checkout();
+            let out = e.extend(&s, &s, SeedMatch::new(8, 8, 4), &sc()).unwrap();
+            assert_eq!(out.score, s.len() as i32);
+            // A second concurrent checkout creates a fresh extender.
+            let _e2 = pool.checkout();
+            assert_eq!(pool.idle(), 0);
+        }
+        // Both guards dropped: two extenders parked for reuse.
+        assert_eq!(pool.idle(), 2);
+        let _e = pool.checkout();
+        assert_eq!(pool.idle(), 1);
     }
 
     #[test]

@@ -106,7 +106,9 @@ pub fn naive_batches(
 ) -> Vec<Batch> {
     let budget = cfg.tile_budget(spec);
     let mut order: Vec<u32> = (0..units.len() as u32).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(units[i as usize].est_complexity));
+    // Index tiebreak keeps the (previously stability-provided) order
+    // of equal estimates while allowing the cheaper unstable sort.
+    order.sort_unstable_by_key(|&i| (std::cmp::Reverse(units[i as usize].est_complexity), i));
 
     let mut batches = Vec::new();
     let mut tiles: Vec<TileAssignment> = vec![TileAssignment::default(); spec.tiles];

@@ -16,19 +16,25 @@
 //! the shared-queue pull model of the paper), while the shared host
 //! link serializes transfers and each device double-buffers. Kernel
 //! execution ([`run_batch_on_device`]) is off the scheduling
-//! critical path: batch reports are computed up front by a
-//! host-side thread pool ([`ClusterOptions::host_threads`]), which
-//! changes wall-clock only — modeled time is bit-identical for any
-//! thread count. The scheduler can also record a Chrome-trace
-//! timeline of the run ([`crate::trace`]).
+//! critical path: batch reports *stream* into the incremental
+//! [`BatchScheduler`] from a work-stealing host pool as they finish
+//! ([`ClusterOptions::streaming`]), or — on the retained reference
+//! path — are all materialized up front by a static-chunk pool.
+//! Either way the host thread count changes wall-clock only: the
+//! scheduler consumes report `i` exactly when it binds batch `i`, so
+//! modeled time is bit-identical for any thread count and any
+//! completion interleaving. The scheduler can also record a
+//! Chrome-trace timeline of the run ([`crate::trace`]).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::mpsc;
 
 use crate::batch::Batch;
 use crate::cost::{CostModel, OptFlags};
-use crate::device::{run_batch_on_device, BatchReport};
+use crate::device::{run_batch_on_device, run_batch_on_device_scratch, BatchReport, BatchScratch};
 use crate::exec::WorkUnit;
+use crate::pool::{resolve_threads, IndexQueue};
 use crate::spec::IpuSpec;
 use crate::trace::{ChromeTrace, TraceBuilder};
 
@@ -76,22 +82,31 @@ impl ClusterReport {
 /// timing.
 #[derive(Debug, Clone, Copy)]
 pub struct ClusterOptions {
-    /// Threads of the host-side pool that runs the batch kernels
-    /// before scheduling. The schedule (and every report field) is
-    /// bit-identical for any value. The kernels themselves also
-    /// honor `XDropParams::kernel` (scalar / chunked / SIMD) — like
-    /// the thread count, that only moves host wall-clock, never the
+    /// Threads of the host-side pool that runs the batch kernels.
+    /// `0` means "auto" ([`std::thread::available_parallelism`]).
+    /// The schedule (and every report field) is bit-identical for
+    /// any value; the resolved count is logged in the trace metadata
+    /// (`cat == "meta"`). The kernels themselves also honor
+    /// `XDropParams::kernel` (scalar / chunked / SIMD) — like the
+    /// thread count, that only moves host wall-clock, never the
     /// modeled time.
     pub host_threads: usize,
     /// Record a Chrome-trace timeline of the run.
     pub collect_trace: bool,
+    /// Stream batch reports into the scheduler as the pool finishes
+    /// them (work-stealing claim order, reports reordered to batch
+    /// order before binding). `false` selects the reference path:
+    /// materialize every report in a static-chunk pre-pass, then
+    /// schedule. Both produce bit-identical output.
+    pub streaming: bool,
 }
 
 impl Default for ClusterOptions {
     fn default() -> Self {
         ClusterOptions {
-            host_threads: 1,
+            host_threads: 0,
             collect_trace: false,
+            streaming: true,
         }
     }
 }
@@ -135,18 +150,19 @@ impl Ord for FetchFree {
 
 /// Runs every batch's kernels on the host pool, preserving batch
 /// order. Deterministic for any thread count (contiguous chunks,
-/// concatenated in order — the same pattern as
-/// [`crate::exec::execute_workload`]).
+/// concatenated in order — the pre-streaming pattern, retained as
+/// the reference the streaming path is differentially tested
+/// against). `resolved_threads` is the already-resolved pool size.
 fn run_batches_pooled(
     units: &[WorkUnit],
     batches: &[Batch],
     spec: &IpuSpec,
     flags: &OptFlags,
     cost: &CostModel,
-    host_threads: usize,
+    resolved_threads: usize,
 ) -> Vec<BatchReport> {
     let n = batches.len();
-    let threads = host_threads.clamp(1, 64).min(n.max(1));
+    let threads = resolved_threads.min(n.max(1));
     if threads <= 1 || n < 2 {
         return batches
             .iter()
@@ -206,9 +222,168 @@ pub fn run_cluster(
     .0
 }
 
+/// The event-driven scheduler, incremental form: feed batch reports
+/// in submission order via [`BatchScheduler::bind`] as they become
+/// available, then [`BatchScheduler::finish`].
+///
+/// This is the exact event loop `run_cluster_opts` used to run over
+/// a fully-materialized report vector, with the loop body turned
+/// inside out so reports can *stream* in — the min-heap consumes
+/// report `i` only at the moment it binds batch `i`, preserving the
+/// late-binding semantics. Feeding it the same reports in the same
+/// order performs the same float operations in the same order, so
+/// the output is bit-identical no matter how report production was
+/// scheduled.
+#[derive(Debug)]
+pub struct BatchScheduler {
+    devices: usize,
+    host_link_bytes_per_s: f64,
+    link_free: f64,
+    link_busy: f64,
+    compute_free: Vec<f64>,
+    compute_busy: Vec<f64>,
+    host_bytes: u64,
+    queue_waits: Vec<f64>,
+    tracer: Option<TraceBuilder>,
+    fetch_events: BinaryHeap<Reverse<FetchFree>>,
+    reports: Vec<BatchReport>,
+}
+
+impl BatchScheduler {
+    /// A scheduler over `devices` IPUs (at least one). The resolved
+    /// host pool size is recorded in the trace metadata when tracing
+    /// is on — it annotates the run, it never affects the schedule.
+    pub fn new(
+        devices: usize,
+        spec: &IpuSpec,
+        collect_trace: bool,
+        resolved_host_threads: usize,
+    ) -> Self {
+        let devices = devices.max(1);
+        let tracer = collect_trace.then(|| {
+            let mut tb = TraceBuilder::new(devices);
+            tb.host_meta(resolved_host_threads);
+            tb
+        });
+        BatchScheduler {
+            devices,
+            host_link_bytes_per_s: spec.host_link_bytes_per_s,
+            link_free: 0.0,
+            link_busy: 0.0,
+            compute_free: vec![0.0; devices],
+            compute_busy: vec![0.0; devices],
+            host_bytes: 0,
+            queue_waits: Vec::new(),
+            tracer,
+            // Min-heap of fetch-engine-free events: the device popped
+            // first is the one that can start fetching earliest, and
+            // it binds to the batch at the head of the FIFO queue
+            // only at that moment.
+            fetch_events: (0..devices)
+                .map(|d| Reverse(FetchFree { at: 0.0, device: d }))
+                .collect(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// Binds the next batch (in submission order) to the device
+    /// whose fetch engine frees earliest.
+    pub fn bind(&mut self, report: BatchReport) {
+        let i = self.reports.len();
+        let Reverse(ev) = self.fetch_events.pop().expect("one event per device");
+        let d = ev.device;
+        let transfer_time = report.host_bytes as f64 / self.host_link_bytes_per_s;
+        let start = ev.at.max(self.link_free);
+        let fetched = start + transfer_time;
+        self.link_free = fetched;
+        self.link_busy += transfer_time;
+        // Double buffering: the device's next fetch may begin as soon
+        // as this one completed; compute begins when both the data is
+        // there and the previous batch finished.
+        self.fetch_events.push(Reverse(FetchFree {
+            at: fetched,
+            device: d,
+        }));
+        let begin = fetched.max(self.compute_free[d]);
+        self.compute_free[d] = begin + report.device_seconds();
+        self.compute_busy[d] += report.device_seconds();
+        self.host_bytes += report.host_bytes;
+        self.queue_waits.push(start);
+        if let Some(tb) = self.tracer.as_mut() {
+            tb.link(i, start, fetched, report.host_bytes);
+            tb.fetch(d, i, start, fetched, start);
+            tb.compute(d, i, begin, self.compute_free[d]);
+        }
+        self.reports.push(report);
+    }
+
+    /// Number of batches bound so far.
+    pub fn bound(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Closes the run and assembles the report (and trace, when
+    /// requested).
+    pub fn finish(self) -> (ClusterReport, Option<ChromeTrace>) {
+        let total = self
+            .compute_free
+            .iter()
+            .chain(std::iter::once(&self.link_free))
+            .fold(0.0f64, |acc, &t| acc.max(t));
+        let per_device_busy: Vec<f64> = self
+            .compute_busy
+            .iter()
+            .map(|&b| if total > 0.0 { b / total } else { 0.0 })
+            .collect();
+        let device_busy_fraction = if total > 0.0 {
+            self.compute_busy.iter().sum::<f64>() / (total * self.devices as f64)
+        } else {
+            1.0
+        };
+        let mut sorted_waits = self.queue_waits;
+        sorted_waits.sort_unstable_by(f64::total_cmp);
+        let report = ClusterReport {
+            total_seconds: total,
+            devices: self.devices,
+            batches: self.reports.len(),
+            host_bytes: self.host_bytes,
+            link_busy_fraction: if total > 0.0 {
+                self.link_busy / total
+            } else {
+                0.0
+            },
+            device_busy_fraction,
+            queue_wait_p50: percentile(&sorted_waits, 0.50),
+            queue_wait_p99: percentile(&sorted_waits, 0.99),
+            per_device_busy,
+            batch_reports: self.reports,
+        };
+        let trace = self.tracer.map(|tb| tb.finish(total));
+        (report, trace)
+    }
+}
+
+/// The descending-estimate claim order for batch replay: heaviest
+/// batch (by its slowest-tile load estimate) first, index as
+/// tiebreak. Like every claim order, wall-clock only.
+fn batch_lpt_order(batches: &[Batch]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..batches.len() as u32).collect();
+    order.sort_unstable_by_key(|&bi| {
+        let max_load = batches[bi as usize]
+            .tiles
+            .iter()
+            .map(|t| t.est_load)
+            .max()
+            .unwrap_or(0);
+        (Reverse(max_load), bi)
+    });
+    order
+}
+
 /// [`run_cluster`] with host-side options: a kernel thread pool
 /// (wall-clock only; modeled time is bit-identical for any
-/// `host_threads`) and optional Chrome-trace recording.
+/// `host_threads`), streaming vs reference report production, and
+/// optional Chrome-trace recording.
 #[allow(clippy::too_many_arguments)]
 pub fn run_cluster_opts(
     units: &[WorkUnit],
@@ -219,82 +394,78 @@ pub fn run_cluster_opts(
     cost: &CostModel,
     opts: &ClusterOptions,
 ) -> (ClusterReport, Option<ChromeTrace>) {
-    let devices = devices.max(1);
-    // Kernel execution off the critical path: all batch reports come
-    // from the host pool before the event loop starts.
-    let reports = run_batches_pooled(units, batches, spec, flags, cost, opts.host_threads);
-
-    let mut link_free = 0.0f64;
-    let mut link_busy = 0.0f64;
-    let mut compute_free = vec![0.0f64; devices];
-    let mut compute_busy = vec![0.0f64; devices];
-    let mut host_bytes = 0u64;
-    let mut queue_waits = Vec::with_capacity(reports.len());
-    let mut tracer = opts.collect_trace.then(|| TraceBuilder::new(devices));
-
-    // Min-heap of fetch-engine-free events: the device popped first
-    // is the one that can start fetching earliest, and it binds to
-    // the batch at the head of the FIFO queue only at that moment.
-    let mut fetch_events: BinaryHeap<Reverse<FetchFree>> = (0..devices)
-        .map(|d| Reverse(FetchFree { at: 0.0, device: d }))
-        .collect();
-
-    for (i, report) in reports.iter().enumerate() {
-        let Reverse(ev) = fetch_events.pop().expect("one event per device");
-        let d = ev.device;
-        let transfer_time = report.host_bytes as f64 / spec.host_link_bytes_per_s;
-        let start = ev.at.max(link_free);
-        let fetched = start + transfer_time;
-        link_free = fetched;
-        link_busy += transfer_time;
-        // Double buffering: the device's next fetch may begin as soon
-        // as this one completed; compute begins when both the data is
-        // there and the previous batch finished.
-        fetch_events.push(Reverse(FetchFree {
-            at: fetched,
-            device: d,
-        }));
-        let begin = fetched.max(compute_free[d]);
-        compute_free[d] = begin + report.device_seconds();
-        compute_busy[d] += report.device_seconds();
-        host_bytes += report.host_bytes;
-        queue_waits.push(start);
-        if let Some(tb) = tracer.as_mut() {
-            tb.link(i, start, fetched, report.host_bytes);
-            tb.fetch(d, i, start, fetched, start);
-            tb.compute(d, i, begin, compute_free[d]);
+    let resolved = resolve_threads(opts.host_threads);
+    let mut sched = BatchScheduler::new(devices, spec, opts.collect_trace, resolved);
+    let pool_threads = resolved.min(batches.len().max(1));
+    if !opts.streaming {
+        // Reference path: materialize every report in a pre-pass,
+        // then replay the event loop.
+        for report in run_batches_pooled(units, batches, spec, flags, cost, pool_threads) {
+            sched.bind(report);
         }
-    }
-
-    let total = compute_free
-        .iter()
-        .chain(std::iter::once(&link_free))
-        .fold(0.0f64, |acc, &t| acc.max(t));
-    let per_device_busy: Vec<f64> = compute_busy
-        .iter()
-        .map(|&b| if total > 0.0 { b / total } else { 0.0 })
-        .collect();
-    let device_busy_fraction = if total > 0.0 {
-        compute_busy.iter().sum::<f64>() / (total * devices as f64)
+    } else if pool_threads <= 1 || batches.len() < 2 {
+        // Serial streaming: compute each report right when the
+        // scheduler consumes it, one reusable scratch throughout.
+        let mut scratch = BatchScratch::default();
+        for batch in batches {
+            sched.bind(run_batch_on_device_scratch(
+                units,
+                batch,
+                spec,
+                flags,
+                cost,
+                &mut scratch,
+            ));
+        }
     } else {
-        1.0
-    };
-    let mut sorted_waits = queue_waits;
-    sorted_waits.sort_by(f64::total_cmp);
-    let report = ClusterReport {
-        total_seconds: total,
-        devices,
-        batches: batches.len(),
-        host_bytes,
-        link_busy_fraction: if total > 0.0 { link_busy / total } else { 0.0 },
-        device_busy_fraction,
-        queue_wait_p50: percentile(&sorted_waits, 0.50),
-        queue_wait_p99: percentile(&sorted_waits, 0.99),
-        per_device_busy,
-        batch_reports: reports,
-    };
-    let trace = tracer.map(|tb| tb.finish(total));
-    (report, trace)
+        // Streaming pool: workers claim batches in LPT order and
+        // send finished reports over a channel; the main thread
+        // reorders them to batch order and binds each the moment its
+        // predecessors are bound — scheduling overlaps replay.
+        let queue = IndexQueue::with_order(batch_lpt_order(batches));
+        let (tx, rx) = mpsc::channel::<(u32, BatchReport)>();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..pool_threads {
+                let tx = tx.clone();
+                let queue = &queue;
+                s.spawn(move |_| {
+                    let mut scratch = BatchScratch::default();
+                    while let Some(claim) = queue.claim(1) {
+                        for &bi in claim {
+                            let report = run_batch_on_device_scratch(
+                                units,
+                                &batches[bi as usize],
+                                spec,
+                                flags,
+                                cost,
+                                &mut scratch,
+                            );
+                            if tx.send((bi, report)).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            let mut pending: Vec<Option<BatchReport>> = vec![None; batches.len()];
+            let mut next = 0usize;
+            for (bi, report) in rx {
+                pending[bi as usize] = Some(report);
+                while next < pending.len() {
+                    match pending[next].take() {
+                        Some(r) => {
+                            sched.bind(r);
+                            next += 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        })
+        .expect("scope");
+    }
+    sched.finish()
 }
 
 /// The pre-event-driven driver: a static in-order handout loop that
@@ -535,6 +706,7 @@ mod tests {
         let opts = ClusterOptions {
             host_threads: 1,
             collect_trace: true,
+            streaming: true,
         };
         let (r, trace) = run_cluster_opts(
             &units,
@@ -591,6 +763,7 @@ mod tests {
             &ClusterOptions {
                 host_threads: 1,
                 collect_trace: false,
+                streaming: true,
             },
         )
         .0;
@@ -604,10 +777,55 @@ mod tests {
             &ClusterOptions {
                 host_threads: 8,
                 collect_trace: false,
+                streaming: true,
             },
         )
         .0;
         assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn streaming_matches_reference_pre_pass() {
+        // The streaming pool must be bit-identical to the
+        // materialize-then-schedule reference for every report field
+        // and the full trace (including the meta record, which only
+        // depends on the requested thread count).
+        for (n, bytes, cells) in [(1, 0, 0), (13, 700_000_000, 5_000_000), (32, 1_000, 50_000)] {
+            let (units, batches) = mk_batches(n, bytes, cells);
+            let spec = IpuSpec::gc200();
+            let flags = OptFlags::full();
+            let cost = CostModel::default();
+            for threads in [1usize, 3, 8] {
+                let streamed = run_cluster_opts(
+                    &units,
+                    &batches,
+                    3,
+                    &spec,
+                    &flags,
+                    &cost,
+                    &ClusterOptions {
+                        host_threads: threads,
+                        collect_trace: true,
+                        streaming: true,
+                    },
+                );
+                let reference = run_cluster_opts(
+                    &units,
+                    &batches,
+                    3,
+                    &spec,
+                    &flags,
+                    &cost,
+                    &ClusterOptions {
+                        host_threads: threads,
+                        collect_trace: true,
+                        streaming: false,
+                    },
+                );
+                assert_eq!(streamed.0, reference.0, "n={n} threads={threads}");
+                assert_eq!(streamed.1, reference.1, "n={n} threads={threads}");
+            }
+        }
     }
 
     #[test]

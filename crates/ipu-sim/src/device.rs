@@ -10,7 +10,7 @@ use crate::batch::Batch;
 use crate::cost::{CostModel, OptFlags};
 use crate::exec::WorkUnit;
 use crate::spec::IpuSpec;
-use crate::tile::{schedule_tile, TileReport};
+use crate::tile::schedule_tile;
 
 /// Timing and utilization of one batch on one device.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -42,6 +42,14 @@ impl BatchReport {
     }
 }
 
+/// Reusable scratch for batch replay: holds the per-tile instruction
+/// vector so replaying thousands of tiles doesn't re-allocate it per
+/// tile. One per worker thread; contents are transient.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    instr: Vec<u64>,
+}
+
 /// Executes one batch on one device.
 pub fn run_batch_on_device(
     units: &[WorkUnit],
@@ -50,23 +58,42 @@ pub fn run_batch_on_device(
     flags: &OptFlags,
     cost: &CostModel,
 ) -> BatchReport {
+    run_batch_on_device_scratch(
+        units,
+        batch,
+        spec,
+        flags,
+        cost,
+        &mut BatchScratch::default(),
+    )
+}
+
+/// [`run_batch_on_device`] with caller-provided scratch buffers, for
+/// pooled replay loops that process many batches per thread.
+pub fn run_batch_on_device_scratch(
+    units: &[WorkUnit],
+    batch: &Batch,
+    spec: &IpuSpec,
+    flags: &OptFlags,
+    cost: &CostModel,
+    scratch: &mut BatchScratch,
+) -> BatchReport {
     let mut compute_cycles = 0u64;
     let mut busy_sum = 0u64;
     let mut races = 0u64;
     let mut n_units = 0usize;
-    let mut reports: Vec<TileReport> = Vec::with_capacity(batch.tiles.len());
     for tile in &batch.tiles {
-        let instr: Vec<u64> = tile
-            .units
-            .iter()
-            .map(|&ui| cost.unit_instructions(&units[ui as usize].stats, flags.dual_issue))
-            .collect();
-        let r = schedule_tile(&instr, spec, flags);
+        scratch.instr.clear();
+        scratch.instr.extend(
+            tile.units
+                .iter()
+                .map(|&ui| cost.unit_instructions(&units[ui as usize].stats, flags.dual_issue)),
+        );
+        let r = schedule_tile(&scratch.instr, spec, flags);
         compute_cycles = compute_cycles.max(r.cycles);
         busy_sum += r.cycles;
         races += r.races;
         n_units += tile.units.len();
-        reports.push(r);
     }
     let occupied = batch.tiles.len();
     let tile_utilization = if occupied == 0 || compute_cycles == 0 {

@@ -8,9 +8,12 @@
 //! growth on noisy pairs) that makes load balancing hard on the real
 //! machine.
 
+use crate::pool::{resolve_threads, IndexQueue, SharedSlots};
 use crossbeam::thread;
-use xdrop_core::error::Result;
-use xdrop_core::extension::{Backend, Extender, Side};
+use std::cmp::Reverse;
+use std::sync::Mutex;
+use xdrop_core::error::{AlignError, Result};
+use xdrop_core::extension::{Backend, Extender, ExtenderPool, Side};
 use xdrop_core::scoring::Scorer;
 use xdrop_core::stats::AlignStats;
 use xdrop_core::workload::Workload;
@@ -32,24 +35,26 @@ pub struct ExecConfig {
     pub lr_split: bool,
     /// Host threads used to run the kernels (simulation-side
     /// parallelism only; does not affect results or modeled time).
+    /// `0` means "auto": [`std::thread::available_parallelism`].
     pub host_threads: usize,
 }
 
 impl ExecConfig {
-    /// Defaults: X = 15, growing band from δ_b = 256, LR split on.
+    /// Defaults: X = 15, growing band from δ_b = 256, LR split on,
+    /// host threads auto-detected.
     pub fn new(params: XDropParams) -> Self {
         Self {
             params,
             policy: BandPolicy::Grow(256),
             lr_split: true,
-            host_threads: 8,
+            host_threads: 0,
         }
     }
 }
 
 /// One schedulable unit of work: a whole comparison, or one side of
 /// it under LR splitting.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct WorkUnit {
     /// Index of the comparison in the workload.
     pub cmp: u32,
@@ -67,7 +72,7 @@ pub struct WorkUnit {
 }
 
 /// Final per-comparison alignment outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct UnitResult {
     /// Total score: left + seed + right.
     pub score: i32,
@@ -102,6 +107,106 @@ impl ExecOutput {
     }
 }
 
+/// Aligns one comparison and returns its result plus the one or two
+/// work units it produces (two under LR splitting: left then right).
+///
+/// This is the per-task body of every execution path — serial,
+/// static-chunk reference, and the work-stealing pool — so the unit
+/// contents cannot depend on which path (or thread) ran the task.
+pub fn align_comparison<S: Scorer>(
+    w: &Workload,
+    ext: &mut Extender,
+    scorer: &S,
+    cfg: &ExecConfig,
+    ci: usize,
+) -> Result<(UnitResult, WorkUnit, Option<WorkUnit>)> {
+    let c = w.comparisons[ci];
+    let h = w.seqs.get(c.h);
+    let v = w.seqs.get(c.v);
+    let out = ext.extend(h, v, c.seed, scorer)?;
+    let mut stats = out.left.stats;
+    stats.merge(&out.right.stats);
+    let result = UnitResult {
+        score: out.score,
+        stats,
+    };
+    if cfg.lr_split {
+        let (lh, lv) = w.left_lens(&c);
+        let (rh, rv) = w.right_lens(&c);
+        Ok((
+            result,
+            WorkUnit {
+                cmp: ci as u32,
+                side: Some(Side::Left),
+                stats: out.left.stats,
+                score: out.left.result.best_score,
+                est_complexity: lh as u64 * lv as u64,
+            },
+            Some(WorkUnit {
+                cmp: ci as u32,
+                side: Some(Side::Right),
+                stats: out.right.stats,
+                score: out.right.result.best_score,
+                est_complexity: rh as u64 * rv as u64,
+            }),
+        ))
+    } else {
+        Ok((
+            result,
+            WorkUnit {
+                cmp: ci as u32,
+                side: None,
+                stats,
+                score: out.score,
+                est_complexity: w.complexity(&c),
+            },
+            None,
+        ))
+    }
+}
+
+/// Work units derivable from workload *metadata alone*: same `cmp`,
+/// `side` and `est_complexity` as the real units, but default stats
+/// and zero score.
+///
+/// Both batch planners ([`crate::batch::naive_batches`] and the
+/// graph-partitioned planner) read only `cmp` and `est_complexity`,
+/// so planning over these placeholders yields exactly the batches
+/// planning over the aligned units would — which is what lets the
+/// streaming pipeline plan *while* alignment is still running.
+pub fn planning_units(w: &Workload, lr_split: bool) -> Vec<WorkUnit> {
+    let mut units = Vec::with_capacity(w.comparisons.len() * if lr_split { 2 } else { 1 });
+    for (ci, c) in w.comparisons.iter().enumerate() {
+        if lr_split {
+            let (lh, lv) = w.left_lens(c);
+            let (rh, rv) = w.right_lens(c);
+            units.push(WorkUnit {
+                cmp: ci as u32,
+                side: Some(Side::Left),
+                stats: AlignStats::default(),
+                score: 0,
+                est_complexity: lh as u64 * lv as u64,
+            });
+            units.push(WorkUnit {
+                cmp: ci as u32,
+                side: Some(Side::Right),
+                stats: AlignStats::default(),
+                score: 0,
+                est_complexity: rh as u64 * rv as u64,
+            });
+        } else {
+            units.push(WorkUnit {
+                cmp: ci as u32,
+                side: None,
+                stats: AlignStats::default(),
+                score: 0,
+                est_complexity: w.complexity(c),
+            });
+        }
+    }
+    units
+}
+
 fn exec_range<S: Scorer + Sync>(
     w: &Workload,
     scorer: &S,
@@ -112,56 +217,28 @@ fn exec_range<S: Scorer + Sync>(
     let mut units = Vec::with_capacity(range.len() * if cfg.lr_split { 2 } else { 1 });
     let mut results = Vec::with_capacity(range.len());
     for ci in range {
-        let c = w.comparisons[ci];
-        let h = w.seqs.get(c.h);
-        let v = w.seqs.get(c.v);
-        let out = ext.extend(h, v, c.seed, scorer)?;
-        let mut stats = out.left.stats;
-        stats.merge(&out.right.stats);
-        results.push(UnitResult {
-            score: out.score,
-            stats,
-        });
-        if cfg.lr_split {
-            let (lh, lv) = w.left_lens(&c);
-            let (rh, rv) = w.right_lens(&c);
-            units.push(WorkUnit {
-                cmp: ci as u32,
-                side: Some(Side::Left),
-                stats: out.left.stats,
-                score: out.left.result.best_score,
-                est_complexity: lh as u64 * lv as u64,
-            });
-            units.push(WorkUnit {
-                cmp: ci as u32,
-                side: Some(Side::Right),
-                stats: out.right.stats,
-                score: out.right.result.best_score,
-                est_complexity: rh as u64 * rv as u64,
-            });
-        } else {
-            units.push(WorkUnit {
-                cmp: ci as u32,
-                side: None,
-                stats,
-                score: out.score,
-                est_complexity: w.complexity(&c),
-            });
+        let (result, u0, u1) = align_comparison(w, &mut ext, scorer, cfg, ci)?;
+        results.push(result);
+        units.push(u0);
+        if let Some(u1) = u1 {
+            units.push(u1);
         }
     }
     Ok((units, results))
 }
 
-/// Aligns every comparison of `w` and returns the schedulable units
-/// plus per-comparison results. Deterministic regardless of
-/// `cfg.host_threads`.
-pub fn execute_workload<S: Scorer + Sync>(
+/// The pre-pool executor: serial below 64 comparisons, otherwise
+/// static contiguous chunks, one fresh [`Extender`] per chunk.
+/// Retained verbatim as the differential oracle for
+/// [`execute_workload`] — and as the baseline the `experiments e2e`
+/// benchmark measures the streaming pipeline against.
+pub fn execute_workload_reference<S: Scorer + Sync>(
     w: &Workload,
     scorer: &S,
     cfg: &ExecConfig,
 ) -> Result<ExecOutput> {
     let n = w.comparisons.len();
-    let threads = cfg.host_threads.clamp(1, 64).min(n.max(1));
+    let threads = resolve_threads(cfg.host_threads).min(n.max(1));
     if threads <= 1 || n < 64 {
         let (units, results) = exec_range(w, scorer, cfg, 0..n)?;
         return Ok(ExecOutput { units, results });
@@ -191,6 +268,92 @@ pub fn execute_workload<S: Scorer + Sync>(
         results.extend(r);
     }
     Ok(ExecOutput { units, results })
+}
+
+/// The descending-estimate (LPT) claim order used by the
+/// work-stealing executors: largest `|H|×|V|` bound first, index as
+/// tiebreak. Claim order only affects host wall-clock — results land
+/// in per-index slots — so any permutation is legal; LPT bounds the
+/// tail imbalance by a single comparison.
+pub fn lpt_order(w: &Workload) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..w.comparisons.len() as u32).collect();
+    order.sort_unstable_by_key(|&ci| (Reverse(w.complexity(&w.comparisons[ci as usize])), ci));
+    order
+}
+
+/// Picks the lowest-index failure so the reported error does not
+/// depend on thread interleaving.
+pub(crate) fn min_index_error(mut errors: Vec<(u32, AlignError)>) -> Option<AlignError> {
+    errors.sort_unstable_by_key(|(ci, _)| *ci);
+    errors.into_iter().next().map(|(_, e)| e)
+}
+
+/// Aligns every comparison of `w` and returns the schedulable units
+/// plus per-comparison results. Deterministic regardless of
+/// `cfg.host_threads`.
+///
+/// Multi-threaded runs use a work-stealing pool: comparisons are
+/// claimed one at a time in [`lpt_order`] from an [`IndexQueue`] and
+/// written into [`SharedSlots`] keyed by comparison index, so the
+/// output is identical to the serial pass for any thread count and
+/// any claim interleaving. Each worker checks out one extender from
+/// an [`ExtenderPool`] for its whole lifetime, instead of the
+/// per-chunk rebuild the reference executor pays.
+pub fn execute_workload<S: Scorer + Sync>(
+    w: &Workload,
+    scorer: &S,
+    cfg: &ExecConfig,
+) -> Result<ExecOutput> {
+    let n = w.comparisons.len();
+    let threads = resolve_threads(cfg.host_threads).min(n.max(1));
+    if threads <= 1 || n < 16 {
+        let (units, results) = exec_range(w, scorer, cfg, 0..n)?;
+        return Ok(ExecOutput { units, results });
+    }
+    let upc = if cfg.lr_split { 2 } else { 1 };
+    let queue = IndexQueue::with_order(lpt_order(w));
+    let units = SharedSlots::new(n * upc, WorkUnit::default());
+    let results = SharedSlots::new(n, UnitResult::default());
+    let extenders = ExtenderPool::new(cfg.params, Backend::TwoDiag(cfg.policy));
+    let errors: Mutex<Vec<(u32, AlignError)>> = Mutex::new(Vec::new());
+    thread::scope(|s| {
+        for _ in 0..threads {
+            let (queue, units, results, extenders, errors) =
+                (&queue, &units, &results, &extenders, &errors);
+            s.spawn(move |_| {
+                let mut ext = extenders.checkout();
+                while let Some(claim) = queue.claim(1) {
+                    for &ci in claim {
+                        match align_comparison(w, &mut ext, scorer, cfg, ci as usize) {
+                            // SAFETY: `ci` is claimed by exactly one
+                            // worker, so each slot is written once;
+                            // the scope join below orders the writes
+                            // before the `into_vec` reads.
+                            Ok((result, u0, u1)) => unsafe {
+                                results.write(ci as usize, result);
+                                units.write(ci as usize * upc, u0);
+                                if let Some(u1) = u1 {
+                                    units.write(ci as usize * upc + 1, u1);
+                                }
+                            },
+                            Err(e) => {
+                                queue.cancel();
+                                errors.lock().expect("error log poisoned").push((ci, e));
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("scope");
+    if let Some(e) = min_index_error(errors.into_inner().expect("error log poisoned")) {
+        return Err(e);
+    }
+    Ok(ExecOutput {
+        units: units.into_vec(),
+        results: results.into_vec(),
+    })
 }
 
 #[cfg(test)]
@@ -280,6 +443,77 @@ mod tests {
         let b = execute_workload(&w, &sc, &c8).unwrap();
         assert_eq!(a.units, b.units);
         assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn work_stealing_matches_reference_executor() {
+        let w = small_workload();
+        let sc = MatchMismatch::dna_default();
+        for lr in [false, true] {
+            for threads in [1usize, 3, 8] {
+                let mut c = cfg(lr);
+                c.host_threads = threads;
+                let a = execute_workload_reference(&w, &sc, &c).unwrap();
+                let b = execute_workload(&w, &sc, &c).unwrap();
+                assert_eq!(a.units, b.units, "lr={lr} threads={threads}");
+                assert_eq!(a.results, b.results, "lr={lr} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn planning_units_match_real_unit_metadata() {
+        let w = small_workload();
+        let sc = MatchMismatch::dna_default();
+        for lr in [false, true] {
+            let real = execute_workload(&w, &sc, &cfg(lr)).unwrap();
+            let planned = planning_units(&w, lr);
+            assert_eq!(planned.len(), real.units.len());
+            for (p, r) in planned.iter().zip(&real.units) {
+                assert_eq!(p.cmp, r.cmp);
+                assert_eq!(p.side, r.side);
+                assert_eq!(p.est_complexity, r.est_complexity);
+            }
+        }
+    }
+
+    #[test]
+    fn lpt_order_is_descending_and_complete() {
+        let w = small_workload();
+        let order = lpt_order(&w);
+        assert_eq!(order.len(), w.comparisons.len());
+        let est: Vec<u64> = order
+            .iter()
+            .map(|&ci| w.complexity(&w.comparisons[ci as usize]))
+            .collect();
+        assert!(est.windows(2).all(|p| p[0] >= p[1]));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert!(sorted.iter().enumerate().all(|(i, &x)| x == i as u32));
+    }
+
+    #[test]
+    fn errors_surface_smallest_failing_comparison() {
+        use xdrop_core::xdrop2::BandPolicy;
+        let w = small_workload();
+        let sc = MatchMismatch::dna_default();
+        // Exact(1) band cannot hold 5% error flanks: every comparison
+        // fails, and both executors must blame a comparison
+        // deterministically (the work-stealing pool reports the
+        // smallest failing index it recorded).
+        let mut c = cfg(true);
+        c.policy = BandPolicy::Exact(1);
+        c.host_threads = 8;
+        let err = execute_workload(&w, &sc, &c).unwrap_err();
+        assert!(matches!(
+            err,
+            xdrop_core::error::AlignError::BandExceeded { .. }
+        ));
+        let err = execute_workload_reference(&w, &sc, &c).unwrap_err();
+        assert!(matches!(
+            err,
+            xdrop_core::error::AlignError::BandExceeded { .. }
+        ));
     }
 
     #[test]

@@ -34,16 +34,21 @@ pub mod cost;
 pub mod device;
 pub mod exec;
 pub mod mem;
+pub mod pool;
 pub mod spec;
 pub mod tile;
 pub mod trace;
 
 pub use batch::{naive_batches, Batch, BatchConfig, TileAssignment};
 pub use cluster::{
-    run_cluster, run_cluster_opts, run_cluster_reference, ClusterOptions, ClusterReport,
+    run_cluster, run_cluster_opts, run_cluster_reference, BatchScheduler, ClusterOptions,
+    ClusterReport,
 };
 pub use cost::{CostModel, OptFlags};
-pub use device::{run_batch_on_device, BatchReport};
-pub use exec::{execute_workload, ExecConfig, UnitResult, WorkUnit};
+pub use device::{run_batch_on_device, BatchReport, BatchScratch};
+pub use exec::{
+    execute_workload, execute_workload_reference, planning_units, ExecConfig, UnitResult, WorkUnit,
+};
+pub use pool::{resolve_threads, IndexQueue, ReadyQueue, SharedSlots};
 pub use spec::IpuSpec;
 pub use trace::{ChromeTrace, TraceBuilder, TraceEvent};

@@ -31,7 +31,8 @@ pub struct TraceEvent {
     pub name: String,
     /// Category (`fetch`, `compute`, `idle`, or `link`).
     pub cat: String,
-    /// Phase; always `"X"` (complete event with a duration).
+    /// Phase: `"X"` (complete event with a duration) for spans, or
+    /// `"M"` for the zero-duration metadata record.
     pub ph: String,
     /// Start timestamp in microseconds of modeled time.
     pub ts: f64,
@@ -181,6 +182,26 @@ impl TraceBuilder {
             end_s,
             args,
         ));
+    }
+
+    /// Records host-side run metadata as a `"ph": "M"` event on the
+    /// link track: the *resolved* host thread count (after the
+    /// `0 = auto` default is expanded). Host threads never affect
+    /// modeled time, so this is annotation only; consumers comparing
+    /// traces across thread counts should filter `cat == "meta"`.
+    pub fn host_meta(&mut self, host_threads: usize) {
+        let mut args = BTreeMap::new();
+        args.insert("host_threads".to_string(), host_threads as f64);
+        self.events.push(TraceEvent {
+            name: "host".to_string(),
+            cat: "meta".to_string(),
+            ph: "M".to_string(),
+            ts: 0.0,
+            dur: 0.0,
+            pid: PID_LINK,
+            tid: 0,
+            args,
+        });
     }
 
     /// Records device `device` computing batch `batch` over

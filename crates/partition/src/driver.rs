@@ -12,10 +12,10 @@
 //! devices is — as in the paper's pipelines — a single parameter
 //! (`NUMBER_IPUS` there, [`IpuSystem::devices`] here).
 
-use crate::plan::{plan_batches, PlanConfig};
-use ipu_sim::cluster::{run_cluster, ClusterReport};
+use crate::pipeline::{run_pipeline, PipelineConfig};
+use crate::plan::PlanConfig;
 use ipu_sim::cost::{CostModel, OptFlags};
-use ipu_sim::exec::{execute_workload, ExecConfig, UnitResult};
+use ipu_sim::exec::{ExecConfig, UnitResult};
 use ipu_sim::spec::IpuSpec;
 use xdrop_core::error::Result;
 use xdrop_core::scoring::Scorer;
@@ -43,7 +43,7 @@ pub struct IpuSystem {
     pub partitioned: bool,
     /// Minimum batch count for multi-device pipelining.
     pub min_batches: usize,
-    /// Host threads used to run the kernels.
+    /// Host threads used to run the kernels (`0` = auto-detect).
     pub host_threads: usize,
 }
 
@@ -59,7 +59,7 @@ impl IpuSystem {
             policy: BandPolicy::Grow(512),
             partitioned: true,
             min_batches: 2,
-            host_threads: 8,
+            host_threads: 0,
         }
     }
 
@@ -86,42 +86,42 @@ impl IpuSystem {
         scorer: &S,
         x: i32,
     ) -> Result<SystemReport> {
-        let exec_cfg = ExecConfig {
-            params: XDropParams::new(x),
-            policy: self.policy,
-            lr_split: self.flags.lr_split,
-            host_threads: self.host_threads,
-        };
-        let exec = execute_workload(w, scorer, &exec_cfg)?;
         let plan = if self.partitioned {
             PlanConfig::partitioned(self.delta_b).with_min_batches(self.min_batches)
         } else {
             PlanConfig::naive(self.delta_b).with_min_batches(self.min_batches)
         };
-        let batches = plan_batches(w, &exec.units, &self.spec, &plan);
-        let cluster: ClusterReport = run_cluster(
-            &exec.units,
-            &batches,
-            self.devices,
-            &self.spec,
-            &self.flags,
-            &self.cost,
-        );
+        let cfg = PipelineConfig {
+            exec: ExecConfig {
+                params: XDropParams::new(x),
+                policy: self.policy,
+                lr_split: self.flags.lr_split,
+                host_threads: self.host_threads,
+            },
+            plan,
+            devices: self.devices,
+            flags: self.flags,
+            cost: self.cost,
+            collect_trace: false,
+            streaming: true,
+        };
+        let out = run_pipeline(w, scorer, &self.spec, &cfg)?;
         let theoretical = w.theoretical_cells();
         Ok(SystemReport {
-            results: exec.results,
-            cells_computed: exec.units.iter().map(|u| u.stats.cells_computed).sum(),
-            max_delta_w: exec
+            cells_computed: out.exec.units.iter().map(|u| u.stats.cells_computed).sum(),
+            max_delta_w: out
+                .exec
                 .units
                 .iter()
                 .map(|u| u.stats.delta_w)
                 .max()
                 .unwrap_or(0),
-            seconds: cluster.total_seconds,
-            gcups: cluster.gcups(theoretical),
-            batches: batches.len(),
-            host_bytes: cluster.host_bytes,
-            link_busy_fraction: cluster.link_busy_fraction,
+            seconds: out.report.total_seconds,
+            gcups: out.report.gcups(theoretical),
+            batches: out.batches.len(),
+            host_bytes: out.report.host_bytes,
+            link_busy_fraction: out.report.link_busy_fraction,
+            results: out.exec.results,
         })
     }
 }

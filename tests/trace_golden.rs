@@ -57,6 +57,7 @@ fn scenario() -> (ClusterReport, ChromeTrace) {
         &ClusterOptions {
             host_threads: 1,
             collect_trace: true,
+            streaming: true,
         },
     );
     (report, trace.expect("trace requested"))
@@ -98,8 +99,13 @@ fn chrome_trace_golden_roundtrip() {
     check_golden("cluster_trace.json", &json);
     let back: ChromeTrace = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(back, trace);
-    // Structural sanity of the Chrome format.
+    // Structural sanity of the Chrome format: complete spans plus
+    // the host-meta annotation.
     assert!(json.starts_with('{'));
     assert!(json.contains("\"traceEvents\""));
-    assert!(trace.traceEvents.iter().all(|e| e.ph == "X"));
+    assert!(trace
+        .traceEvents
+        .iter()
+        .all(|e| e.ph == "X" || (e.ph == "M" && e.cat == "meta")));
+    assert!(trace.traceEvents.iter().any(|e| e.ph == "M"));
 }
