@@ -39,7 +39,7 @@ fn bench_partition(c: &mut Criterion) {
             b.iter(|| ComparisonGraph::build(w))
         });
         group.bench_with_input(BenchmarkId::new("greedy_partitions", n_cmp), &w, |b, w| {
-            b.iter(|| greedy_partitions(w, 500_000, 6, 256))
+            b.iter(|| greedy_partitions(w, 500_000, 6, 256).unwrap())
         });
     }
     group.finish();

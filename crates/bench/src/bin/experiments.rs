@@ -28,7 +28,8 @@
 use seqdata::{Dataset, DatasetKind};
 use xdrop_bench::exp;
 use xdrop_bench::exp::{
-    compare, e2e, kernelbench, realworld, scaling, search_space, table1, table2, tilesched,
+    compare, e2e, kernelbench, partbench, realworld, scaling, search_space, table1, table2,
+    tilesched,
 };
 use xdrop_bench::svg;
 use xdrop_pipelines::elba::ElbaConfig;
@@ -94,12 +95,14 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: experiments <table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|sec61|partition|elba|pastis|bench|e2e|all> [--scale F] [--threads N] [--iters N] [--trace] [--bench-json]\n\
          \n\
-         --iters       with `e2e`: timing iterations per configuration\n\
-         \x20             (best wins; default 3)\n\
+         --iters       with `e2e`/`partition`: timing iterations per\n\
+         \x20             configuration (best wins; default 3)\n\
          --trace       also dump a Chrome trace_event timeline to\n\
          \x20             results/<name>.trace.json (fig4, fig7, elba, pastis)\n\
-         --bench-json  with `bench`/`e2e`: also write the machine-readable\n\
-         \x20             perf baseline BENCH_xdrop.json at the repo root"
+         --bench-json  with `bench`/`e2e`/`partition`: also write the\n\
+         \x20             machine-readable perf baseline BENCH_xdrop.json\n\
+         \x20             at the repo root (`partition` adds the serial-vs-\n\
+         \x20             sharded front-end benchmark)"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -384,6 +387,19 @@ fn run_one(name: &str, args: &Args) {
                 );
             }
             exp::save_json("partition", &rows);
+            if args.bench_json {
+                // The partitioner front-end benchmark: serial vs
+                // sharded edge walk on the ~1M-comparison ELBA-shaped
+                // ring, merged into the machine-readable baseline.
+                let bench_rows = partbench::run(args.scale, args.iters);
+                println!("Partitioner front-end: serial vs sharded edge walk");
+                print!("{}", partbench::render(&bench_rows));
+                exp::save_json("bench_partition", &bench_rows);
+                match kernelbench::write_partition_json(&bench_rows) {
+                    Ok(path) => println!("   wrote {}", path.display()),
+                    Err(e) => eprintln!("   could not write BENCH_xdrop.json: {e}"),
+                }
+            }
         }
         "elba" => {
             let cfg = ElbaConfig {

@@ -66,6 +66,12 @@ pub struct BenchFile {
     /// End-to-end host-pipeline measurements (`experiments e2e`):
     /// reference vs streaming wall-clock at 1/2/4/8 threads.
     pub e2e: Vec<super::e2e::E2eRow>,
+    /// The command that regenerates the partition section.
+    pub partition_command: String,
+    /// Partitioner front-end measurements (`experiments partition`):
+    /// serial vs sharded edge walk at 1/2/4/8 threads plus a
+    /// shard-count reuse sweep.
+    pub partition: Vec<super::partbench::PartitionBenchRow>,
 }
 
 fn pair(len: usize, err: f64) -> (Vec<u8>, Vec<u8>) {
@@ -236,35 +242,47 @@ fn write_file(file: &BenchFile) -> std::io::Result<std::path::PathBuf> {
     Ok(path.canonicalize().unwrap_or(path))
 }
 
-/// Writes the kernel rows of the machine-readable baseline at the
-/// repository root, preserving any committed e2e section.
-pub fn write_bench_json(rows: &[Row]) -> std::io::Result<std::path::PathBuf> {
-    let e2e = read_existing().map(|f| f.e2e).unwrap_or_default();
-    write_file(&BenchFile {
+/// A freshly-tagged file holding the committed sections (or empty
+/// ones when no parseable baseline exists).
+fn base_file() -> BenchFile {
+    read_existing().unwrap_or_else(|| BenchFile {
         schema: SCHEMA.to_string(),
         command: REPRO_COMMAND.to_string(),
         detected_kernel: KernelKind::detect().name().to_string(),
-        rows: rows.to_vec(),
+        rows: Vec::new(),
         e2e_command: super::e2e::E2E_REPRO_COMMAND.to_string(),
-        e2e,
+        e2e: Vec::new(),
+        partition_command: super::partbench::PARTITION_REPRO_COMMAND.to_string(),
+        partition: Vec::new(),
     })
 }
 
+/// Writes the kernel rows of the machine-readable baseline at the
+/// repository root, preserving any committed e2e and partition
+/// sections.
+pub fn write_bench_json(rows: &[Row]) -> std::io::Result<std::path::PathBuf> {
+    let mut file = base_file();
+    file.detected_kernel = KernelKind::detect().name().to_string();
+    file.rows = rows.to_vec();
+    write_file(&file)
+}
+
 /// Writes the e2e section of the baseline, preserving any committed
-/// kernel rows.
+/// kernel rows and partition section.
 pub fn write_e2e_json(e2e: &[super::e2e::E2eRow]) -> std::io::Result<std::path::PathBuf> {
-    let existing = read_existing();
-    let (detected_kernel, rows) = existing
-        .map(|f| (f.detected_kernel, f.rows))
-        .unwrap_or_else(|| (KernelKind::detect().name().to_string(), Vec::new()));
-    write_file(&BenchFile {
-        schema: SCHEMA.to_string(),
-        command: REPRO_COMMAND.to_string(),
-        detected_kernel,
-        rows,
-        e2e_command: super::e2e::E2E_REPRO_COMMAND.to_string(),
-        e2e: e2e.to_vec(),
-    })
+    let mut file = base_file();
+    file.e2e = e2e.to_vec();
+    write_file(&file)
+}
+
+/// Writes the partition section of the baseline, preserving any
+/// committed kernel rows and e2e section.
+pub fn write_partition_json(
+    partition: &[super::partbench::PartitionBenchRow],
+) -> std::io::Result<std::path::PathBuf> {
+    let mut file = base_file();
+    file.partition = partition.to_vec();
+    write_file(&file)
 }
 
 #[cfg(test)]

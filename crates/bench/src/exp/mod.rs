@@ -3,6 +3,7 @@
 pub mod compare;
 pub mod e2e;
 pub mod kernelbench;
+pub mod partbench;
 pub mod realworld;
 pub mod scaling;
 pub mod search_space;

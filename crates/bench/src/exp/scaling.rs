@@ -167,7 +167,8 @@ pub fn partition43(datasets: &[Dataset], x: i32) -> Vec<PartitionRow> {
             plan.batch.tile_budget(&cfg.spec),
             plan.batch.threads,
             plan.batch.delta_b,
-        );
+        )
+        .expect("dataset comparisons fit the tile budget");
         let rs = reuse_stats(&w, &parts);
         rows.push(PartitionRow {
             dataset: ds.kind.name().to_string(),

@@ -10,7 +10,7 @@ use xdrop_core::scoring::Scorer;
 use xdrop_core::workload::Workload;
 use xdrop_core::xdrop2::BandPolicy;
 use xdrop_core::XDropParams;
-use xdrop_partition::plan::{plan_batches, PlanConfig};
+use xdrop_partition::plan::{plan_batches_timed, PlanConfig, PlanTimings};
 
 /// Full configuration of one simulated IPU run.
 #[derive(Debug, Clone, Copy)]
@@ -121,6 +121,7 @@ pub fn run_ipu_from_exec_traced(
     cfg: &IpuRunConfig,
     collect_trace: bool,
 ) -> (IpuRunReport, Option<ChromeTrace>) {
+    let mut timings = PlanTimings::default();
     let batches: Vec<Batch> = if !cfg.flags.all_tiles {
         single_tile_batches(
             w,
@@ -129,12 +130,15 @@ pub fn run_ipu_from_exec_traced(
             &PlanConfig::naive(cfg.delta_b).batch,
         )
     } else if cfg.partitioned {
-        plan_batches(
+        let (batches, t) = plan_batches_timed(
             w,
             &exec.units,
             &cfg.spec,
             &PlanConfig::partitioned(cfg.delta_b).with_min_batches(cfg.min_batches),
         )
+        .expect("bench workloads fit the tile budget");
+        timings = t;
+        batches
     } else {
         naive_batches(
             w,
@@ -148,7 +152,7 @@ pub fn run_ipu_from_exec_traced(
         collect_trace,
         streaming: true,
     };
-    let (cluster, trace): (ClusterReport, Option<ChromeTrace>) = run_cluster_opts(
+    let (cluster, mut trace): (ClusterReport, Option<ChromeTrace>) = run_cluster_opts(
         &exec.units,
         &batches,
         cfg.devices,
@@ -157,6 +161,19 @@ pub fn run_ipu_from_exec_traced(
         &cfg.cost,
         &opts,
     );
+    // Host front-end phases on the dedicated host track, matching
+    // `xdrop_partition::pipeline`'s convention: wall-clock spans laid
+    // back to back from t = 0, partition first when it ran.
+    if let Some(tr) = trace.as_mut() {
+        if timings.partition_s > 0.0 {
+            tr.push_host_phase("partition", 0.0, timings.partition_s);
+        }
+        tr.push_host_phase(
+            "plan",
+            timings.partition_s,
+            timings.partition_s + timings.plan_s,
+        );
+    }
     let races = cluster.batch_reports.iter().map(|b| b.races).sum();
     // On-device time: batches execute back to back across devices.
     let device_seconds: f64 = cluster

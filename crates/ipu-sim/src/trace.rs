@@ -19,6 +19,9 @@ use std::collections::BTreeMap;
 
 /// Process id of the shared host link track.
 pub const PID_LINK: u32 = 0;
+/// Thread id of the host front-end track (within the link process):
+/// partition/plan phase spans, in *host* wall-clock seconds.
+pub const TID_HOST: u32 = 1;
 /// Thread id of a device's fetch track (within its process).
 pub const TID_FETCH: u32 = 0;
 /// Thread id of a device's compute track (within its process).
@@ -98,6 +101,26 @@ impl ChromeTrace {
     /// Events of one category, in recording order.
     pub fn events_in<'a>(&'a self, cat: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
         self.traceEvents.iter().filter(move |e| e.cat == cat)
+    }
+
+    /// Appends a host front-end phase span (`partition`, `plan`, …)
+    /// on the [`TID_HOST`] track of the link process.
+    ///
+    /// Unlike every other span these are **host wall-clock** seconds,
+    /// not modeled time — they show where the CPU front-end spends
+    /// its time next to the modeled exchange/compute timeline.
+    /// Consumers comparing traces across runs or thread counts must
+    /// filter `cat == "host"` along with `cat == "meta"`.
+    pub fn push_host_phase(&mut self, name: impl Into<String>, start_s: f64, end_s: f64) {
+        self.traceEvents.push(TraceEvent::complete(
+            name,
+            "host",
+            PID_LINK,
+            TID_HOST,
+            start_s,
+            end_s,
+            BTreeMap::new(),
+        ));
     }
 
     /// Serializes to pretty-printed Chrome trace JSON.
@@ -284,6 +307,20 @@ mod tests {
         let d1: Vec<_> = idle.iter().filter(|e| e.pid == 2).collect();
         assert_eq!(d1.len(), 1);
         assert!((d1[0].dur - 5e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn host_phase_lands_on_the_host_track() {
+        let mut trace = ChromeTrace::new();
+        trace.push_host_phase("partition", 0.0, 0.002);
+        trace.push_host_phase("plan", 0.002, 0.0025);
+        let host: Vec<&TraceEvent> = trace.events_in("host").collect();
+        assert_eq!(host.len(), 2);
+        assert_eq!(host[0].name, "partition");
+        assert_eq!(host[0].pid, PID_LINK);
+        assert_eq!(host[0].tid, TID_HOST);
+        assert!((host[1].ts - 2_000.0).abs() < 1e-9);
+        assert!((host[1].dur - 500.0).abs() < 1e-9);
     }
 
     #[test]

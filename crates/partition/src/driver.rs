@@ -12,12 +12,12 @@
 //! devices is — as in the paper's pipelines — a single parameter
 //! (`NUMBER_IPUS` there, [`IpuSystem::devices`] here).
 
+use crate::error::PipelineError;
 use crate::pipeline::{run_pipeline, PipelineConfig};
 use crate::plan::PlanConfig;
 use ipu_sim::cost::{CostModel, OptFlags};
 use ipu_sim::exec::{ExecConfig, UnitResult};
 use ipu_sim::spec::IpuSpec;
-use xdrop_core::error::Result;
 use xdrop_core::scoring::Scorer;
 use xdrop_core::workload::Workload;
 use xdrop_core::xdrop2::BandPolicy;
@@ -85,7 +85,7 @@ impl IpuSystem {
         w: &Workload,
         scorer: &S,
         x: i32,
-    ) -> Result<SystemReport> {
+    ) -> Result<SystemReport, PipelineError> {
         let plan = if self.partitioned {
             PlanConfig::partitioned(self.delta_b).with_min_batches(self.min_batches)
         } else {
@@ -213,7 +213,7 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            xdrop_core::error::AlignError::BandExceeded { .. }
+            PipelineError::Align(xdrop_core::error::AlignError::BandExceeded { .. })
         ));
     }
 }

@@ -1,0 +1,100 @@
+//! Typed errors of the partitioning front-end and the pipeline.
+//!
+//! The partitioner used to `assert!` when a single comparison could
+//! not fit a tile by itself; on a library boundary that is a denial
+//! of service, not a diagnostic. [`PartitionError`] carries the
+//! offending comparison index — always the *smallest* such index,
+//! matching the exec layer's `min_index_error` convention, so the
+//! report is deterministic for any thread count — and
+//! [`PipelineError`] unifies it with the kernel-side
+//! [`AlignError`] on the pipeline's public result type.
+
+use xdrop_core::error::AlignError;
+
+/// Errors produced by the graph partitioner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A single comparison's two sequences (plus per-edge metadata
+    /// and workspace overhead) exceed the tile budget on their own,
+    /// so no partitioning can place it. `comparison` is the smallest
+    /// offending comparison index.
+    OversizedComparison {
+        /// Smallest comparison index that cannot fit a tile.
+        comparison: u32,
+        /// Bytes the comparison needs on an otherwise empty tile
+        /// (sequences + seed/output entries + workspaces).
+        needed_bytes: usize,
+        /// The tile budget it was checked against.
+        budget_bytes: usize,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::OversizedComparison {
+                comparison,
+                needed_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "comparison {comparison} alone needs {needed_bytes} B, \
+                 exceeding the {budget_bytes} B tile budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Errors surfaced by the host pipeline: either a kernel refused an
+/// alignment or the planner could not place a comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// An alignment kernel failed (smallest comparison index wins).
+    Align(AlignError),
+    /// The partitioner failed (smallest comparison index wins).
+    Partition(PartitionError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Align(e) => write!(f, "alignment failed: {e}"),
+            PipelineError::Partition(e) => write!(f, "partitioning failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<AlignError> for PipelineError {
+    fn from(e: AlignError) -> Self {
+        PipelineError::Align(e)
+    }
+}
+
+impl From<PartitionError> for PipelineError {
+    fn from(e: PartitionError) -> Self {
+        PipelineError::Partition(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = PartitionError::OversizedComparison {
+            comparison: 7,
+            needed_bytes: 2_000_000,
+            budget_bytes: 500_000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("comparison 7"));
+        assert!(s.contains("2000000"));
+        let p: PipelineError = e.into();
+        assert!(p.to_string().contains("partitioning failed"));
+    }
+}

@@ -9,8 +9,11 @@
 //! union of endpoint sequences fits in one tile's SRAM, so that each
 //! sequence is transferred once per partition rather than once per
 //! comparison. The walk is deliberately cheap — the paper budgets
-//! under a second for this step even on millions of comparisons.
+//! under a second for this step even on millions of comparisons —
+//! and [`crate::shard`] runs it over disjoint vertex ranges in
+//! parallel.
 
+use crate::error::PartitionError;
 use crate::graph::ComparisonGraph;
 use ipu_sim::mem;
 use xdrop_core::workload::{SeqId, Workload};
@@ -44,37 +47,54 @@ impl Builder {
     }
 }
 
-/// Runs the greedy partitioner.
-///
-/// `budget_bytes` is the usable SRAM per tile; `threads` × `delta_b`
-/// determine the workspace overhead that must also fit. Panics if a
-/// single comparison cannot fit a tile by itself (such a workload
-/// must be filtered upstream, as on the real machine).
-pub fn greedy_partitions(
+/// Checks that every comparison fits an otherwise empty tile: its
+/// two sequences, one seed/output entry, and the thread workspaces.
+/// Returns the *smallest* offending comparison index (the exec
+/// layer's `min_index_error` convention), so the diagnostic is
+/// deterministic however the walk itself is parallelized.
+pub(crate) fn comparison_fit_error(
     w: &Workload,
     budget_bytes: usize,
     threads: usize,
     delta_b: usize,
-) -> Vec<Partition> {
-    greedy_partitions_with_load_cap(w, budget_bytes, threads, delta_b, None)
+) -> Option<PartitionError> {
+    let base = mem::tile_bytes(0, 0, threads, delta_b);
+    let per_edge = mem::SEED_ENTRY_BYTES + mem::OUTPUT_ENTRY_BYTES;
+    for (ci, c) in w.comparisons.iter().enumerate() {
+        let mut needed = base + per_edge + w.seqs.seq_len(c.h);
+        if c.h != c.v {
+            needed += w.seqs.seq_len(c.v);
+        }
+        if needed > budget_bytes {
+            return Some(PartitionError::OversizedComparison {
+                comparison: ci as u32,
+                needed_bytes: needed,
+                budget_bytes,
+            });
+        }
+    }
+    None
 }
 
-/// [`greedy_partitions`] with an additional cap on the summed work
-/// estimate per partition.
+/// The greedy edge walk over the vertex range `lo..hi` of `g`.
 ///
-/// Memory alone can pack hundreds of cheap comparisons onto one
-/// tile, making it the BSP straggler; bounding the estimated load
-/// (§4.2 uses the quadratic `|H|×|V|` bound as the runtime proxy)
-/// keeps partitions schedulable. A comparison whose own estimate
-/// exceeds the cap still gets a partition to itself.
-pub fn greedy_partitions_with_load_cap(
+/// Visits vertices in ascending id order and claims every incident
+/// edge whose *other* endpoint is `>= lo` (edges reaching below the
+/// range belong to an earlier shard's walk — see [`crate::shard`]).
+/// With `lo == 0` and `hi == n` this is exactly the paper's serial
+/// walk. The caller must have run [`comparison_fit_error`] first;
+/// the internal asserts then cannot fire.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn walk_range(
     w: &Workload,
+    g: &ComparisonGraph,
+    lo: SeqId,
+    hi: SeqId,
     budget_bytes: usize,
     threads: usize,
     delta_b: usize,
     max_load: Option<u64>,
 ) -> Vec<Partition> {
-    let g = ComparisonGraph::build(w);
     let n = w.seqs.len();
     let mut parts: Vec<Partition> = Vec::new();
     let mut edge_done = vec![false; w.comparisons.len()];
@@ -93,9 +113,9 @@ pub fn greedy_partitions_with_load_cap(
         *generation += 1;
     };
 
-    for v in 0..n as SeqId {
-        for &(_u, ci) in g.neighbours(v) {
-            if edge_done[ci as usize] {
+    for v in lo..hi {
+        for &(u, ci) in g.neighbours(v) {
+            if u < lo || edge_done[ci as usize] {
                 continue;
             }
             let c = &w.comparisons[ci as usize];
@@ -150,6 +170,57 @@ pub fn greedy_partitions_with_load_cap(
     parts
 }
 
+/// Runs the greedy partitioner.
+///
+/// `budget_bytes` is the usable SRAM per tile; `threads` × `delta_b`
+/// determine the workspace overhead that must also fit. Returns
+/// [`PartitionError::OversizedComparison`] (smallest index) if a
+/// single comparison cannot fit a tile by itself — such a workload
+/// must be filtered upstream, as on the real machine.
+pub fn greedy_partitions(
+    w: &Workload,
+    budget_bytes: usize,
+    threads: usize,
+    delta_b: usize,
+) -> Result<Vec<Partition>, PartitionError> {
+    greedy_partitions_with_load_cap(w, budget_bytes, threads, delta_b, None)
+}
+
+/// [`greedy_partitions`] with an additional cap on the summed work
+/// estimate per partition.
+///
+/// Memory alone can pack hundreds of cheap comparisons onto one
+/// tile, making it the BSP straggler; bounding the estimated load
+/// (§4.2 uses the quadratic `|H|×|V|` bound as the runtime proxy)
+/// keeps partitions schedulable. A comparison whose own estimate
+/// exceeds the cap still gets a partition to itself.
+///
+/// This is the serial walk — the differential oracle the sharded
+/// parallel partitioner ([`crate::shard::sharded_partitions`]) is
+/// tested against byte for byte.
+pub fn greedy_partitions_with_load_cap(
+    w: &Workload,
+    budget_bytes: usize,
+    threads: usize,
+    delta_b: usize,
+    max_load: Option<u64>,
+) -> Result<Vec<Partition>, PartitionError> {
+    if let Some(e) = comparison_fit_error(w, budget_bytes, threads, delta_b) {
+        return Err(e);
+    }
+    let g = ComparisonGraph::build(w);
+    Ok(walk_range(
+        w,
+        &g,
+        0,
+        w.seqs.len() as SeqId,
+        budget_bytes,
+        threads,
+        delta_b,
+        max_load,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,7 +247,7 @@ mod tests {
     #[test]
     fn every_comparison_assigned_exactly_once() {
         let w = path_workload(100, 1_000);
-        let parts = greedy_partitions(&w, 64 * 1024, 6, 64);
+        let parts = greedy_partitions(&w, 64 * 1024, 6, 64).unwrap();
         let mut seen = vec![0; w.comparisons.len()];
         for p in &parts {
             for &ci in &p.comparisons {
@@ -190,7 +261,7 @@ mod tests {
     fn partitions_respect_budget() {
         let w = path_workload(200, 2_000);
         let budget = 96 * 1024;
-        let parts = greedy_partitions(&w, budget, 6, 64);
+        let parts = greedy_partitions(&w, budget, 6, 64).unwrap();
         for p in &parts {
             let bytes = p.seq_bytes as usize
                 + p.comparisons.len() * (mem::SEED_ENTRY_BYTES + mem::OUTPUT_ENTRY_BYTES)
@@ -205,7 +276,7 @@ mod tests {
         // adds one new sequence — the paper's "reuse effectiveness
         // of 2×" for same-length sequences.
         let w = path_workload(1_000, 1_000);
-        let parts = greedy_partitions(&w, 200 * 1024, 6, 64);
+        let parts = greedy_partitions(&w, 200 * 1024, 6, 64).unwrap();
         let naive_bytes: u64 = w
             .comparisons
             .iter()
@@ -227,7 +298,7 @@ mod tests {
             w.comparisons
                 .push(Comparison::new(hub, leaf, SeedMatch::new(0, 0, 1)));
         }
-        let parts = greedy_partitions(&w, 200 * 1024, 6, 64);
+        let parts = greedy_partitions(&w, 200 * 1024, 6, 64).unwrap();
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].seqs.len(), 51);
         assert_eq!(parts[0].seq_bytes, 51 * 1_000);
@@ -238,15 +309,27 @@ mod tests {
         let w = path_workload(50, 10_000);
         // Budget fits ~2 sequences + workspaces.
         let budget = mem::tile_bytes(0, 0, 6, 64) + 25_000;
-        let parts = greedy_partitions(&w, budget, 6, 64);
+        let parts = greedy_partitions(&w, budget, 6, 64).unwrap();
         assert!(parts.len() >= 24, "got {} partitions", parts.len());
     }
 
     #[test]
-    #[should_panic(expected = "exceeds the tile budget")]
-    fn oversized_comparison_panics() {
-        let w = path_workload(2, 1_000_000);
-        let _ = greedy_partitions(&w, 64 * 1024, 6, 64);
+    fn oversized_comparison_is_a_typed_error() {
+        let w = path_workload(3, 1_000_000);
+        let err = greedy_partitions(&w, 64 * 1024, 6, 64).unwrap_err();
+        // The smallest offending index is reported even though every
+        // comparison is oversized.
+        match err {
+            PartitionError::OversizedComparison {
+                comparison,
+                needed_bytes,
+                budget_bytes,
+            } => {
+                assert_eq!(comparison, 0);
+                assert_eq!(budget_bytes, 64 * 1024);
+                assert!(needed_bytes > 2_000_000);
+            }
+        }
     }
 
     #[test]
@@ -255,7 +338,7 @@ mod tests {
         let a = w.seqs.push(vec![0; 1_000]);
         w.comparisons
             .push(Comparison::new(a, a, SeedMatch::new(0, 0, 1)));
-        let parts = greedy_partitions(&w, 64 * 1024, 6, 64);
+        let parts = greedy_partitions(&w, 64 * 1024, 6, 64).unwrap();
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].seq_bytes, 1_000);
         assert_eq!(parts[0].seqs, vec![a]);
@@ -264,6 +347,6 @@ mod tests {
     #[test]
     fn empty_workload_no_partitions() {
         let w = Workload::new(Alphabet::Dna);
-        assert!(greedy_partitions(&w, 64 * 1024, 6, 64).is_empty());
+        assert!(greedy_partitions(&w, 64 * 1024, 6, 64).unwrap().is_empty());
     }
 }

@@ -13,22 +13,31 @@
 //! — cutting batch counts by ~50 % and improving 32-device strong
 //! scaling by up to 3.59×.
 //!
-//! * [`graph`] — the comparison graph (CSR adjacency).
+//! * [`graph`] — the comparison graph (CSR adjacency, serial and
+//!   bit-identical parallel builds).
 //! * [`greedy`] — the paper's linear edge-walk partitioner.
+//! * [`shard`] — the sharded parallel edge walk: vertex-range shards
+//!   discovered via connected components, deterministic for any
+//!   thread count, single shard == serial oracle.
 //! * [`plan`] — turns partitions (or the naive layout) into
 //!   [`ipu_sim::Batch`]es and reports reuse statistics.
 //! * [`pipeline`] — the streaming work-stealing host pipeline that
 //!   overlaps align → plan → replay → schedule (§4.4), bit-identical
 //!   to the barriered phases.
+//! * [`error`] — typed partitioner/pipeline errors.
 
 pub mod driver;
+pub mod error;
 pub mod graph;
 pub mod greedy;
 pub mod pipeline;
 pub mod plan;
+pub mod shard;
 
 pub use driver::{IpuSystem, SystemReport};
+pub use error::{PartitionError, PipelineError};
 pub use graph::ComparisonGraph;
-pub use greedy::{greedy_partitions, Partition};
+pub use greedy::{greedy_partitions, greedy_partitions_with_load_cap, Partition};
 pub use pipeline::{run_pipeline, run_pipeline_reference, PipelineConfig, PipelineOutput};
 pub use plan::{plan_batches, reuse_stats, PlanConfig, ReuseStats};
+pub use shard::{sharded_partitions, DEFAULT_SHARD_COUNT};

@@ -32,7 +32,8 @@
 //! for any thread count and any steal interleaving. The differential
 //! proptest `tests/pipeline_determinism.rs` enforces exactly that.
 
-use crate::plan::{plan_batches, PlanConfig};
+use crate::error::{PartitionError, PipelineError};
+use crate::plan::{plan_batches_timed, PlanConfig, PlanTimings};
 use ipu_sim::batch::Batch;
 use ipu_sim::cluster::{run_cluster_opts, BatchScheduler, ClusterOptions, ClusterReport};
 use ipu_sim::cost::{CostModel, OptFlags};
@@ -45,7 +46,7 @@ use ipu_sim::pool::{resolve_threads, IndexQueue, ReadyQueue, SharedSlots};
 use ipu_sim::spec::IpuSpec;
 use ipu_sim::trace::ChromeTrace;
 use std::sync::{mpsc, OnceLock};
-use xdrop_core::error::{AlignError, Result};
+use xdrop_core::error::AlignError;
 use xdrop_core::extension::{Backend, ExtenderPool};
 use xdrop_core::scoring::Scorer;
 use xdrop_core::workload::Workload;
@@ -101,6 +102,19 @@ pub struct PipelineOutput {
     pub trace: Option<ChromeTrace>,
 }
 
+/// Appends `partition`/`plan` host phase spans to the trace, laid
+/// out back to back from t = 0 on the [`ipu_sim::trace::TID_HOST`]
+/// track. These are host wall-clock, so determinism comparisons
+/// filter `cat == "host"`.
+fn annotate_host_phases(trace: &mut Option<ChromeTrace>, t: &PlanTimings) {
+    if let Some(tr) = trace.as_mut() {
+        if t.partition_s > 0.0 {
+            tr.push_host_phase("partition", 0.0, t.partition_s);
+        }
+        tr.push_host_phase("plan", t.partition_s, t.partition_s + t.plan_s);
+    }
+}
+
 /// The barriered four-phase pipeline, kept verbatim as the
 /// differential oracle (and the baseline the `experiments e2e`
 /// benchmark measures the streaming pipeline against): static-chunk
@@ -110,10 +124,10 @@ pub fn run_pipeline_reference<S: Scorer + Sync>(
     scorer: &S,
     spec: &IpuSpec,
     cfg: &PipelineConfig,
-) -> Result<PipelineOutput> {
+) -> Result<PipelineOutput, PipelineError> {
     let exec = execute_workload_reference(w, scorer, &cfg.exec)?;
-    let batches = plan_batches(w, &exec.units, spec, &cfg.plan);
-    let (report, trace) = run_cluster_opts(
+    let (batches, timings) = plan_batches_timed(w, &exec.units, spec, &cfg.plan)?;
+    let (report, mut trace) = run_cluster_opts(
         &exec.units,
         &batches,
         cfg.devices,
@@ -126,6 +140,7 @@ pub fn run_pipeline_reference<S: Scorer + Sync>(
             streaming: false,
         },
     );
+    annotate_host_phases(&mut trace, &timings);
     Ok(PipelineOutput {
         exec,
         batches,
@@ -159,7 +174,7 @@ pub fn run_pipeline<S: Scorer + Sync>(
     scorer: &S,
     spec: &IpuSpec,
     cfg: &PipelineConfig,
-) -> Result<PipelineOutput> {
+) -> Result<PipelineOutput, PipelineError> {
     if !cfg.streaming {
         return run_pipeline_reference(w, scorer, spec, cfg);
     }
@@ -171,8 +186,8 @@ pub fn run_pipeline<S: Scorer + Sync>(
         // cluster layer further degrades to a plain loop). Output is
         // identical by the same slot-keyed argument.
         let exec = execute_workload(w, scorer, &cfg.exec)?;
-        let batches = plan_batches(w, &exec.units, spec, &cfg.plan);
-        let (report, trace) = run_cluster_opts(
+        let (batches, timings) = plan_batches_timed(w, &exec.units, spec, &cfg.plan)?;
+        let (report, mut trace) = run_cluster_opts(
             &exec.units,
             &batches,
             cfg.devices,
@@ -185,6 +200,7 @@ pub fn run_pipeline<S: Scorer + Sync>(
                 streaming: true,
             },
         );
+        annotate_host_phases(&mut trace, &timings);
         return Ok(PipelineOutput {
             exec,
             batches,
@@ -205,6 +221,8 @@ pub fn run_pipeline<S: Scorer + Sync>(
 
     let mut sched = BatchScheduler::new(cfg.devices, spec, cfg.collect_trace, resolved);
     let mut errors: Vec<(u32, AlignError)> = Vec::new();
+    let mut plan_err: Option<PartitionError> = None;
+    let mut plan_timings = PlanTimings::default();
 
     crossbeam::thread::scope(|s| {
         for _ in 0..threads {
@@ -273,7 +291,23 @@ pub fn run_pipeline<S: Scorer + Sync>(
         // Plan while the workers align: metadata-only planning units
         // yield exactly the batches the aligned units would.
         let punits = planning_units(w, exec_cfg.lr_split);
-        let planned = plan_batches(w, &punits, spec, &cfg.plan);
+        let planned = match plan_batches_timed(w, &punits, spec, &cfg.plan) {
+            Ok((planned, timings)) => {
+                plan_timings = timings;
+                planned
+            }
+            Err(e) => {
+                // Planning failed: stop handing out alignments and
+                // release the workers (the replay queue never gets a
+                // batch). The error is deterministic — the prepass
+                // reports the smallest offending comparison — so the
+                // caller sees the same failure for any thread count.
+                plan_err = Some(e);
+                queue.cancel();
+                ready.close();
+                return;
+            }
+        };
         let nb = planned.len();
         // Distinct comparisons pending per batch, and which batches
         // each comparison unblocks.
@@ -342,15 +376,19 @@ pub fn run_pipeline<S: Scorer + Sync>(
     })
     .expect("scope");
 
+    if let Some(e) = plan_err {
+        return Err(e.into());
+    }
     if let Some(e) = min_index_error(errors) {
-        return Err(e);
+        return Err(e.into());
     }
     let exec = ExecOutput {
         units: units.into_vec(),
         results: results.into_vec(),
     };
     let batches = batches_cell.into_inner().expect("planning always runs");
-    let (report, trace) = sched.finish();
+    let (report, mut trace) = sched.finish();
+    annotate_host_phases(&mut trace, &plan_timings);
     Ok(PipelineOutput {
         exec,
         batches,
@@ -423,12 +461,13 @@ mod tests {
                 assert_eq!(out.batches, oracle.batches, "t={threads} s={streaming}");
                 assert_eq!(out.report, oracle.report, "t={threads} s={streaming}");
                 // Traces agree once the host-meta annotation (which
-                // records the *requested* pool size) is aligned;
-                // compare span events only.
+                // records the *requested* pool size) and the
+                // wall-clock host phase spans are filtered; compare
+                // modeled span events only.
                 let spans = |t: &ChromeTrace| {
                     t.traceEvents
                         .iter()
-                        .filter(|e| e.cat != "meta")
+                        .filter(|e| e.cat != "meta" && e.cat != "host")
                         .cloned()
                         .collect::<Vec<_>>()
                 };
@@ -466,6 +505,38 @@ mod tests {
         c.exec.policy = BandPolicy::Exact(1);
         c.exec.params = XDropParams::new(1000);
         let err = run_pipeline(&w, &sc, &spec, &c).unwrap_err();
-        assert!(matches!(err, AlignError::BandExceeded { .. }));
+        assert!(matches!(
+            err,
+            PipelineError::Align(AlignError::BandExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_errors_surface_through_the_streaming_coordinator() {
+        // One comparison too big for any tile: alignment itself is
+        // cheap (the sequences disagree immediately, so X-Drop gives
+        // up fast), but planning must fail — deterministically naming
+        // the smallest offending comparison — without deadlocking the
+        // worker pool or panicking the coordinator.
+        let mut w = workload(24);
+        let budget = ipu_sim::batch::BatchConfig::new(64).tile_budget(&IpuSpec::gc200());
+        let a = w.seqs.push(vec![0; budget]);
+        let b = w.seqs.push(vec![1; budget]);
+        w.comparisons[7] = Comparison::new(a, b, SeedMatch::new(0, 0, 1));
+        let sc = MatchMismatch::dna_default();
+        let spec = IpuSpec::gc200();
+        for threads in [1usize, 8] {
+            let err = run_pipeline(&w, &sc, &spec, &cfg(threads, true)).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    PipelineError::Partition(crate::error::PartitionError::OversizedComparison {
+                        comparison: 7,
+                        ..
+                    })
+                ),
+                "threads {threads}: {err}"
+            );
+        }
     }
 }

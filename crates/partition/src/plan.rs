@@ -1,8 +1,10 @@
 //! Batch planning: partitions (or the naive layout) → device batches.
 
+use crate::error::PartitionError;
 #[cfg(test)]
 use crate::greedy::greedy_partitions;
-use crate::greedy::{greedy_partitions_with_load_cap, Partition};
+use crate::greedy::Partition;
+use crate::shard::sharded_partitions;
 use ipu_sim::batch::{naive_batches, Batch, BatchConfig, TileAssignment};
 use ipu_sim::exec::WorkUnit;
 use ipu_sim::spec::IpuSpec;
@@ -22,6 +24,15 @@ pub struct PlanConfig {
     /// need at least one batch per device in flight; the paper's
     /// full-size workloads produce hundreds of batches naturally.
     pub min_batches: usize,
+    /// Shard count of the parallel edge walk. `0` picks
+    /// [`crate::shard::DEFAULT_SHARD_COUNT`] on large workloads and
+    /// a single (serial-identical) shard on small ones; any explicit
+    /// count is honored as-is. The output depends on this knob only,
+    /// never on `host_threads`.
+    pub shards: usize,
+    /// Host pool threads for graph build + sharded walk (`0` = auto,
+    /// matching the pipeline convention).
+    pub host_threads: usize,
 }
 
 impl PlanConfig {
@@ -31,6 +42,8 @@ impl PlanConfig {
             batch: BatchConfig::new(delta_b),
             use_partitioning: true,
             min_batches: 2,
+            shards: 0,
+            host_threads: 0,
         }
     }
 
@@ -40,6 +53,8 @@ impl PlanConfig {
             batch: BatchConfig::new(delta_b),
             use_partitioning: false,
             min_batches: 2,
+            shards: 0,
+            host_threads: 0,
         }
     }
 
@@ -48,15 +63,56 @@ impl PlanConfig {
         self.min_batches = n.max(1);
         self
     }
+
+    /// Sets an explicit shard count for the parallel edge walk.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the host thread count of the partitioner front-end.
+    pub fn with_host_threads(mut self, host_threads: usize) -> Self {
+        self.host_threads = host_threads;
+        self
+    }
 }
 
-/// Groups the global work-unit list by comparison index.
-fn units_by_comparison(units: &[WorkUnit], n_comparisons: usize) -> Vec<Vec<u32>> {
-    let mut map = vec![Vec::new(); n_comparisons];
-    for (ui, u) in units.iter().enumerate() {
-        map[u.cmp as usize].push(ui as u32);
+/// The global work-unit list grouped by comparison index, as a flat
+/// CSR (counts → prefix sum → scatter) instead of a `Vec<Vec<u32>>`:
+/// one allocation for millions of comparisons rather than one each.
+struct UnitsByComparison {
+    offsets: Vec<u32>,
+    units: Vec<u32>,
+}
+
+impl UnitsByComparison {
+    fn build(units: &[WorkUnit], n_comparisons: usize) -> Self {
+        let mut counts = vec![0u32; n_comparisons + 1];
+        for u in units {
+            counts[u.cmp as usize + 1] += 1;
+        }
+        for i in 0..n_comparisons {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts;
+        let mut cursor = offsets[..n_comparisons].to_vec();
+        let mut flat = vec![0u32; units.len()];
+        for (ui, u) in units.iter().enumerate() {
+            flat[cursor[u.cmp as usize] as usize] = ui as u32;
+            cursor[u.cmp as usize] += 1;
+        }
+        Self {
+            offsets,
+            units: flat,
+        }
     }
-    map
+
+    /// Unit indices of comparison `ci`, in original unit order.
+    fn of(&self, ci: u32) -> &[u32] {
+        let lo = self.offsets[ci as usize] as usize;
+        let hi = self.offsets[ci as usize + 1] as usize;
+        &self.units[lo..hi]
+    }
 }
 
 /// Converts partitions into batches: partitions are sorted by
@@ -69,7 +125,7 @@ pub fn partition_batches(
     partitions: &[Partition],
     spec: &IpuSpec,
 ) -> Vec<Batch> {
-    let by_cmp = units_by_comparison(units, w.comparisons.len());
+    let by_cmp = UnitsByComparison::build(units, w.comparisons.len());
     let mut order: Vec<usize> = (0..partitions.len()).collect();
     // Index tiebreak keeps the (previously stability-provided) order
     // of equal loads while allowing the cheaper unstable sort.
@@ -86,7 +142,7 @@ pub fn partition_batches(
             est_load: p.est_load,
         };
         for &ci in &p.comparisons {
-            tile.units.extend_from_slice(&by_cmp[ci as usize]);
+            tile.units.extend_from_slice(by_cmp.of(ci));
         }
         // Largest-estimate-first within the tile: work stealing then
         // picks up the heavy extensions early (LPT). The insertion
@@ -105,34 +161,80 @@ pub fn partition_batches(
     batches
 }
 
+/// Wall-clock split of one planning run, for the host phase spans in
+/// the Chrome trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlanTimings {
+    /// Seconds spent in graph build + sharded edge walk (zero in
+    /// naive mode).
+    pub partition_s: f64,
+    /// Seconds spent turning partitions into batches.
+    pub plan_s: f64,
+}
+
 /// Plans batches for a workload according to `cfg`.
+///
+/// The partitioned path runs the sharded parallel walk
+/// ([`crate::shard::sharded_partitions`]); the plan depends on
+/// `cfg.shards` only, never on `cfg.host_threads`. Fails with
+/// [`PartitionError::OversizedComparison`] (smallest index) when a
+/// single comparison cannot fit a tile.
 pub fn plan_batches(
     w: &Workload,
     units: &[WorkUnit],
     spec: &IpuSpec,
     cfg: &PlanConfig,
-) -> Vec<Batch> {
+) -> Result<Vec<Batch>, PartitionError> {
+    plan_batches_timed(w, units, spec, cfg).map(|(batches, _)| batches)
+}
+
+/// [`plan_batches`] also reporting where the wall-clock went.
+pub fn plan_batches_timed(
+    w: &Workload,
+    units: &[WorkUnit],
+    spec: &IpuSpec,
+    cfg: &PlanConfig,
+) -> Result<(Vec<Batch>, PlanTimings), PartitionError> {
     // Bound each tile's (or partition's) estimated load so that at
     // least `min_batches` batches of `spec.tiles` slots exist — both
     // modes get the same batch granularity, as on full-size data
     // where memory pressure alone yields hundreds of batches.
     let cap =
         (w.total_complexity() / (cfg.min_batches.max(1) as u64 * spec.tiles as u64).max(1)).max(1);
+    let start = std::time::Instant::now();
     if cfg.use_partitioning {
-        let parts = greedy_partitions_with_load_cap(
+        let parts = sharded_partitions(
             w,
             cfg.batch.tile_budget(spec),
             cfg.batch.threads,
             cfg.batch.delta_b,
             Some(cap),
-        );
-        partition_batches(w, units, &parts, spec)
+            cfg.shards,
+            cfg.host_threads,
+        )?;
+        let partition_s = start.elapsed().as_secs_f64();
+        let plan_start = std::time::Instant::now();
+        let batches = partition_batches(w, units, &parts, spec);
+        Ok((
+            batches,
+            PlanTimings {
+                partition_s,
+                plan_s: plan_start.elapsed().as_secs_f64(),
+            },
+        ))
     } else {
         let batch = BatchConfig {
             max_load_per_tile: Some(cap),
             ..cfg.batch
         };
-        naive_batches(w, units, spec, &batch)
+        let batches = naive_batches(w, units, spec, &batch);
+        Ok((
+            batches,
+            PlanTimings {
+                partition_s: 0.0,
+                plan_s: start.elapsed().as_secs_f64(),
+            },
+        ))
     }
 }
 
@@ -228,7 +330,7 @@ mod tests {
     fn partitioned_plan_covers_all_units() {
         let (w, units) = clustered(20, 8, 2_000);
         let spec = IpuSpec::gc200();
-        let batches = plan_batches(&w, &units, &spec, &PlanConfig::partitioned(64));
+        let batches = plan_batches(&w, &units, &spec, &PlanConfig::partitioned(64)).unwrap();
         let mut seen = vec![0; units.len()];
         for b in &batches {
             for t in &b.tiles {
@@ -248,10 +350,12 @@ mod tests {
         let (w, units) = clustered(20, 8, 2_000);
         let spec = IpuSpec::gc200();
         let naive: u64 = plan_batches(&w, &units, &spec, &PlanConfig::naive(64))
+            .unwrap()
             .iter()
             .map(Batch::transfer_bytes)
             .sum();
         let parted: u64 = plan_batches(&w, &units, &spec, &PlanConfig::partitioned(64))
+            .unwrap()
             .iter()
             .map(Batch::transfer_bytes)
             .sum();
@@ -271,7 +375,8 @@ mod tests {
             cfg.batch.tile_budget(&spec),
             cfg.batch.threads,
             cfg.batch.delta_b,
-        );
+        )
+        .unwrap();
         let rs = reuse_stats(&w, &parts);
         // Each group: 28 comparisons × 2 seqs naive vs 8 unique.
         assert!(rs.reuse_factor > 3.0, "reuse {}", rs.reuse_factor);
@@ -283,7 +388,7 @@ mod tests {
     fn lr_units_stay_with_their_partition() {
         let (w, units) = clustered(5, 4, 1_000);
         let spec = IpuSpec::gc200();
-        let batches = plan_batches(&w, &units, &spec, &PlanConfig::partitioned(64));
+        let batches = plan_batches(&w, &units, &spec, &PlanConfig::partitioned(64)).unwrap();
         for b in &batches {
             for t in &b.tiles {
                 // Units on a tile must come in left/right pairs of
@@ -304,7 +409,7 @@ mod tests {
             tiles: 2,
             ..IpuSpec::gc200()
         };
-        let batches = plan_batches(&w, &units, &tiny_spec, &PlanConfig::partitioned(64));
+        let batches = plan_batches(&w, &units, &tiny_spec, &PlanConfig::partitioned(64)).unwrap();
         for b in &batches {
             assert!(b.tiles.len() <= 2);
         }

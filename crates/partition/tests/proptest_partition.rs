@@ -73,7 +73,7 @@ fn partitioner_is_subsecond_on_a_million_edges() {
     }
     assert_eq!(w.comparisons.len(), 1_000_000);
     let started = std::time::Instant::now();
-    let parts = greedy_partitions(&w, 500_000, 6, 256);
+    let parts = greedy_partitions(&w, 500_000, 6, 256).unwrap();
     let elapsed = started.elapsed();
     assert!(!parts.is_empty());
     assert!(
@@ -90,7 +90,7 @@ proptest! {
     #[test]
     fn partitions_cover_and_fit(w in workload_strategy()) {
         let budget = mem::tile_bytes(0, 0, 6, 64) + 8_000;
-        let parts = greedy_partitions(&w, budget, 6, 64);
+        let parts = greedy_partitions(&w, budget, 6, 64).unwrap();
         let mut seen = vec![0usize; w.comparisons.len()];
         for p in &parts {
             let mut bytes = 0usize;
@@ -123,7 +123,7 @@ proptest! {
     fn load_cap_honoured(w in workload_strategy(), divisor in 1u64..20) {
         let budget = mem::tile_bytes(0, 0, 6, 64) + 8_000;
         let cap = (w.total_complexity() / divisor).max(1);
-        let parts = greedy_partitions_with_load_cap(&w, budget, 6, 64, Some(cap));
+        let parts = greedy_partitions_with_load_cap(&w, budget, 6, 64, Some(cap)).unwrap();
         for p in &parts {
             if p.comparisons.len() > 1 {
                 prop_assert!(
@@ -140,7 +140,7 @@ proptest! {
     #[test]
     fn reuse_factor_at_least_one(w in workload_strategy()) {
         let budget = mem::tile_bytes(0, 0, 6, 64) + 8_000;
-        let parts = greedy_partitions(&w, budget, 6, 64);
+        let parts = greedy_partitions(&w, budget, 6, 64).unwrap();
         let rs = reuse_stats(&w, &parts);
         prop_assert!(rs.unique_bytes <= rs.naive_bytes);
         prop_assert!(rs.reuse_factor >= 0.999);
@@ -157,7 +157,7 @@ proptest! {
         } else {
             PlanConfig::naive(64).with_min_batches(min_batches)
         };
-        let batches: Vec<Batch> = plan_batches(&w, &units, &spec, &cfg);
+        let batches: Vec<Batch> = plan_batches(&w, &units, &spec, &cfg).expect("all comparisons fit");
         let mut seen = vec![0usize; units.len()];
         for b in &batches {
             prop_assert!(b.tiles.len() <= spec.tiles);

@@ -50,7 +50,7 @@ fn main() {
             PlanConfig::naive(512)
         }
         .with_min_batches(32);
-        let batches = plan_batches(&w, &exec.units, &spec, &cfg);
+        let batches = plan_batches(&w, &exec.units, &spec, &cfg).unwrap();
         let bytes: u64 = batches.iter().map(Batch::transfer_bytes).sum();
         println!(
             "\n{} batching: {} batches, {:.1} MB host transfer",

@@ -32,5 +32,7 @@ pub mod prelude {
     };
     pub use seqdata::{Dataset, DatasetKind};
     pub use xdrop_core::prelude::*;
-    pub use xdrop_partition::{plan_batches, IpuSystem, PlanConfig};
+    pub use xdrop_partition::{
+        plan_batches, sharded_partitions, IpuSystem, PartitionError, PipelineError, PlanConfig,
+    };
 }

@@ -6,12 +6,16 @@
 //! every kernel, the scalar row leads each configuration, and —
 //! because all kernels are bit-identical — the per-alignment cell
 //! count is constant within a configuration. The v2 schema adds the
-//! end-to-end pipeline section (`e2e`). Regenerate the kernel rows
-//! with `cargo run --release -p xdrop-bench --bin experiments -- bench
-//! --bench-json` and the e2e rows with the same command using `e2e`.
+//! end-to-end pipeline section (`e2e`) and the partitioner front-end
+//! section (`partition`). Regenerate the kernel rows with `cargo run
+//! --release -p xdrop-bench --bin experiments -- bench --bench-json`
+//! and the e2e/partition rows with the same command using `e2e` or
+//! `partition`.
 
 use xdrop_bench::exp::e2e::E2E_REPRO_COMMAND;
 use xdrop_bench::exp::kernelbench::{BenchFile, REPRO_COMMAND, SCHEMA};
+use xdrop_bench::exp::partbench::{PARTITION_REPRO_COMMAND, SHARD_SWEEP, THREAD_COUNTS};
+use xdrop_ipu::partition::DEFAULT_SHARD_COUNT;
 
 fn load() -> BenchFile {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_xdrop.json");
@@ -84,6 +88,80 @@ fn e2e_section_is_well_formed() {
             assert!(r.host_cores >= 1);
         }
         assert!((pair[0].speedup_vs_reference - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn partition_section_is_well_formed() {
+    let file = load();
+    assert_eq!(file.partition_command, PARTITION_REPRO_COMMAND);
+    assert!(
+        !file.partition.is_empty(),
+        "partition section must be recorded"
+    );
+    // One serial oracle row, then the thread scaling at the default
+    // shard count, then the shard sweep.
+    assert_eq!(
+        file.partition.len(),
+        1 + THREAD_COUNTS.len() + SHARD_SWEEP.len()
+    );
+    let serial = &file.partition[0];
+    assert_eq!(serial.mode, "serial");
+    assert_eq!((serial.threads, serial.shards), (1, 1));
+    assert!((serial.speedup_vs_serial - 1.0).abs() < 1e-9);
+    for r in &file.partition {
+        assert!(r.mode == "serial" || r.mode == "sharded", "{}", r.mode);
+        assert_eq!(r.comparisons, serial.comparisons);
+        assert!(r.seconds > 0.0 && r.edges_per_sec > 0.0);
+        assert!(r.speedup_vs_serial > 0.0);
+        assert!(r.reuse_factor >= 1.0, "dedup never ships extra bytes");
+        assert!(r.host_cores >= 1);
+    }
+    // The acceptance bar on reuse is unconditional (it is a property
+    // of the deterministic output, not of the measuring host): at the
+    // default shard count the sharded walk keeps the serial walk's
+    // sequence reuse to within 5%.
+    let sharded_default = file
+        .partition
+        .iter()
+        .find(|r| r.mode == "sharded" && r.shards == DEFAULT_SHARD_COUNT)
+        .expect("default-shard-count row in the committed baseline");
+    assert!(
+        sharded_default.reuse_factor >= serial.reuse_factor * 0.95,
+        "sharding must keep >=95% of serial reuse: {:.3} vs {:.3}",
+        sharded_default.reuse_factor,
+        serial.reuse_factor
+    );
+}
+
+#[test]
+fn committed_baseline_shows_partitioner_win() {
+    let file = load();
+    let row = file
+        .partition
+        .iter()
+        .find(|r| r.mode == "sharded" && r.threads == 4 && r.shards == DEFAULT_SHARD_COUNT)
+        .expect("4-thread sharded row in the committed baseline");
+    if row.host_cores >= 4 {
+        // On a real multi-core host the sharded walk must clear the
+        // acceptance margin over the serial oracle.
+        assert!(
+            row.speedup_vs_serial >= 2.0,
+            "expected >=2x partitioner speedup at 4 threads on a \
+             {}-core host, got {:.2}x",
+            row.host_cores,
+            row.speedup_vs_serial
+        );
+    } else {
+        // Produced on a small host: parallelism cannot pay off, so
+        // require no pathological regression instead of a speedup.
+        assert!(
+            row.speedup_vs_serial >= 0.4,
+            "sharded walk must not collapse even on a {}-core host, \
+             got {:.2}x",
+            row.host_cores,
+            row.speedup_vs_serial
+        );
     }
 }
 

@@ -26,7 +26,7 @@ fn scores_invariant_under_scheduling() {
     let plans = [PlanConfig::naive(256), PlanConfig::partitioned(256)];
     let mut times = Vec::new();
     for plan in plans {
-        let batches = plan_batches(&w, &exec.units, &spec, &plan);
+        let batches = plan_batches(&w, &exec.units, &spec, &plan).unwrap();
         for devices in [1, 4] {
             for flags in [OptFlags::full(), OptFlags::single_tile()] {
                 // Flags affect time, never results (results were
@@ -49,7 +49,7 @@ fn partitioned_and_naive_plans_cover_same_units() {
     let exec = execute_workload(&w, &sc, &ExecConfig::new(XDropParams::new(10))).unwrap();
     let spec = IpuSpec::gc200();
     for plan in [PlanConfig::naive(128), PlanConfig::partitioned(128)] {
-        let batches = plan_batches(&w, &exec.units, &spec, &plan);
+        let batches = plan_batches(&w, &exec.units, &spec, &plan).unwrap();
         let mut seen = vec![false; exec.units.len()];
         for b in &batches {
             for t in &b.tiles {
@@ -71,6 +71,7 @@ fn partitioning_reduces_host_bytes_on_real_shape() {
     let spec = IpuSpec::gc200();
     let bytes = |plan: PlanConfig| -> u64 {
         plan_batches(&w, &exec.units, &spec, &plan)
+            .unwrap()
             .iter()
             .map(Batch::transfer_bytes)
             .sum()
@@ -89,7 +90,7 @@ fn device_count_monotone_makespan() {
     let sc = MatchMismatch::dna_default();
     let exec = execute_workload(&w, &sc, &ExecConfig::new(XDropParams::new(15))).unwrap();
     let spec = IpuSpec::bow();
-    let batches = plan_batches(&w, &exec.units, &spec, &PlanConfig::partitioned(256));
+    let batches = plan_batches(&w, &exec.units, &spec, &PlanConfig::partitioned(256)).unwrap();
     let cost = CostModel::default();
     let mut prev = f64::INFINITY;
     for devices in [1, 2, 4, 8] {

@@ -55,15 +55,17 @@ fn config(threads: usize, streaming: bool, devices: usize) -> PipelineConfig {
 }
 
 /// Modeled spans of a trace — everything except the host-meta
-/// annotation, which records the requested pool size and therefore
-/// legitimately differs across thread counts.
+/// annotation (which records the requested pool size and therefore
+/// legitimately differs across thread counts) and the host
+/// partition/plan phase spans (which are wall-clock, not modeled
+/// time).
 fn spans(trace: &Option<ChromeTrace>) -> Vec<TraceEvent> {
     trace
         .as_ref()
         .expect("trace requested")
         .traceEvents
         .iter()
-        .filter(|e| e.cat != "meta")
+        .filter(|e| e.cat != "meta" && e.cat != "host")
         .cloned()
         .collect()
 }

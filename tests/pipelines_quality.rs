@@ -54,7 +54,7 @@ fn elba_workload_flows_through_simulator() {
 fn elba_workload_partitions_cleanly() {
     let mut rng = StdRng::seed_from_u64(78);
     let run = run_elba(&mut rng, &elba_cfg());
-    let parts = greedy_partitions(&run.workload, 500_000, 6, 256);
+    let parts = greedy_partitions(&run.workload, 500_000, 6, 256).unwrap();
     let assigned: usize = parts.iter().map(|p| p.comparisons.len()).sum();
     assert_eq!(assigned, run.workload.comparisons.len());
     // Overlap graphs of reads have heavy sequence sharing.
