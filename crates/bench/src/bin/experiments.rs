@@ -17,6 +17,7 @@
 //!   pastis     §6.3.2   PASTIS alignment step CPU vs IPU
 //!   bench      host-kernel A/B (scalar/chunked/simd cells/sec)
 //!   e2e        host pipeline: streaming vs barriered wall-clock
+//!   faults     fault recovery: fault-free vs one device lost
 //!   all        everything above
 //! ```
 //!
@@ -28,8 +29,8 @@
 use seqdata::{Dataset, DatasetKind};
 use xdrop_bench::exp;
 use xdrop_bench::exp::{
-    compare, e2e, kernelbench, partbench, realworld, scaling, search_space, table1, table2,
-    tilesched,
+    compare, e2e, faultbench, kernelbench, partbench, realworld, scaling, search_space, table1,
+    table2, tilesched,
 };
 use xdrop_bench::svg;
 use xdrop_pipelines::elba::ElbaConfig;
@@ -93,14 +94,14 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage: experiments <table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|sec61|partition|elba|pastis|bench|e2e|all> [--scale F] [--threads N] [--iters N] [--trace] [--bench-json]\n\
+        "usage: experiments <table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|sec61|partition|elba|pastis|bench|e2e|faults|all> [--scale F] [--threads N] [--iters N] [--trace] [--bench-json]\n\
          \n\
-         --iters       with `e2e`/`partition`: timing iterations per\n\
-         \x20             configuration (best wins; default 3)\n\
+         --iters       with `e2e`/`partition`/`faults`: timing iterations\n\
+         \x20             per configuration (best wins; default 3)\n\
          --trace       also dump a Chrome trace_event timeline to\n\
          \x20             results/<name>.trace.json (fig4, fig7, elba, pastis)\n\
-         --bench-json  with `bench`/`e2e`/`partition`: also write the\n\
-         \x20             machine-readable perf baseline BENCH_xdrop.json\n\
+         --bench-json  with `bench`/`e2e`/`partition`/`faults`: also write\n\
+         \x20             the machine-readable perf baseline BENCH_xdrop.json\n\
          \x20             at the repo root (`partition` adds the serial-vs-\n\
          \x20             sharded front-end benchmark)"
     );
@@ -450,6 +451,18 @@ fn run_one(name: &str, args: &Args) {
             exp::save_json("e2e", &rows);
             if args.bench_json {
                 match kernelbench::write_e2e_json(&rows) {
+                    Ok(path) => println!("   wrote {}", path.display()),
+                    Err(e) => eprintln!("   could not write BENCH_xdrop.json: {e}"),
+                }
+            }
+        }
+        "faults" => {
+            let rows = faultbench::run(args.scale, args.iters);
+            println!("Fault recovery: fault-free vs one device lost mid-run");
+            print!("{}", faultbench::render(&rows));
+            exp::save_json("faults", &rows);
+            if args.bench_json {
+                match kernelbench::write_faults_json(&rows) {
                     Ok(path) => println!("   wrote {}", path.display()),
                     Err(e) => eprintln!("   could not write BENCH_xdrop.json: {e}"),
                 }

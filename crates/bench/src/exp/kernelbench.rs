@@ -72,6 +72,45 @@ pub struct BenchFile {
     /// serial vs sharded edge walk at 1/2/4/8 threads plus a
     /// shard-count reuse sweep.
     pub partition: Vec<super::partbench::PartitionBenchRow>,
+    /// The command that regenerates the faults section.
+    pub faults_command: String,
+    /// Fault-recovery overhead measurements (`experiments faults`):
+    /// fault-free vs one device lost mid-run.
+    pub faults: Vec<super::faultbench::FaultBenchRow>,
+}
+
+/// The v2 on-disk shape, kept so a stale baseline written before the
+/// faults section existed still parses (the vendored serde has no
+/// `#[serde(default)]`, so missing fields fail the v3 parse) and can
+/// be upgraded in place instead of silently discarded.
+#[derive(Debug, Clone, serde::Deserialize)]
+struct LegacyBenchFileV2 {
+    #[allow(dead_code)]
+    schema: String,
+    command: String,
+    detected_kernel: String,
+    rows: Vec<Row>,
+    e2e_command: String,
+    e2e: Vec<super::e2e::E2eRow>,
+    partition_command: String,
+    partition: Vec<super::partbench::PartitionBenchRow>,
+}
+
+impl From<LegacyBenchFileV2> for BenchFile {
+    fn from(v2: LegacyBenchFileV2) -> Self {
+        BenchFile {
+            schema: SCHEMA.to_string(),
+            command: v2.command,
+            detected_kernel: v2.detected_kernel,
+            rows: v2.rows,
+            e2e_command: v2.e2e_command,
+            e2e: v2.e2e,
+            partition_command: v2.partition_command,
+            partition: v2.partition,
+            faults_command: super::faultbench::FAULTS_REPRO_COMMAND.to_string(),
+            faults: Vec::new(),
+        }
+    }
 }
 
 fn pair(len: usize, err: f64) -> (Vec<u8>, Vec<u8>) {
@@ -219,19 +258,25 @@ pub fn render(rows: &[Row]) -> String {
 pub const REPRO_COMMAND: &str =
     "cargo run --release -p xdrop-bench --bin experiments -- bench --bench-json";
 
-/// Schema tag of `BENCH_xdrop.json` (v2 added the `e2e` section).
-pub const SCHEMA: &str = "xdrop-kernel-bench/v2";
+/// Schema tag of `BENCH_xdrop.json` (v2 added the `e2e` section, v3
+/// the fault-recovery `faults` section).
+pub const SCHEMA: &str = "xdrop-kernel-bench/v3";
 
 fn bench_json_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_xdrop.json")
 }
 
 /// The committed baseline, if present and parseable at the current
-/// schema. Used to preserve the section the caller is *not*
-/// regenerating.
+/// schema — or at the legacy v2 shape, which is upgraded with an
+/// empty faults section. Used to preserve the sections the caller is
+/// *not* regenerating.
 fn read_existing() -> Option<BenchFile> {
     let text = std::fs::read_to_string(bench_json_path()).ok()?;
-    serde_json::from_str(&text).ok()
+    serde_json::from_str::<BenchFile>(&text).ok().or_else(|| {
+        serde_json::from_str::<LegacyBenchFileV2>(&text)
+            .ok()
+            .map(BenchFile::from)
+    })
 }
 
 fn write_file(file: &BenchFile) -> std::io::Result<std::path::PathBuf> {
@@ -243,9 +288,11 @@ fn write_file(file: &BenchFile) -> std::io::Result<std::path::PathBuf> {
 }
 
 /// A freshly-tagged file holding the committed sections (or empty
-/// ones when no parseable baseline exists).
+/// ones when no parseable baseline exists). Always stamped with the
+/// current [`SCHEMA`], so regenerating any one section upgrades a
+/// legacy file in place.
 fn base_file() -> BenchFile {
-    read_existing().unwrap_or_else(|| BenchFile {
+    let mut file = read_existing().unwrap_or_else(|| BenchFile {
         schema: SCHEMA.to_string(),
         command: REPRO_COMMAND.to_string(),
         detected_kernel: KernelKind::detect().name().to_string(),
@@ -254,7 +301,11 @@ fn base_file() -> BenchFile {
         e2e: Vec::new(),
         partition_command: super::partbench::PARTITION_REPRO_COMMAND.to_string(),
         partition: Vec::new(),
-    })
+        faults_command: super::faultbench::FAULTS_REPRO_COMMAND.to_string(),
+        faults: Vec::new(),
+    });
+    file.schema = SCHEMA.to_string();
+    file
 }
 
 /// Writes the kernel rows of the machine-readable baseline at the
@@ -282,6 +333,17 @@ pub fn write_partition_json(
 ) -> std::io::Result<std::path::PathBuf> {
     let mut file = base_file();
     file.partition = partition.to_vec();
+    write_file(&file)
+}
+
+/// Writes the faults section of the baseline, preserving every other
+/// committed section.
+pub fn write_faults_json(
+    faults: &[super::faultbench::FaultBenchRow],
+) -> std::io::Result<std::path::PathBuf> {
+    let mut file = base_file();
+    file.faults_command = super::faultbench::FAULTS_REPRO_COMMAND.to_string();
+    file.faults = faults.to_vec();
     write_file(&file)
 }
 

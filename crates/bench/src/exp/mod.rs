@@ -2,6 +2,7 @@
 
 pub mod compare;
 pub mod e2e;
+pub mod faultbench;
 pub mod kernelbench;
 pub mod partbench;
 pub mod realworld;

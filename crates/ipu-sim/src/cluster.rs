@@ -34,6 +34,7 @@ use crate::batch::Batch;
 use crate::cost::{CostModel, OptFlags};
 use crate::device::{run_batch_on_device, run_batch_on_device_scratch, BatchReport, BatchScratch};
 use crate::exec::WorkUnit;
+use crate::fault::{ClusterError, FaultPlan, FaultState};
 use crate::pool::{resolve_threads, IndexQueue};
 use crate::spec::IpuSpec;
 use crate::trace::{ChromeTrace, TraceBuilder};
@@ -60,6 +61,20 @@ pub struct ClusterReport {
     pub queue_wait_p50: f64,
     /// 99th-percentile batch queue wait.
     pub queue_wait_p99: f64,
+    /// Transient execution failures retried (one per failed attempt
+    /// on a surviving device). Zero on a fault-free run.
+    pub retries: u64,
+    /// Batches requeued onto another device because the device
+    /// handling them died mid-attempt. Zero on a fault-free run.
+    pub requeues: u64,
+    /// Devices retired after an *observed* death — a scheduled death
+    /// the run ended before observing is not counted.
+    pub devices_lost: u64,
+    /// Modeled seconds of recovery overhead: link/compute time
+    /// consumed by failed attempts, injected stall seconds, and the
+    /// nominal backoff delay after each failure. Exactly computable
+    /// from the injected [`FaultPlan`] and the per-batch reports.
+    pub recovery_seconds: f64,
     /// Per-device compute-busy fraction of the makespan.
     pub per_device_busy: Vec<f64>,
     /// Per-batch device reports, in submission order.
@@ -247,17 +262,44 @@ pub struct BatchScheduler {
     tracer: Option<TraceBuilder>,
     fetch_events: BinaryHeap<Reverse<FetchFree>>,
     reports: Vec<BatchReport>,
+    faults: FaultState,
+    retries: u64,
+    requeues: u64,
+    devices_lost: u64,
+    recovery_seconds: f64,
 }
 
 impl BatchScheduler {
-    /// A scheduler over `devices` IPUs (at least one). The resolved
-    /// host pool size is recorded in the trace metadata when tracing
-    /// is on — it annotates the run, it never affects the schedule.
+    /// A scheduler over `devices` IPUs (at least one), fault-free.
+    /// The resolved host pool size is recorded in the trace metadata
+    /// when tracing is on — it annotates the run, it never affects
+    /// the schedule.
     pub fn new(
         devices: usize,
         spec: &IpuSpec,
         collect_trace: bool,
         resolved_host_threads: usize,
+    ) -> Self {
+        Self::with_faults(
+            devices,
+            spec,
+            collect_trace,
+            resolved_host_threads,
+            &FaultPlan::none(),
+        )
+    }
+
+    /// A scheduler that replays the deterministic fault schedule of
+    /// `plan` while it runs. With [`FaultPlan::none`] this is exactly
+    /// [`BatchScheduler::new`]: the fault checks all come back inert
+    /// and the float operations performed per batch are identical, so
+    /// a fault-free plan reproduces the fault-free run bit-for-bit.
+    pub fn with_faults(
+        devices: usize,
+        spec: &IpuSpec,
+        collect_trace: bool,
+        resolved_host_threads: usize,
+        plan: &FaultPlan,
     ) -> Self {
         let devices = devices.max(1);
         let tracer = collect_trace.then(|| {
@@ -283,38 +325,178 @@ impl BatchScheduler {
                 .map(|d| Reverse(FetchFree { at: 0.0, device: d }))
                 .collect(),
             reports: Vec::new(),
+            faults: FaultState::new(plan, devices),
+            retries: 0,
+            requeues: 0,
+            devices_lost: 0,
+            recovery_seconds: 0.0,
         }
     }
 
     /// Binds the next batch (in submission order) to the device
-    /// whose fetch engine frees earliest.
-    pub fn bind(&mut self, report: BatchReport) {
+    /// whose fetch engine frees earliest, replaying any faults the
+    /// plan schedules for it.
+    ///
+    /// A failed attempt retries *before* the next batch binds
+    /// (head-of-queue retry): requeue and retry are immediate in
+    /// modeled time, gated only by the backoff window, so submission
+    /// order — and with it the smallest-failing-index convention and
+    /// bit-identical results — survives any fault schedule. Failure
+    /// semantics:
+    ///
+    /// * A device whose death time is at or before its fetch-free
+    ///   event retires silently at pop; an empty heap is
+    ///   [`ClusterError::AllDevicesLost`].
+    /// * A death inside the attempt window — up to and including the
+    ///   end of the compute superstep — kills the attempt: the link
+    ///   and compute time actually consumed is charged (bytes are
+    ///   not: the transfer never completed), the device retires, and
+    ///   the batch requeues after backoff.
+    /// * A transient failure is observed at compute end: the full
+    ///   transfer and compute are charged (bytes included — they
+    ///   moved), the device survives, and the batch retries after
+    ///   backoff; exceeding the plan's cap is
+    ///   [`ClusterError::RetriesExhausted`].
+    /// * The queue-wait sample records the successful attempt's
+    ///   transfer start, so fault-induced delay shows up in the
+    ///   percentiles.
+    pub fn bind(&mut self, report: BatchReport) -> Result<(), ClusterError> {
         let i = self.reports.len();
-        let Reverse(ev) = self.fetch_events.pop().expect("one event per device");
-        let d = ev.device;
-        let transfer_time = report.host_bytes as f64 / self.host_link_bytes_per_s;
-        let start = ev.at.max(self.link_free);
-        let fetched = start + transfer_time;
-        self.link_free = fetched;
-        self.link_busy += transfer_time;
-        // Double buffering: the device's next fetch may begin as soon
-        // as this one completed; compute begins when both the data is
-        // there and the previous batch finished.
-        self.fetch_events.push(Reverse(FetchFree {
-            at: fetched,
-            device: d,
-        }));
-        let begin = fetched.max(self.compute_free[d]);
-        self.compute_free[d] = begin + report.device_seconds();
-        self.compute_busy[d] += report.device_seconds();
-        self.host_bytes += report.host_bytes;
-        self.queue_waits.push(start);
-        if let Some(tb) = self.tracer.as_mut() {
-            tb.link(i, start, fetched, report.host_bytes);
-            tb.fetch(d, i, start, fetched, start);
-            tb.compute(d, i, begin, self.compute_free[d]);
+        let batch = i as u32;
+        // Failed attempts of this batch so far (either kind) — drives
+        // the backoff exponent and the stall lookup.
+        let mut attempt: u32 = 0;
+        let mut transient_failed: u32 = 0;
+        // Earliest modeled time a retry may re-enter the queue.
+        let mut not_before = 0.0f64;
+        loop {
+            // Pop the earliest live fetch event, retiring devices
+            // already dead by their event time.
+            let ev = loop {
+                let Some(Reverse(ev)) = self.fetch_events.pop() else {
+                    return Err(ClusterError::AllDevicesLost { batch });
+                };
+                let death = self.faults.death_time(ev.device);
+                if death <= ev.at {
+                    self.devices_lost += 1;
+                    if let Some(tb) = self.tracer.as_mut() {
+                        tb.fault_death(ev.device, death);
+                    }
+                    continue;
+                }
+                break ev;
+            };
+            let d = ev.device;
+            let stall = self.faults.stall_seconds(batch, attempt);
+            let transfer_time = report.host_bytes as f64 / self.host_link_bytes_per_s + stall;
+            let start = ev.at.max(not_before).max(self.link_free);
+            let fetched = start + transfer_time;
+            let begin = fetched.max(self.compute_free[d]);
+            let end = begin + report.device_seconds();
+            let death = self.faults.death_time(d);
+            if death <= end {
+                // The device dies while handling this attempt (death
+                // exactly at a superstep boundary counts as during
+                // it). Charge what was actually consumed, retire the
+                // device — its event is not pushed back — and requeue
+                // the batch after backoff.
+                attempt += 1;
+                let consumed_until = death.clamp(start, fetched);
+                let consumed_link = consumed_until - start;
+                if consumed_link > 0.0 {
+                    self.link_free = consumed_until;
+                    self.link_busy += consumed_link;
+                }
+                let consumed_compute = (death - begin).clamp(0.0, report.device_seconds());
+                if consumed_compute > 0.0 {
+                    self.compute_free[d] = begin + consumed_compute;
+                    self.compute_busy[d] += consumed_compute;
+                }
+                let delay = self.faults.backoff.delay(attempt);
+                not_before = death + delay;
+                self.devices_lost += 1;
+                self.requeues += 1;
+                self.recovery_seconds += consumed_link + consumed_compute + delay;
+                if let Some(tb) = self.tracer.as_mut() {
+                    if consumed_link > 0.0 {
+                        tb.link(i, start, consumed_until, report.host_bytes);
+                        tb.fetch(d, i, start, consumed_until, start);
+                    }
+                    if consumed_compute > 0.0 {
+                        tb.compute(d, i, begin, begin + consumed_compute);
+                    }
+                    tb.fault_death(d, death);
+                    tb.fault_requeue(i, d, attempt, death, not_before);
+                }
+                continue;
+            }
+            if self.faults.take_transient(batch) {
+                // Transient execution failure, observed at the end of
+                // the compute superstep: the attempt consumed its
+                // full transfer and compute, the device survives.
+                attempt += 1;
+                transient_failed += 1;
+                if transient_failed > self.faults.max_retries {
+                    return Err(ClusterError::RetriesExhausted {
+                        batch,
+                        attempts: transient_failed,
+                    });
+                }
+                self.link_free = fetched;
+                self.link_busy += transfer_time;
+                self.fetch_events.push(Reverse(FetchFree {
+                    at: fetched,
+                    device: d,
+                }));
+                self.compute_free[d] = end;
+                self.compute_busy[d] += report.device_seconds();
+                self.host_bytes += report.host_bytes;
+                let delay = self.faults.backoff.delay(attempt);
+                not_before = end + delay;
+                self.retries += 1;
+                self.recovery_seconds += transfer_time + report.device_seconds() + delay;
+                if let Some(tb) = self.tracer.as_mut() {
+                    tb.link(i, start, fetched, report.host_bytes);
+                    tb.fetch(d, i, start, fetched, start);
+                    if stall > 0.0 {
+                        tb.fault_stall(i, attempt - 1, fetched - stall, fetched);
+                    }
+                    tb.compute(d, i, begin, end);
+                    tb.fault_retry(i, d, attempt, end, not_before);
+                }
+                continue;
+            }
+            // Success. With an empty plan this performs exactly the
+            // fault-free scheduler's float operations: `not_before`
+            // and `stall` are 0.0 and every time is non-negative, so
+            // the extra `max`/`+` terms are bit-exact identities.
+            self.link_free = fetched;
+            self.link_busy += transfer_time;
+            // Double buffering: the device's next fetch may begin as
+            // soon as this one completed; compute begins when both
+            // the data is there and the previous batch finished.
+            self.fetch_events.push(Reverse(FetchFree {
+                at: fetched,
+                device: d,
+            }));
+            self.compute_free[d] = end;
+            self.compute_busy[d] += report.device_seconds();
+            self.host_bytes += report.host_bytes;
+            self.queue_waits.push(start);
+            if stall > 0.0 {
+                self.recovery_seconds += stall;
+            }
+            if let Some(tb) = self.tracer.as_mut() {
+                tb.link(i, start, fetched, report.host_bytes);
+                tb.fetch(d, i, start, fetched, start);
+                if stall > 0.0 {
+                    tb.fault_stall(i, attempt, fetched - stall, fetched);
+                }
+                tb.compute(d, i, begin, end);
+            }
+            self.reports.push(report);
+            return Ok(());
         }
-        self.reports.push(report);
     }
 
     /// Number of batches bound so far.
@@ -355,6 +537,10 @@ impl BatchScheduler {
             device_busy_fraction,
             queue_wait_p50: percentile(&sorted_waits, 0.50),
             queue_wait_p99: percentile(&sorted_waits, 0.99),
+            retries: self.retries,
+            requeues: self.requeues,
+            devices_lost: self.devices_lost,
+            recovery_seconds: self.recovery_seconds,
             per_device_busy,
             batch_reports: self.reports,
         };
@@ -394,14 +580,48 @@ pub fn run_cluster_opts(
     cost: &CostModel,
     opts: &ClusterOptions,
 ) -> (ClusterReport, Option<ChromeTrace>) {
+    run_cluster_faulty(
+        units,
+        batches,
+        devices,
+        spec,
+        flags,
+        cost,
+        opts,
+        &FaultPlan::none(),
+    )
+    .expect("fault-free cluster run cannot fail")
+}
+
+/// [`run_cluster_opts`] under an injected [`FaultPlan`]: the
+/// scheduler replays the plan's deterministic fault schedule,
+/// requeuing failed batches onto surviving devices with capped
+/// exponential backoff. With a recoverable plan the per-batch
+/// reports are bit-identical to the fault-free run (kernel execution
+/// is a pure function of the batch; only the modeled timeline and
+/// the recovery counters change); an unrecoverable plan returns the
+/// typed [`ClusterError`] naming the smallest batch index that could
+/// not complete. Errors and output are bit-identical for any
+/// `host_threads` and either streaming mode.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cluster_faulty(
+    units: &[WorkUnit],
+    batches: &[Batch],
+    devices: usize,
+    spec: &IpuSpec,
+    flags: &OptFlags,
+    cost: &CostModel,
+    opts: &ClusterOptions,
+    plan: &FaultPlan,
+) -> Result<(ClusterReport, Option<ChromeTrace>), ClusterError> {
     let resolved = resolve_threads(opts.host_threads);
-    let mut sched = BatchScheduler::new(devices, spec, opts.collect_trace, resolved);
+    let mut sched = BatchScheduler::with_faults(devices, spec, opts.collect_trace, resolved, plan);
     let pool_threads = resolved.min(batches.len().max(1));
     if !opts.streaming {
         // Reference path: materialize every report in a pre-pass,
         // then replay the event loop.
         for report in run_batches_pooled(units, batches, spec, flags, cost, pool_threads) {
-            sched.bind(report);
+            sched.bind(report)?;
         }
     } else if pool_threads <= 1 || batches.len() < 2 {
         // Serial streaming: compute each report right when the
@@ -415,15 +635,20 @@ pub fn run_cluster_opts(
                 flags,
                 cost,
                 &mut scratch,
-            ));
+            ))?;
         }
     } else {
         // Streaming pool: workers claim batches in LPT order and
         // send finished reports over a channel; the main thread
         // reorders them to batch order and binds each the moment its
-        // predecessors are bound — scheduling overlaps replay.
+        // predecessors are bound — scheduling overlaps replay. A
+        // bind failure cancels the claim queue and stops draining;
+        // dropping the receiver makes in-flight sends fail so the
+        // workers exit. Binding strictly in batch order keeps the
+        // failing batch index deterministic.
         let queue = IndexQueue::with_order(batch_lpt_order(batches));
         let (tx, rx) = mpsc::channel::<(u32, BatchReport)>();
+        let mut err: Option<ClusterError> = None;
         crossbeam::thread::scope(|s| {
             for _ in 0..pool_threads {
                 let tx = tx.clone();
@@ -450,12 +675,16 @@ pub fn run_cluster_opts(
             drop(tx);
             let mut pending: Vec<Option<BatchReport>> = vec![None; batches.len()];
             let mut next = 0usize;
-            for (bi, report) in rx {
+            'drain: for (bi, report) in rx {
                 pending[bi as usize] = Some(report);
                 while next < pending.len() {
                     match pending[next].take() {
                         Some(r) => {
-                            sched.bind(r);
+                            if let Err(e) = sched.bind(r) {
+                                err = Some(e);
+                                queue.cancel();
+                                break 'drain;
+                            }
                             next += 1;
                         }
                         None => break,
@@ -464,8 +693,11 @@ pub fn run_cluster_opts(
             }
         })
         .expect("scope");
+        if let Some(e) = err {
+            return Err(e);
+        }
     }
-    sched.finish()
+    Ok(sched.finish())
 }
 
 /// The pre-event-driven driver: a static in-order handout loop that
@@ -540,6 +772,10 @@ pub fn run_cluster_reference(
         device_busy_fraction,
         queue_wait_p50: percentile(&sorted_waits, 0.50),
         queue_wait_p99: percentile(&sorted_waits, 0.99),
+        retries: 0,
+        requeues: 0,
+        devices_lost: 0,
+        recovery_seconds: 0.0,
         per_device_busy,
         batch_reports: reports,
     }
@@ -824,6 +1060,365 @@ mod tests {
                 );
                 assert_eq!(streamed.0, reference.0, "n={n} threads={threads}");
                 assert_eq!(streamed.1, reference.1, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    /// Fault-free modeled timing of `mk_batches` output: per-batch
+    /// transfer seconds and per-batch compute seconds.
+    fn probe_times(units: &[WorkUnit], batches: &[Batch], spec: &IpuSpec) -> (f64, f64) {
+        let r = run_cluster(
+            units,
+            batches,
+            1,
+            spec,
+            &OptFlags::full(),
+            &CostModel::default(),
+        );
+        let transfer = r.batch_reports[0].host_bytes as f64 / spec.host_link_bytes_per_s;
+        (transfer, r.batch_reports[0].device_seconds())
+    }
+
+    fn faulty_opts() -> ClusterOptions {
+        ClusterOptions {
+            host_threads: 1,
+            collect_trace: false,
+            streaming: true,
+        }
+    }
+
+    #[test]
+    fn recoverable_chaos_reproduces_fault_free_results() {
+        use crate::fault::{DeviceDeath, FaultPlan, LinkStall, TransientFault};
+        let (units, batches) = mk_batches(12, 400_000_000, 4_000_000);
+        let spec = IpuSpec::gc200();
+        let flags = OptFlags::full();
+        let cost = CostModel::default();
+        let clean = run_cluster(&units, &batches, 3, &spec, &flags, &cost);
+        let (transfer, compute) = probe_times(&units, &batches, &spec);
+        let mut plan = FaultPlan::none();
+        plan.deaths = vec![DeviceDeath {
+            device: 0,
+            at_seconds: 0.0,
+        }];
+        plan.transients = vec![
+            TransientFault {
+                batch: 2,
+                failures: 2,
+            },
+            TransientFault {
+                batch: 7,
+                failures: 1,
+            },
+        ];
+        plan.stalls = vec![LinkStall {
+            batch: 4,
+            attempt: 0,
+            extra_seconds: 0.003,
+        }];
+        assert!(plan.is_recoverable(3));
+        let (faulty, _) = run_cluster_faulty(
+            &units,
+            &batches,
+            3,
+            &spec,
+            &flags,
+            &cost,
+            &faulty_opts(),
+            &plan,
+        )
+        .expect("recoverable plan must complete");
+        // Headline claim: per-batch results bit-identical to the
+        // fault-free run.
+        assert_eq!(faulty.batch_reports, clean.batch_reports);
+        // Recovery counters exact against the injected plan.
+        assert_eq!(faulty.retries, plan.expected_retries(batches.len()));
+        assert_eq!(faulty.requeues, 0, "dead-on-arrival device never binds");
+        assert_eq!(faulty.devices_lost, 1);
+        let expected_recovery = 2.0 * (transfer + compute)
+            + plan.backoff.delay(1)
+            + plan.backoff.delay(2)
+            + (transfer + compute + plan.backoff.delay(1))
+            + 0.003;
+        assert!(
+            (faulty.recovery_seconds - expected_recovery).abs() < 1e-12,
+            "recovery {} vs expected {expected_recovery}",
+            faulty.recovery_seconds
+        );
+        // Bytes: every batch once, plus one full re-transfer per
+        // transient attempt.
+        assert_eq!(faulty.host_bytes, clean.host_bytes + 3 * 400_000_000);
+        assert!(faulty.total_seconds > clean.total_seconds);
+    }
+
+    #[test]
+    fn faulty_streaming_matches_faulty_reference() {
+        use crate::fault::{FaultPlan, FaultPlanSpec};
+        let (units, batches) = mk_batches(16, 300_000_000, 3_000_000);
+        let spec = IpuSpec::gc200();
+        let flags = OptFlags::full();
+        let cost = CostModel::default();
+        for seed in [3u64, 11, 42] {
+            let plan = FaultPlan::from_seed(seed, &FaultPlanSpec::new(4, batches.len()));
+            let mut outcomes = Vec::new();
+            for streaming in [false, true] {
+                for threads in [1usize, 4, 8] {
+                    let opts = ClusterOptions {
+                        host_threads: threads,
+                        collect_trace: true,
+                        streaming,
+                    };
+                    let (report, trace) =
+                        run_cluster_faulty(&units, &batches, 4, &spec, &flags, &cost, &opts, &plan)
+                            .expect("generated plans are recoverable");
+                    outcomes.push((threads, report, trace));
+                }
+            }
+            // Reports are bit-identical across streaming modes and
+            // thread counts; traces are identical whenever the thread
+            // count matches (the `meta` record annotates the resolved
+            // pool size, so it legitimately varies with it).
+            for (threads, report, trace) in &outcomes[1..] {
+                assert_eq!(report, &outcomes[0].1, "seed {seed}");
+                if *threads == outcomes[0].0 {
+                    assert_eq!(trace, &outcomes[0].2, "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mid_batch_death_requeues_onto_survivor() {
+        use crate::fault::{DeviceDeath, FaultPlan};
+        let (units, batches) = mk_batches(4, 500_000_000, 5_000_000);
+        let spec = IpuSpec::gc200();
+        let flags = OptFlags::full();
+        let cost = CostModel::default();
+        let clean = run_cluster(&units, &batches, 2, &spec, &flags, &cost);
+        let (transfer, compute) = probe_times(&units, &batches, &spec);
+        // Device 0 takes batch 0 (earliest event, lowest id) and dies
+        // halfway through its compute superstep.
+        let death = transfer + 0.5 * compute;
+        let mut plan = FaultPlan::none();
+        plan.deaths = vec![DeviceDeath {
+            device: 0,
+            at_seconds: death,
+        }];
+        let (faulty, trace) = run_cluster_faulty(
+            &units,
+            &batches,
+            2,
+            &spec,
+            &flags,
+            &cost,
+            &ClusterOptions {
+                host_threads: 1,
+                collect_trace: true,
+                streaming: true,
+            },
+            &plan,
+        )
+        .expect("one device survives");
+        assert_eq!(faulty.batch_reports, clean.batch_reports);
+        assert_eq!(faulty.requeues, 1);
+        assert_eq!(faulty.devices_lost, 1);
+        assert_eq!(faulty.retries, 0);
+        let expected_recovery = transfer + 0.5 * compute + plan.backoff.delay(1);
+        assert!((faulty.recovery_seconds - expected_recovery).abs() < 1e-9);
+        // No span on the dead device may end after its death.
+        let trace = trace.expect("trace requested");
+        for e in trace
+            .traceEvents
+            .iter()
+            .filter(|e| e.pid == 1 && (e.cat == "fetch" || e.cat == "compute"))
+        {
+            assert!(e.end_ts() <= death * 1e6 + 1e-6, "{e:?}");
+        }
+        // The fault track records the death and the requeue window.
+        assert_eq!(trace.events_in("fault").count(), 2);
+    }
+
+    #[test]
+    fn last_device_dying_mid_batch_is_all_devices_lost() {
+        use crate::fault::{ClusterError, DeviceDeath, FaultPlan};
+        let (units, batches) = mk_batches(3, 500_000_000, 5_000_000);
+        let spec = IpuSpec::gc200();
+        let flags = OptFlags::full();
+        let cost = CostModel::default();
+        let (transfer, compute) = probe_times(&units, &batches, &spec);
+        let mut plan = FaultPlan::none();
+        plan.deaths = vec![DeviceDeath {
+            device: 0,
+            at_seconds: transfer + 0.5 * compute,
+        }];
+        assert!(!plan.is_recoverable(1));
+        let err = run_cluster_faulty(
+            &units,
+            &batches,
+            1,
+            &spec,
+            &flags,
+            &cost,
+            &faulty_opts(),
+            &plan,
+        )
+        .expect_err("no survivor");
+        assert_eq!(err, ClusterError::AllDevicesLost { batch: 0 });
+        // All devices dead on arrival: same error, batch 0 blamed.
+        plan.deaths = vec![
+            DeviceDeath {
+                device: 0,
+                at_seconds: 0.0,
+            },
+            DeviceDeath {
+                device: 1,
+                at_seconds: 0.0,
+            },
+        ];
+        let err = run_cluster_faulty(
+            &units,
+            &batches,
+            2,
+            &spec,
+            &flags,
+            &cost,
+            &faulty_opts(),
+            &plan,
+        )
+        .expect_err("no survivor");
+        assert_eq!(err, ClusterError::AllDevicesLost { batch: 0 });
+    }
+
+    #[test]
+    fn death_exactly_at_superstep_boundary_kills_the_batch() {
+        use crate::fault::{DeviceDeath, FaultPlan};
+        let (units, batches) = mk_batches(1, 500_000_000, 5_000_000);
+        let spec = IpuSpec::gc200();
+        let flags = OptFlags::full();
+        let cost = CostModel::default();
+        let (transfer, compute) = probe_times(&units, &batches, &spec);
+        let end = transfer + compute;
+        // Death exactly at the end of the compute superstep counts as
+        // during the batch: the single device retires, nothing is
+        // left to requeue onto.
+        let mut plan = FaultPlan::none();
+        plan.deaths = vec![DeviceDeath {
+            device: 0,
+            at_seconds: end,
+        }];
+        run_cluster_faulty(
+            &units,
+            &batches,
+            1,
+            &spec,
+            &flags,
+            &cost,
+            &faulty_opts(),
+            &plan,
+        )
+        .expect_err("boundary death kills the in-flight batch");
+        // One representable instant later the batch has already
+        // committed: the run completes and loses nothing it observed.
+        plan.deaths[0].at_seconds = end * (1.0 + 1e-15) + f64::MIN_POSITIVE;
+        let (r, _) = run_cluster_faulty(
+            &units,
+            &batches,
+            1,
+            &spec,
+            &flags,
+            &cost,
+            &faulty_opts(),
+            &plan,
+        )
+        .expect("death after commit");
+        assert_eq!(r.requeues, 0);
+        assert_eq!(r.batches, 1);
+    }
+
+    #[test]
+    fn retry_cap_of_zero_fails_on_first_transient() {
+        use crate::fault::{ClusterError, FaultPlan, TransientFault};
+        let (units, batches) = mk_batches(6, 100_000_000, 1_000_000);
+        let spec = IpuSpec::gc200();
+        let flags = OptFlags::full();
+        let cost = CostModel::default();
+        let mut plan = FaultPlan::none();
+        plan.max_retries = 0;
+        plan.transients = vec![
+            TransientFault {
+                batch: 4,
+                failures: 1,
+            },
+            TransientFault {
+                batch: 2,
+                failures: 1,
+            },
+        ];
+        assert!(!plan.is_recoverable(2));
+        assert_eq!(plan.first_unrecoverable_batch(6), Some(2));
+        let err = run_cluster_faulty(
+            &units,
+            &batches,
+            2,
+            &spec,
+            &flags,
+            &cost,
+            &faulty_opts(),
+            &plan,
+        )
+        .expect_err("cap of zero");
+        // Smallest failing batch wins, with one consumed attempt.
+        assert_eq!(
+            err,
+            ClusterError::RetriesExhausted {
+                batch: 2,
+                attempts: 1
+            }
+        );
+    }
+
+    #[test]
+    fn retries_exhausted_blames_smallest_batch() {
+        use crate::fault::{ClusterError, FaultPlan, TransientFault};
+        let (units, batches) = mk_batches(8, 100_000_000, 1_000_000);
+        let spec = IpuSpec::gc200();
+        let flags = OptFlags::full();
+        let cost = CostModel::default();
+        let mut plan = FaultPlan::none();
+        plan.max_retries = 2;
+        plan.transients = vec![
+            TransientFault {
+                batch: 6,
+                failures: 5,
+            },
+            TransientFault {
+                batch: 3,
+                failures: 4,
+            },
+            TransientFault {
+                batch: 5,
+                failures: 1,
+            },
+        ];
+        assert_eq!(plan.first_unrecoverable_batch(8), Some(3));
+        for streaming in [false, true] {
+            for threads in [1usize, 4] {
+                let opts = ClusterOptions {
+                    host_threads: threads,
+                    collect_trace: false,
+                    streaming,
+                };
+                let err =
+                    run_cluster_faulty(&units, &batches, 2, &spec, &flags, &cost, &opts, &plan)
+                        .expect_err("batch 3 exceeds the cap");
+                assert_eq!(
+                    err,
+                    ClusterError::RetriesExhausted {
+                        batch: 3,
+                        attempts: 3
+                    },
+                    "streaming={streaming} threads={threads}"
+                );
             }
         }
     }

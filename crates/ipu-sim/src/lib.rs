@@ -33,6 +33,7 @@ pub mod cluster;
 pub mod cost;
 pub mod device;
 pub mod exec;
+pub mod fault;
 pub mod mem;
 pub mod pool;
 pub mod spec;
@@ -41,13 +42,16 @@ pub mod trace;
 
 pub use batch::{naive_batches, Batch, BatchConfig, TileAssignment};
 pub use cluster::{
-    run_cluster, run_cluster_opts, run_cluster_reference, BatchScheduler, ClusterOptions,
-    ClusterReport,
+    run_cluster, run_cluster_faulty, run_cluster_opts, run_cluster_reference, BatchScheduler,
+    ClusterOptions, ClusterReport,
 };
 pub use cost::{CostModel, OptFlags};
 pub use device::{run_batch_on_device, BatchReport, BatchScratch};
 pub use exec::{
     execute_workload, execute_workload_reference, planning_units, ExecConfig, UnitResult, WorkUnit,
+};
+pub use fault::{
+    BackoffConfig, ClusterError, DeviceDeath, FaultPlan, FaultPlanSpec, LinkStall, TransientFault,
 };
 pub use pool::{resolve_threads, IndexQueue, ReadyQueue, SharedSlots};
 pub use spec::IpuSpec;

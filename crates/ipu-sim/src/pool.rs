@@ -227,12 +227,23 @@ impl ReadyQueue {
     }
 
     /// Closes the queue: discards pending indices and wakes every
-    /// blocked consumer.
+    /// blocked consumer. Used for normal completion and for error
+    /// aborts — including the fault-injected pipeline, which closes
+    /// the queue the moment the cluster scheduler reports an
+    /// unrecoverable [`ClusterError`](crate::fault::ClusterError).
     pub fn close(&self) {
         let mut st = self.state.lock().expect("ready queue poisoned");
         st.closed = true;
         st.queue.clear();
         self.cond.notify_all();
+    }
+
+    /// Whether [`ReadyQueue::close`] was called. Producers can use
+    /// this to stop generating work early during an abort; it is
+    /// advisory only ([`ReadyQueue::push`] already discards after
+    /// close).
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("ready queue poisoned").closed
     }
 }
 
@@ -330,7 +341,18 @@ mod tests {
         })
         .expect("scope");
         // Closed queue: pushes are discarded, pops return None.
+        assert!(q.is_closed());
         q.push(1);
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ready_queue_reports_closed_state() {
+        let q = ReadyQueue::new();
+        assert!(!q.is_closed());
+        q.push(3);
+        assert!(!q.is_closed());
+        q.close();
+        assert!(q.is_closed());
     }
 }

@@ -22,6 +22,10 @@ pub const PID_LINK: u32 = 0;
 /// Thread id of the host front-end track (within the link process):
 /// partition/plan phase spans, in *host* wall-clock seconds.
 pub const TID_HOST: u32 = 1;
+/// Thread id of the fault/recovery track (within the link process):
+/// device deaths, failed attempts, backoff windows, and injected
+/// link stalls, in modeled time.
+pub const TID_FAULT: u32 = 2;
 /// Thread id of a device's fetch track (within its process).
 pub const TID_FETCH: u32 = 0;
 /// Thread id of a device's compute track (within its process).
@@ -225,6 +229,89 @@ impl TraceBuilder {
             tid: 0,
             args,
         });
+    }
+
+    /// Records device `device` dying at `at_s` (a zero-duration span
+    /// on the fault track — the retirement instant).
+    pub fn fault_death(&mut self, device: usize, at_s: f64) {
+        let mut args = BTreeMap::new();
+        args.insert("device".to_string(), device as f64);
+        self.events.push(TraceEvent::complete(
+            format!("death d{device}"),
+            "fault",
+            PID_LINK,
+            TID_FAULT,
+            at_s,
+            at_s,
+            args,
+        ));
+    }
+
+    /// Records batch `batch` being requeued after its binding device
+    /// died mid-attempt; the span covers the backoff window
+    /// `[failed_s, not_before_s]` during which the batch may not
+    /// re-enter the transfer queue.
+    pub fn fault_requeue(
+        &mut self,
+        batch: usize,
+        device: usize,
+        attempt: u32,
+        failed_s: f64,
+        not_before_s: f64,
+    ) {
+        let mut args = batch_args(batch);
+        args.insert("device".to_string(), device as f64);
+        args.insert("attempt".to_string(), f64::from(attempt));
+        self.events.push(TraceEvent::complete(
+            format!("requeue b{batch}"),
+            "fault",
+            PID_LINK,
+            TID_FAULT,
+            failed_s,
+            not_before_s,
+            args,
+        ));
+    }
+
+    /// Records a transient execution failure of batch `batch` on a
+    /// surviving device; the span covers the backoff window
+    /// `[failed_s, not_before_s]` before the retry may start.
+    pub fn fault_retry(
+        &mut self,
+        batch: usize,
+        device: usize,
+        attempt: u32,
+        failed_s: f64,
+        not_before_s: f64,
+    ) {
+        let mut args = batch_args(batch);
+        args.insert("device".to_string(), device as f64);
+        args.insert("attempt".to_string(), f64::from(attempt));
+        self.events.push(TraceEvent::complete(
+            format!("retry b{batch}"),
+            "fault",
+            PID_LINK,
+            TID_FAULT,
+            failed_s,
+            not_before_s,
+            args,
+        ));
+    }
+
+    /// Records an injected host-link stall inflating batch `batch`'s
+    /// transfer over `[start_s, end_s]`.
+    pub fn fault_stall(&mut self, batch: usize, attempt: u32, start_s: f64, end_s: f64) {
+        let mut args = batch_args(batch);
+        args.insert("attempt".to_string(), f64::from(attempt));
+        self.events.push(TraceEvent::complete(
+            format!("stall b{batch}"),
+            "fault",
+            PID_LINK,
+            TID_FAULT,
+            start_s,
+            end_s,
+            args,
+        ));
     }
 
     /// Records device `device` computing batch `batch` over

@@ -9,6 +9,7 @@
 //! [`PipelineError`] unifies it with the kernel-side
 //! [`AlignError`] on the pipeline's public result type.
 
+use ipu_sim::fault::ClusterError;
 use xdrop_core::error::AlignError;
 
 /// Errors produced by the graph partitioner.
@@ -47,14 +48,25 @@ impl std::fmt::Display for PartitionError {
 
 impl std::error::Error for PartitionError {}
 
-/// Errors surfaced by the host pipeline: either a kernel refused an
-/// alignment or the planner could not place a comparison.
+/// Errors surfaced by the host pipeline: a kernel refused an
+/// alignment, the planner could not place a comparison, or the
+/// modeled cluster could not complete a batch under an injected
+/// fault plan.
+///
+/// When more than one kind of failure occurs in a run, the priority
+/// is fixed — plan error, then smallest-index alignment error, then
+/// cluster error — so the surfaced variant never depends on thread
+/// interleaving.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PipelineError {
     /// An alignment kernel failed (smallest comparison index wins).
     Align(AlignError),
     /// The partitioner failed (smallest comparison index wins).
     Partition(PartitionError),
+    /// The fault-injected cluster lost every device or exhausted a
+    /// batch's retry budget (smallest batch index wins — batches
+    /// bind in submission order).
+    Cluster(ClusterError),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -62,6 +74,7 @@ impl std::fmt::Display for PipelineError {
         match self {
             PipelineError::Align(e) => write!(f, "alignment failed: {e}"),
             PipelineError::Partition(e) => write!(f, "partitioning failed: {e}"),
+            PipelineError::Cluster(e) => write!(f, "cluster execution failed: {e}"),
         }
     }
 }
@@ -77,6 +90,12 @@ impl From<AlignError> for PipelineError {
 impl From<PartitionError> for PipelineError {
     fn from(e: PartitionError) -> Self {
         PipelineError::Partition(e)
+    }
+}
+
+impl From<ClusterError> for PipelineError {
+    fn from(e: ClusterError) -> Self {
+        PipelineError::Cluster(e)
     }
 }
 

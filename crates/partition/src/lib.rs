@@ -38,6 +38,9 @@ pub use driver::{IpuSystem, SystemReport};
 pub use error::{PartitionError, PipelineError};
 pub use graph::ComparisonGraph;
 pub use greedy::{greedy_partitions, greedy_partitions_with_load_cap, Partition};
-pub use pipeline::{run_pipeline, run_pipeline_reference, PipelineConfig, PipelineOutput};
+pub use pipeline::{
+    run_pipeline, run_pipeline_faulty, run_pipeline_reference, run_pipeline_reference_faulty,
+    PipelineConfig, PipelineOutput,
+};
 pub use plan::{plan_batches, reuse_stats, PlanConfig, ReuseStats};
 pub use shard::{sharded_partitions, DEFAULT_SHARD_COUNT};

@@ -35,13 +35,14 @@
 use crate::error::{PartitionError, PipelineError};
 use crate::plan::{plan_batches_timed, PlanConfig, PlanTimings};
 use ipu_sim::batch::Batch;
-use ipu_sim::cluster::{run_cluster_opts, BatchScheduler, ClusterOptions, ClusterReport};
+use ipu_sim::cluster::{run_cluster_faulty, BatchScheduler, ClusterOptions, ClusterReport};
 use ipu_sim::cost::{CostModel, OptFlags};
 use ipu_sim::device::{run_batch_on_device_scratch, BatchReport, BatchScratch};
 use ipu_sim::exec::{
     align_comparison, execute_workload, execute_workload_reference, lpt_order, planning_units,
     ExecConfig, ExecOutput, UnitResult, WorkUnit,
 };
+use ipu_sim::fault::{ClusterError, FaultPlan};
 use ipu_sim::pool::{resolve_threads, IndexQueue, ReadyQueue, SharedSlots};
 use ipu_sim::spec::IpuSpec;
 use ipu_sim::trace::ChromeTrace;
@@ -125,9 +126,21 @@ pub fn run_pipeline_reference<S: Scorer + Sync>(
     spec: &IpuSpec,
     cfg: &PipelineConfig,
 ) -> Result<PipelineOutput, PipelineError> {
+    run_pipeline_reference_faulty(w, scorer, spec, cfg, &FaultPlan::none())
+}
+
+/// [`run_pipeline_reference`] under an injected [`FaultPlan`] — the
+/// barriered oracle of the chaos-conformance harness.
+pub fn run_pipeline_reference_faulty<S: Scorer + Sync>(
+    w: &Workload,
+    scorer: &S,
+    spec: &IpuSpec,
+    cfg: &PipelineConfig,
+    plan: &FaultPlan,
+) -> Result<PipelineOutput, PipelineError> {
     let exec = execute_workload_reference(w, scorer, &cfg.exec)?;
     let (batches, timings) = plan_batches_timed(w, &exec.units, spec, &cfg.plan)?;
-    let (report, mut trace) = run_cluster_opts(
+    let (report, mut trace) = run_cluster_faulty(
         &exec.units,
         &batches,
         cfg.devices,
@@ -139,7 +152,8 @@ pub fn run_pipeline_reference<S: Scorer + Sync>(
             collect_trace: cfg.collect_trace,
             streaming: false,
         },
-    );
+        plan,
+    )?;
     annotate_host_phases(&mut trace, &timings);
     Ok(PipelineOutput {
         exec,
@@ -175,8 +189,28 @@ pub fn run_pipeline<S: Scorer + Sync>(
     spec: &IpuSpec,
     cfg: &PipelineConfig,
 ) -> Result<PipelineOutput, PipelineError> {
+    run_pipeline_faulty(w, scorer, spec, cfg, &FaultPlan::none())
+}
+
+/// [`run_pipeline`] under an injected [`FaultPlan`]: the cluster
+/// stage replays the plan's deterministic fault schedule, requeuing
+/// failed batches onto surviving devices. With a recoverable plan
+/// every output except the modeled timeline and the recovery
+/// counters is bit-identical to the fault-free run; an unrecoverable
+/// plan surfaces [`PipelineError::Cluster`] naming the smallest
+/// batch index that could not complete. When several failure kinds
+/// occur in one run the priority is fixed (plan error, then
+/// smallest-index alignment error, then cluster error), so the
+/// surfaced error never depends on thread interleaving.
+pub fn run_pipeline_faulty<S: Scorer + Sync>(
+    w: &Workload,
+    scorer: &S,
+    spec: &IpuSpec,
+    cfg: &PipelineConfig,
+    plan: &FaultPlan,
+) -> Result<PipelineOutput, PipelineError> {
     if !cfg.streaming {
-        return run_pipeline_reference(w, scorer, spec, cfg);
+        return run_pipeline_reference_faulty(w, scorer, spec, cfg, plan);
     }
     let n = w.comparisons.len();
     let resolved = resolve_threads(cfg.exec.host_threads);
@@ -187,7 +221,7 @@ pub fn run_pipeline<S: Scorer + Sync>(
         // identical by the same slot-keyed argument.
         let exec = execute_workload(w, scorer, &cfg.exec)?;
         let (batches, timings) = plan_batches_timed(w, &exec.units, spec, &cfg.plan)?;
-        let (report, mut trace) = run_cluster_opts(
+        let (report, mut trace) = run_cluster_faulty(
             &exec.units,
             &batches,
             cfg.devices,
@@ -199,7 +233,8 @@ pub fn run_pipeline<S: Scorer + Sync>(
                 collect_trace: cfg.collect_trace,
                 streaming: true,
             },
-        );
+            plan,
+        )?;
         annotate_host_phases(&mut trace, &timings);
         return Ok(PipelineOutput {
             exec,
@@ -219,9 +254,11 @@ pub fn run_pipeline<S: Scorer + Sync>(
     let batches_cell: OnceLock<Vec<Batch>> = OnceLock::new();
     let (tx, rx) = mpsc::channel::<Msg>();
 
-    let mut sched = BatchScheduler::new(cfg.devices, spec, cfg.collect_trace, resolved);
+    let mut sched =
+        BatchScheduler::with_faults(cfg.devices, spec, cfg.collect_trace, resolved, plan);
     let mut errors: Vec<(u32, AlignError)> = Vec::new();
     let mut plan_err: Option<PartitionError> = None;
+    let mut cluster_err: Option<ClusterError> = None;
     let mut plan_timings = PlanTimings::default();
 
     crossbeam::thread::scope(|s| {
@@ -337,7 +374,7 @@ pub fn run_pipeline<S: Scorer + Sync>(
         // order and bind each as soon as its predecessors are bound.
         let mut pending_reports: Vec<Option<BatchReport>> = vec![None; nb];
         let mut next = 0usize;
-        while next < nb && errors.is_empty() {
+        'consume: while next < nb && errors.is_empty() {
             match rx.recv() {
                 Ok(Msg::Aligned(ci)) => {
                     for &bi in &cmp_batches[ci as usize] {
@@ -352,7 +389,18 @@ pub fn run_pipeline<S: Scorer + Sync>(
                     while next < nb {
                         match pending_reports[next].take() {
                             Some(r) => {
-                                sched.bind(r);
+                                // Binding strictly in batch order
+                                // keeps a fault-induced abort
+                                // deterministic: the error always
+                                // names the smallest batch that
+                                // could not complete. Cancel the
+                                // claim queue so workers stop
+                                // aligning; `ready` closes below.
+                                if let Err(e) = sched.bind(r) {
+                                    cluster_err = Some(e);
+                                    queue.cancel();
+                                    break 'consume;
+                                }
                                 next += 1;
                             }
                             None => break,
@@ -380,6 +428,9 @@ pub fn run_pipeline<S: Scorer + Sync>(
         return Err(e.into());
     }
     if let Some(e) = min_index_error(errors) {
+        return Err(e.into());
+    }
+    if let Some(e) = cluster_err {
         return Err(e.into());
     }
     let exec = ExecOutput {
@@ -509,6 +560,71 @@ mod tests {
             err,
             PipelineError::Align(AlignError::BandExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn recoverable_faults_keep_pipeline_output_bit_identical() {
+        use ipu_sim::fault::{DeviceDeath, TransientFault};
+        let w = workload(24);
+        let sc = MatchMismatch::dna_default();
+        let spec = IpuSpec::gc200();
+        let clean = run_pipeline(&w, &sc, &spec, &cfg(1, true)).unwrap();
+        let mut plan = FaultPlan::none();
+        plan.deaths = vec![DeviceDeath {
+            device: 1,
+            at_seconds: 0.0,
+        }];
+        plan.transients = vec![TransientFault {
+            batch: 0,
+            failures: 1,
+        }];
+        assert!(plan.is_recoverable(3));
+        for threads in [1usize, 8] {
+            let out = run_pipeline_faulty(&w, &sc, &spec, &cfg(threads, true), &plan).unwrap();
+            assert_eq!(out.exec.units, clean.exec.units, "t={threads}");
+            assert_eq!(out.exec.results, clean.exec.results, "t={threads}");
+            assert_eq!(out.batches, clean.batches, "t={threads}");
+            assert_eq!(
+                out.report.batch_reports, clean.report.batch_reports,
+                "t={threads}"
+            );
+            assert_eq!(out.report.retries, 1, "t={threads}");
+            assert_eq!(out.report.devices_lost, 1, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn cluster_errors_surface_through_the_streaming_coordinator() {
+        use ipu_sim::fault::TransientFault;
+        let w = workload(24);
+        let sc = MatchMismatch::dna_default();
+        let spec = IpuSpec::gc200();
+        // Every batch fails more often than the cap allows: the
+        // smallest batch index is blamed regardless of threads or
+        // streaming mode, and the coordinator aborts without
+        // deadlocking the pool.
+        let mut plan = FaultPlan::none();
+        plan.max_retries = 1;
+        plan.transients = (0..64)
+            .map(|b| TransientFault {
+                batch: b,
+                failures: 2,
+            })
+            .collect();
+        for threads in [1usize, 8] {
+            for streaming in [false, true] {
+                let err = run_pipeline_faulty(&w, &sc, &spec, &cfg(threads, streaming), &plan)
+                    .unwrap_err();
+                assert_eq!(
+                    err,
+                    PipelineError::Cluster(ClusterError::RetriesExhausted {
+                        batch: 0,
+                        attempts: 2
+                    }),
+                    "t={threads} s={streaming}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -28,7 +28,8 @@ pub use xdrop_pipelines as pipelines;
 /// Convenience prelude: the names most programs need.
 pub mod prelude {
     pub use ipu_sim::{
-        naive_batches, run_cluster, BatchConfig, CostModel, ExecConfig, IpuSpec, OptFlags,
+        naive_batches, run_cluster, BatchConfig, ClusterError, CostModel, ExecConfig, FaultPlan,
+        IpuSpec, OptFlags,
     };
     pub use seqdata::{Dataset, DatasetKind};
     pub use xdrop_core::prelude::*;

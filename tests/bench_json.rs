@@ -7,12 +7,14 @@
 //! because all kernels are bit-identical — the per-alignment cell
 //! count is constant within a configuration. The v2 schema adds the
 //! end-to-end pipeline section (`e2e`) and the partitioner front-end
-//! section (`partition`). Regenerate the kernel rows with `cargo run
-//! --release -p xdrop-bench --bin experiments -- bench --bench-json`
-//! and the e2e/partition rows with the same command using `e2e` or
-//! `partition`.
+//! section (`partition`); v3 adds the fault-recovery section
+//! (`faults`). Regenerate the kernel rows with `cargo run --release
+//! -p xdrop-bench --bin experiments -- bench --bench-json` and the
+//! e2e/partition/faults rows with the same command using `e2e`,
+//! `partition` or `faults`.
 
 use xdrop_bench::exp::e2e::E2E_REPRO_COMMAND;
+use xdrop_bench::exp::faultbench::{FAULTS_REPRO_COMMAND, FAULT_DEVICES};
 use xdrop_bench::exp::kernelbench::{BenchFile, REPRO_COMMAND, SCHEMA};
 use xdrop_bench::exp::partbench::{PARTITION_REPRO_COMMAND, SHARD_SWEEP, THREAD_COUNTS};
 use xdrop_ipu::partition::DEFAULT_SHARD_COUNT;
@@ -21,7 +23,16 @@ fn load() -> BenchFile {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_xdrop.json");
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("missing perf baseline {}: {e}", path.display()));
-    serde_json::from_str(&text).expect("BENCH_xdrop.json must parse against the v2 schema")
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        panic!(
+            "BENCH_xdrop.json does not parse against the {SCHEMA} schema ({e}); \
+             a stale baseline is missing a section — regenerate the kernel rows \
+             with `{REPRO_COMMAND}`, then the other sections with \
+             `{E2E_REPRO_COMMAND}`, `{PARTITION_REPRO_COMMAND}` and \
+             `{FAULTS_REPRO_COMMAND}` (any one of them upgrades the schema \
+             in place, preserving the committed sections)"
+        )
+    })
 }
 
 #[test]
@@ -72,7 +83,10 @@ fn committed_baseline_shows_lane_parallel_win() {
 fn e2e_section_is_well_formed() {
     let file = load();
     assert_eq!(file.e2e_command, E2E_REPRO_COMMAND);
-    assert!(!file.e2e.is_empty(), "e2e section must be recorded");
+    assert!(
+        !file.e2e.is_empty(),
+        "e2e section missing from BENCH_xdrop.json; regenerate with `{E2E_REPRO_COMMAND}`"
+    );
     // Rows come in (reference, streaming) pairs per thread count.
     assert_eq!(file.e2e.len() % 2, 0);
     for pair in file.e2e.chunks(2) {
@@ -97,7 +111,8 @@ fn partition_section_is_well_formed() {
     assert_eq!(file.partition_command, PARTITION_REPRO_COMMAND);
     assert!(
         !file.partition.is_empty(),
-        "partition section must be recorded"
+        "partition section missing from BENCH_xdrop.json; regenerate with \
+         `{PARTITION_REPRO_COMMAND}`"
     );
     // One serial oracle row, then the thread scaling at the default
     // shard count, then the shard sweep.
@@ -163,6 +178,44 @@ fn committed_baseline_shows_partitioner_win() {
             row.speedup_vs_serial
         );
     }
+}
+
+#[test]
+fn faults_section_is_well_formed() {
+    let file = load();
+    assert_eq!(file.faults_command, FAULTS_REPRO_COMMAND);
+    assert!(
+        !file.faults.is_empty(),
+        "faults section missing from BENCH_xdrop.json; regenerate with \
+         `{FAULTS_REPRO_COMMAND}`"
+    );
+    // Exactly the two scenarios, fault-free first.
+    assert_eq!(file.faults.len(), 2);
+    let (clean, lost) = (&file.faults[0], &file.faults[1]);
+    assert_eq!(clean.scenario, "fault-free");
+    assert_eq!(lost.scenario, "device-lost");
+    for r in &file.faults {
+        assert_eq!(r.devices, FAULT_DEVICES);
+        assert_eq!(r.batches, clean.batches, "faults never change the plan");
+        assert!(r.modeled_seconds > 0.0 && r.host_seconds > 0.0);
+        assert!(r.host_cores >= 1);
+    }
+    assert_eq!(
+        (clean.retries, clean.requeues, clean.devices_lost),
+        (0, 0, 0)
+    );
+    assert_eq!(clean.recovery_seconds, 0.0);
+    assert!((clean.overhead_vs_fault_free - 1.0).abs() < 1e-12);
+    // The faulty scenario must actually have lost its device, and
+    // recovery is bounded: losing 1 of 4 devices halfway through
+    // cannot stretch the modeled makespan beyond the serial bound.
+    assert_eq!(lost.devices_lost, 1);
+    assert!(lost.overhead_vs_fault_free >= 1.0);
+    assert!(
+        lost.overhead_vs_fault_free <= FAULT_DEVICES as f64,
+        "recovery overhead {}x exceeds the serial-execution bound",
+        lost.overhead_vs_fault_free
+    );
 }
 
 #[test]

@@ -9,11 +9,14 @@
 use std::path::PathBuf;
 
 use xdrop_ipu::sim::batch::{Batch, TileAssignment};
-use xdrop_ipu::sim::cluster::{run_cluster_opts, ClusterOptions, ClusterReport};
+use xdrop_ipu::sim::cluster::{
+    run_cluster_faulty, run_cluster_opts, ClusterOptions, ClusterReport,
+};
 use xdrop_ipu::sim::cost::{CostModel, OptFlags};
 use xdrop_ipu::sim::exec::WorkUnit;
+use xdrop_ipu::sim::fault::{DeviceDeath, FaultPlan, LinkStall, TransientFault};
 use xdrop_ipu::sim::spec::IpuSpec;
-use xdrop_ipu::sim::trace::ChromeTrace;
+use xdrop_ipu::sim::trace::{ChromeTrace, PID_LINK, TID_FAULT};
 
 fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -24,7 +27,7 @@ fn fixture_path(name: &str) -> PathBuf {
 /// A small fixed scenario: three devices, five batches with varied
 /// transfer and compute weights. Everything is constant, so the
 /// JSON is reproducible down to the byte.
-fn scenario() -> (ClusterReport, ChromeTrace) {
+fn scenario_inputs() -> (Vec<WorkUnit>, Vec<Batch>) {
     let units: Vec<WorkUnit> = (0..5u64)
         .map(|i| WorkUnit {
             cmp: i as u32,
@@ -47,6 +50,11 @@ fn scenario() -> (ClusterReport, ChromeTrace) {
             }],
         })
         .collect();
+    (units, batches)
+}
+
+fn scenario() -> (ClusterReport, ChromeTrace) {
+    let (units, batches) = scenario_inputs();
     let (report, trace) = run_cluster_opts(
         &units,
         &batches,
@@ -60,6 +68,46 @@ fn scenario() -> (ClusterReport, ChromeTrace) {
             streaming: true,
         },
     );
+    (report, trace.expect("trace requested"))
+}
+
+/// The same scenario under a fixed recoverable fault plan: device 1
+/// dies mid-run, batch 2 fails transiently once, and batch 3's first
+/// transfer is stalled. Pins the on-disk shape of the recovery
+/// counters and of the dedicated `fault` trace track.
+fn faulty_scenario() -> (ClusterReport, ChromeTrace) {
+    let (units, batches) = scenario_inputs();
+    let plan = FaultPlan {
+        deaths: vec![DeviceDeath {
+            device: 1,
+            at_seconds: 0.25,
+        }],
+        transients: vec![TransientFault {
+            batch: 2,
+            failures: 1,
+        }],
+        stalls: vec![LinkStall {
+            batch: 3,
+            attempt: 0,
+            extra_seconds: 0.01,
+        }],
+        ..FaultPlan::none()
+    };
+    let (report, trace) = run_cluster_faulty(
+        &units,
+        &batches,
+        3,
+        &IpuSpec::gc200(),
+        &OptFlags::full(),
+        &CostModel::default(),
+        &ClusterOptions {
+            host_threads: 1,
+            collect_trace: true,
+            streaming: true,
+        },
+        &plan,
+    )
+    .expect("the plan is recoverable");
     (report, trace.expect("trace requested"))
 }
 
@@ -108,4 +156,37 @@ fn chrome_trace_golden_roundtrip() {
         .iter()
         .all(|e| e.ph == "X" || (e.ph == "M" && e.cat == "meta")));
     assert!(trace.traceEvents.iter().any(|e| e.ph == "M"));
+}
+
+#[test]
+fn faulty_cluster_report_golden_roundtrip() {
+    let (report, _) = faulty_scenario();
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    check_golden("cluster_report_faulty.json", &json);
+    let back: ClusterReport = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, report);
+    // The fixture must actually exercise the recovery counters —
+    // otherwise it pins nothing the fault-free fixture doesn't.
+    assert_eq!(report.retries, 1);
+    assert_eq!(report.devices_lost, 1);
+    assert!(report.recovery_seconds > 0.0);
+}
+
+#[test]
+fn faulty_chrome_trace_golden_roundtrip() {
+    let (_, trace) = faulty_scenario();
+    let json = trace.to_json();
+    check_golden("cluster_trace_faulty.json", &json);
+    let back: ChromeTrace = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, trace);
+    // Fault events live on their own track of the link process as
+    // complete spans, so Chrome renders them as a separate lane.
+    let faults: Vec<_> = trace.events_in("fault").collect();
+    assert!(!faults.is_empty(), "faulty run must emit fault events");
+    assert!(faults
+        .iter()
+        .all(|e| e.ph == "X" && e.pid == PID_LINK && e.tid == TID_FAULT));
+    assert!(faults.iter().any(|e| e.name.starts_with("death")));
+    assert!(faults.iter().any(|e| e.name.starts_with("retry")));
+    assert!(faults.iter().any(|e| e.name.starts_with("stall")));
 }
