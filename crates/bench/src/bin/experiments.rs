@@ -15,7 +15,8 @@
 //!   partition  §4.3     batch counts and sequence reuse
 //!   elba       §6.3.1   ELBA alignment phase CPU/GPU/IPUs
 //!   pastis     §6.3.2   PASTIS alignment step CPU vs IPU
-//!   bench      host-kernel A/B (scalar/chunked/simd cells/sec)
+//!   bench      host-kernel A/B (scalar/chunked/simd/batched)
+//!              plus the batched lanes x dispersion sweep
 //!   e2e        host pipeline: streaming vs barriered wall-clock
 //!   faults     fault recovery: fault-free vs one device lost
 //!   all        everything above
@@ -29,8 +30,8 @@
 use seqdata::{Dataset, DatasetKind};
 use xdrop_bench::exp;
 use xdrop_bench::exp::{
-    compare, e2e, faultbench, kernelbench, partbench, realworld, scaling, search_space, table1,
-    table2, tilesched,
+    batchbench, compare, e2e, faultbench, kernelbench, partbench, realworld, scaling, search_space,
+    table1, table2, tilesched,
 };
 use xdrop_bench::svg;
 use xdrop_pipelines::elba::ElbaConfig;
@@ -96,8 +97,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: experiments <table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|sec61|partition|elba|pastis|bench|e2e|faults|all> [--scale F] [--threads N] [--iters N] [--trace] [--bench-json]\n\
          \n\
-         --iters       with `e2e`/`partition`/`faults`: timing iterations\n\
-         \x20             per configuration (best wins; default 3)\n\
+         --iters       with `bench`/`e2e`/`partition`/`faults`: timing\n\
+         \x20             iterations per configuration (default 3)\n\
          --trace       also dump a Chrome trace_event timeline to\n\
          \x20             results/<name>.trace.json (fig4, fig7, elba, pastis)\n\
          --bench-json  with `bench`/`e2e`/`partition`/`faults`: also write\n\
@@ -437,8 +438,16 @@ fn run_one(name: &str, args: &Args) {
             println!("Host-kernel A/B: DP cells/second per kernel");
             print!("{}", kernelbench::render(&rows));
             exp::save_json("bench_kernel", &rows);
+            let brows = batchbench::run(args.scale, args.iters);
+            println!("Batched inter-sequence kernel: lanes × length-dispersion sweep");
+            print!("{}", batchbench::render(&brows));
+            exp::save_json("bench_batched", &brows);
             if args.bench_json {
                 match kernelbench::write_bench_json(&rows) {
+                    Ok(path) => println!("   wrote {}", path.display()),
+                    Err(e) => eprintln!("   could not write BENCH_xdrop.json: {e}"),
+                }
+                match kernelbench::write_batched_json(&brows) {
                     Ok(path) => println!("   wrote {}", path.display()),
                     Err(e) => eprintln!("   could not write BENCH_xdrop.json: {e}"),
                 }

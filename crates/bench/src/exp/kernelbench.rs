@@ -29,7 +29,7 @@ use xdrop_core::XDropParams;
 /// One measured (kernel × configuration) cell.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Row {
-    /// Kernel name (`scalar` / `chunked` / `simd`).
+    /// Kernel name (`scalar` / `chunked` / `simd` / `batched`).
     pub kernel: String,
     /// Benchmark configuration label.
     pub config: String,
@@ -77,12 +77,54 @@ pub struct BenchFile {
     /// Fault-recovery overhead measurements (`experiments faults`):
     /// fault-free vs one device lost mid-run.
     pub faults: Vec<super::faultbench::FaultBenchRow>,
+    /// The command that regenerates the batched section.
+    pub batched_command: String,
+    /// Batched inter-sequence kernel measurements (`experiments
+    /// bench`): lanes × length-dispersion sweep of
+    /// `batched::align_batch` vs the scalar per-comparison loop.
+    pub batched: Vec<super::batchbench::BatchedRow>,
 }
 
-/// The v2 on-disk shape, kept so a stale baseline written before the
-/// faults section existed still parses (the vendored serde has no
-/// `#[serde(default)]`, so missing fields fail the v3 parse) and can
+/// The v3 on-disk shape, kept so a baseline written before the
+/// batched section existed still parses (the vendored serde has no
+/// `#[serde(default)]`, so missing fields fail the v4 parse) and can
 /// be upgraded in place instead of silently discarded.
+#[derive(Debug, Clone, serde::Deserialize)]
+struct LegacyBenchFileV3 {
+    #[allow(dead_code)]
+    schema: String,
+    command: String,
+    detected_kernel: String,
+    rows: Vec<Row>,
+    e2e_command: String,
+    e2e: Vec<super::e2e::E2eRow>,
+    partition_command: String,
+    partition: Vec<super::partbench::PartitionBenchRow>,
+    faults_command: String,
+    faults: Vec<super::faultbench::FaultBenchRow>,
+}
+
+impl From<LegacyBenchFileV3> for BenchFile {
+    fn from(v3: LegacyBenchFileV3) -> Self {
+        BenchFile {
+            schema: SCHEMA.to_string(),
+            command: v3.command,
+            detected_kernel: v3.detected_kernel,
+            rows: v3.rows,
+            e2e_command: v3.e2e_command,
+            e2e: v3.e2e,
+            partition_command: v3.partition_command,
+            partition: v3.partition,
+            faults_command: v3.faults_command,
+            faults: v3.faults,
+            batched_command: super::batchbench::BATCHED_REPRO_COMMAND.to_string(),
+            batched: Vec::new(),
+        }
+    }
+}
+
+/// The v2 on-disk shape, kept for the same upgrade-in-place reason
+/// (v2 predates both the faults and the batched sections).
 #[derive(Debug, Clone, serde::Deserialize)]
 struct LegacyBenchFileV2 {
     #[allow(dead_code)]
@@ -109,6 +151,8 @@ impl From<LegacyBenchFileV2> for BenchFile {
             partition: v2.partition,
             faults_command: super::faultbench::FAULTS_REPRO_COMMAND.to_string(),
             faults: Vec::new(),
+            batched_command: super::batchbench::BATCHED_REPRO_COMMAND.to_string(),
+            batched: Vec::new(),
         }
     }
 }
@@ -259,8 +303,9 @@ pub const REPRO_COMMAND: &str =
     "cargo run --release -p xdrop-bench --bin experiments -- bench --bench-json";
 
 /// Schema tag of `BENCH_xdrop.json` (v2 added the `e2e` section, v3
-/// the fault-recovery `faults` section).
-pub const SCHEMA: &str = "xdrop-kernel-bench/v3";
+/// the fault-recovery `faults` section, v4 the batched
+/// inter-sequence kernel section and the `batched` kernel rows).
+pub const SCHEMA: &str = "xdrop-kernel-bench/v4";
 
 fn bench_json_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_xdrop.json")
@@ -272,11 +317,18 @@ fn bench_json_path() -> std::path::PathBuf {
 /// *not* regenerating.
 fn read_existing() -> Option<BenchFile> {
     let text = std::fs::read_to_string(bench_json_path()).ok()?;
-    serde_json::from_str::<BenchFile>(&text).ok().or_else(|| {
-        serde_json::from_str::<LegacyBenchFileV2>(&text)
-            .ok()
-            .map(BenchFile::from)
-    })
+    serde_json::from_str::<BenchFile>(&text)
+        .ok()
+        .or_else(|| {
+            serde_json::from_str::<LegacyBenchFileV3>(&text)
+                .ok()
+                .map(BenchFile::from)
+        })
+        .or_else(|| {
+            serde_json::from_str::<LegacyBenchFileV2>(&text)
+                .ok()
+                .map(BenchFile::from)
+        })
 }
 
 fn write_file(file: &BenchFile) -> std::io::Result<std::path::PathBuf> {
@@ -303,6 +355,8 @@ fn base_file() -> BenchFile {
         partition: Vec::new(),
         faults_command: super::faultbench::FAULTS_REPRO_COMMAND.to_string(),
         faults: Vec::new(),
+        batched_command: super::batchbench::BATCHED_REPRO_COMMAND.to_string(),
+        batched: Vec::new(),
     });
     file.schema = SCHEMA.to_string();
     file
@@ -344,6 +398,17 @@ pub fn write_faults_json(
     let mut file = base_file();
     file.faults_command = super::faultbench::FAULTS_REPRO_COMMAND.to_string();
     file.faults = faults.to_vec();
+    write_file(&file)
+}
+
+/// Writes the batched section of the baseline, preserving every
+/// other committed section.
+pub fn write_batched_json(
+    batched: &[super::batchbench::BatchedRow],
+) -> std::io::Result<std::path::PathBuf> {
+    let mut file = base_file();
+    file.batched_command = super::batchbench::BATCHED_REPRO_COMMAND.to_string();
+    file.batched = batched.to_vec();
     write_file(&file)
 }
 

@@ -1,0 +1,881 @@
+//! Inter-sequence batched kernel: many alignments per vector.
+//!
+//! The lane-parallel kernels of [`crate::kernel`] vectorize *within*
+//! one antidiagonal and plateau once the live band is narrow — which
+//! on real long-read data it almost always is (§6.1). Scrooge
+//! (Lindegger et al.) and LOGAN (Zeni et al.) both get their large
+//! factors from the *other* axis: packing 8–32 **independent**
+//! alignments into each vector register, one alignment per lane, so
+//! the register is full even when every band is one cell wide. This
+//! module is that inter-sequence kernel ([`KernelKind::Batched`]):
+//!
+//! * **Length bucketing** — tasks are sorted by descending `|H|+|V|`
+//!   and grouped into lane-width buckets, so the lanes of a group
+//!   retire after similar numbers of antidiagonal rounds instead of
+//!   idling behind one long straggler.
+//! * **i16 lanes** — cell values are stored as `i16`, doubling the
+//!   lane count per register over the `i32` kernels. Each round
+//!   stages every active lane's candidate cells into lane-major
+//!   structure-of-arrays buffers (`slot = lane · w_max + w`, so the
+//!   left/up operands stage as contiguous slice copies), runs
+//!   one flat branch-free saturating-`i16` pass over all of them
+//!   (the autovectorizer turns it into `vpaddsw`/`vpmaxsw` chains),
+//!   then applies the X-Drop cutoff and reductions per lane with the
+//!   scalar reference's exact control flow.
+//! * **Overflow detection and rerun** — `i16` can hold scores the
+//!   `i32` reference cannot. A guard band bounds every *live* stored
+//!   value away from the representable edges by the maximum per-round
+//!   score step; the first round a live value escapes the guard band,
+//!   the lane is marked overflowed and transparently re-run through
+//!   the scalar `i32` reference. See the soundness argument on
+//!   [`HIGH_GUARD`].
+//!
+//! ## Bit-identity is still the contract
+//!
+//! Exactly as for the intra-antidiagonal kernels, every task's
+//! [`AlignOutput`] (result *and* every [`AlignStats`] field) and
+//! every [`BandPolicy::Exact`] error must match what the scalar
+//! reference [`xdrop2::align_views_ty`] produces for that task on a
+//! fresh workspace. Lanes that cannot be proven exact (overflow) are
+//! re-run through that reference, so the contract holds by
+//! construction on the rerun path and by the guard-band argument on
+//! the fast path. Configurations the `i16` domain cannot model at
+//! all (matrix scorers, score steps above [`MAX_STEP`], positive gap
+//! penalties) take a per-task scalar fallback, counted in
+//! [`BatchReport::fallbacks`].
+
+use crate::error::{AlignError, Result};
+use crate::scoring::{MatchMismatch, Scorer};
+use crate::seqview::{Fwd, Rev};
+use crate::stats::{AlignOutput, AlignResult, AlignStats};
+use crate::xdrop2::{self, BandPolicy, DiagMeta, Workspace};
+use crate::XDropParams;
+
+/// `-∞` sentinel of the `i16` lane domain — `i16::MIN / 4`, mirroring
+/// [`crate::NEG_INF`]'s headroom argument: adding a gap penalty (or
+/// several) to a dropped cell stays far from the representable edge.
+pub const NEG_INF16: i16 = i16::MIN / 4;
+
+/// Dropped-cell threshold of the `i16` domain (`NEG_INF16 / 2`),
+/// mirroring [`crate::is_dropped`].
+const DROP16: i16 = NEG_INF16 / 2;
+
+/// Largest per-round score step the `i16` lane path accepts:
+/// `|match|`, `|mismatch|` and `|gap|` must all be at most this for a
+/// batch to run in `i16` lanes (otherwise the whole batch takes the
+/// scalar fallback). One antidiagonal round changes a cell by exactly
+/// one `sim` or one `gap` application, so this bounds how far a value
+/// can move per round — the quantity the guard band is built from.
+pub const MAX_STEP: i32 = 1024;
+
+/// Upper guard of the live-value band: `i16::MAX − MAX_STEP`.
+///
+/// Soundness of the fast path: by induction, while every *live*
+/// stored value lies strictly inside `(LOW_GUARD, HIGH_GUARD)`, the
+/// next round's candidates derived from live parents lie strictly
+/// inside `(DROP16, i16::MAX)` — so the saturating adds cannot
+/// actually saturate (the value is exact, equal to the `i32`
+/// reference's) and cannot be misclassified as dropped (dropped is
+/// `≤ DROP16`). Dropped cells are stored as the canonical
+/// [`NEG_INF16`]; with `gap ≤ 0` their derived sums stay `≤ DROP16`
+/// and lose every `max` against a live value, exactly like the `i32`
+/// sentinel. The first round a live value lands outside the guard
+/// band it is still computed exactly — the lane is flagged overflowed
+/// *that* round and re-run in `i32`, before any inexact round can
+/// happen.
+const HIGH_GUARD: i32 = i16::MAX as i32 - MAX_STEP;
+
+/// Lower guard of the live-value band: `DROP16 + MAX_STEP`.
+const LOW_GUARD: i32 = DROP16 as i32 + MAX_STEP;
+
+/// A directional byte-slice view of one task sequence — the owned
+/// (lifetime-bound, object-safe-free) analogue of
+/// [`crate::seqview::SeqView`] the batch API takes, so a batch can
+/// mix left extensions (reverse access) and right extensions
+/// (forward access) in the same lane group.
+#[derive(Debug, Clone, Copy)]
+pub enum TaskView<'a> {
+    /// Forward access: logical index `i` is physical index `i`.
+    Fwd(&'a [u8]),
+    /// Reverse access: logical index `i` is physical `len − 1 − i`.
+    Rev(&'a [u8]),
+}
+
+impl TaskView<'_> {
+    /// Number of symbols in the view.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        match self {
+            TaskView::Fwd(s) | TaskView::Rev(s) => s.len(),
+        }
+    }
+
+    /// Whether the view is empty.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The symbol at logical position `idx` (`idx < len()`).
+    #[inline(always)]
+    pub fn at(&self, idx: usize) -> u8 {
+        match self {
+            TaskView::Fwd(s) => s[idx],
+            TaskView::Rev(s) => s[s.len() - 1 - idx],
+        }
+    }
+
+    /// Forward-order copy: physical index `i` holds logical symbol
+    /// `i`, so the staging hot loop indexes a plain slice instead of
+    /// branching on the direction per cell.
+    fn materialize(&self) -> Vec<u8> {
+        match self {
+            TaskView::Fwd(s) => s.to_vec(),
+            TaskView::Rev(s) => s.iter().rev().copied().collect(),
+        }
+    }
+}
+
+/// One alignment task of a batch: an `H` view × `V` view extension.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchTask<'a> {
+    /// Horizontal sequence view.
+    pub h: TaskView<'a>,
+    /// Vertical sequence view.
+    pub v: TaskView<'a>,
+}
+
+/// What the batched kernel did with a batch — lane configuration,
+/// bucketing, and how many lanes left the `i16` fast path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BatchReport {
+    /// Lane count used (vector width in `i16` cells).
+    pub lanes: usize,
+    /// Number of lane groups (length buckets) executed.
+    pub buckets: usize,
+    /// Lanes that overflowed the `i16` guard band and were re-run
+    /// through the scalar `i32` reference.
+    pub reruns: usize,
+    /// Tasks that never entered the `i16` path (ineligible scorer or
+    /// score magnitudes) and ran the scalar reference directly.
+    pub fallbacks: usize,
+}
+
+/// Runtime lane-width detection: how many `i16` cells one vector
+/// register holds on this host — 32 under AVX-512BW, 16 under AVX2,
+/// 8 under SSE4.1/NEON, and a generic 8 elsewhere (the flat staged
+/// pass still autovectorizes to whatever the target offers).
+#[cfg(target_arch = "x86_64")]
+pub fn lane_width() -> usize {
+    if std::arch::is_x86_feature_detected!("avx512bw") {
+        32
+    } else if std::arch::is_x86_feature_detected!("avx2") {
+        16
+    } else {
+        8
+    }
+}
+
+/// Runtime lane-width detection (aarch64): NEON holds 8 × `i16`.
+#[cfg(target_arch = "aarch64")]
+pub fn lane_width() -> usize {
+    8
+}
+
+/// Runtime lane-width detection (other targets): generic 8.
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+pub fn lane_width() -> usize {
+    8
+}
+
+/// Whether `scorer` can run in `i16` lanes: a plain match/mismatch
+/// scheme whose scores fit the guard-band arithmetic. `gap ≤ 0` is
+/// required because a positive gap could walk a canonical dropped
+/// value back into the live range in `i16` where the `i32` sentinel
+/// would have stayed dropped.
+fn eligible<S: Scorer>(scorer: &S) -> Option<MatchMismatch> {
+    let mm = scorer.as_match_mismatch()?;
+    let ok = mm.match_score.abs() <= MAX_STEP
+        && mm.mismatch_score.abs() <= MAX_STEP
+        && mm.gap_penalty.abs() <= MAX_STEP
+        && mm.gap_penalty <= 0;
+    ok.then_some(mm)
+}
+
+/// Runs one task through the scalar `i32` reference on a fresh
+/// workspace — the oracle the batch results are pinned to, and the
+/// rerun/fallback path.
+fn scalar_task<S: Scorer>(
+    task: &BatchTask<'_>,
+    scorer: &S,
+    params: XDropParams,
+    policy: BandPolicy,
+) -> Result<AlignOutput> {
+    let mut ws = Workspace::<i32>::new();
+    match (task.h, task.v) {
+        (TaskView::Fwd(h), TaskView::Fwd(v)) => {
+            xdrop2::align_views_ty(&Fwd(h), &Fwd(v), scorer, params, policy, &mut ws)
+        }
+        (TaskView::Fwd(h), TaskView::Rev(v)) => {
+            xdrop2::align_views_ty(&Fwd(h), &Rev(v), scorer, params, policy, &mut ws)
+        }
+        (TaskView::Rev(h), TaskView::Fwd(v)) => {
+            xdrop2::align_views_ty(&Rev(h), &Fwd(v), scorer, params, policy, &mut ws)
+        }
+        (TaskView::Rev(h), TaskView::Rev(v)) => {
+            xdrop2::align_views_ty(&Rev(h), &Rev(v), scorer, params, policy, &mut ws)
+        }
+    }
+}
+
+/// Aligns a batch of tasks with the hardware-detected lane width.
+///
+/// Returns one [`Result`] per task, in task order, plus a
+/// [`BatchReport`]. Every outcome is bit-identical to running that
+/// task alone through the scalar reference on a fresh workspace.
+pub fn align_batch<S: Scorer>(
+    tasks: &[BatchTask<'_>],
+    scorer: &S,
+    params: XDropParams,
+    policy: BandPolicy,
+) -> (Vec<Result<AlignOutput>>, BatchReport) {
+    align_batch_with_lanes(tasks, scorer, params, policy, lane_width())
+}
+
+/// [`align_batch`] with an explicit lane count (bench lane sweeps and
+/// tests; results never depend on the lane count, only wall-clock
+/// does).
+pub fn align_batch_with_lanes<S: Scorer>(
+    tasks: &[BatchTask<'_>],
+    scorer: &S,
+    params: XDropParams,
+    policy: BandPolicy,
+    lanes: usize,
+) -> (Vec<Result<AlignOutput>>, BatchReport) {
+    let lanes = lanes.max(1);
+    let mut report = BatchReport {
+        lanes,
+        ..Default::default()
+    };
+    let mut out: Vec<Option<Result<AlignOutput>>> = (0..tasks.len()).map(|_| None).collect();
+    match eligible(scorer) {
+        Some(mm) => {
+            // Length bucketing: descending |H|+|V| (index as tiebreak,
+            // so grouping is deterministic), chunked into lane groups.
+            let mut order: Vec<usize> = (0..tasks.len()).collect();
+            order.sort_unstable_by_key(|&t| {
+                (std::cmp::Reverse(tasks[t].h.len() + tasks[t].v.len()), t)
+            });
+            for group in order.chunks(lanes) {
+                report.buckets += 1;
+                run_group(tasks, group, &mm, params, policy, &mut out, &mut report);
+            }
+        }
+        None => {
+            for (task, slot) in tasks.iter().zip(out.iter_mut()) {
+                *slot = Some(scalar_task(task, scorer, params, policy));
+                report.fallbacks += 1;
+            }
+        }
+    }
+    // Overflowed lanes: transparent rerun through the i32 reference.
+    (
+        out.into_iter()
+            .map(|slot| slot.expect("every task resolved"))
+            .collect(),
+        report,
+    )
+}
+
+/// Per-lane DP state — one task's complete scalar-reference state
+/// machine, advanced one antidiagonal per round in lockstep with the
+/// other lanes of its group.
+struct Lane {
+    task: usize,
+    /// Forward-order copy of the `H` view (see
+    /// [`TaskView::materialize`]).
+    hseq: Vec<u8>,
+    /// Forward-order copy of the `V` view.
+    vseq: Vec<u8>,
+    m: usize,
+    n: usize,
+    /// The two antidiagonal band buffers (`i16` cells).
+    bufs: [Vec<i16>; 2],
+    metas: [DiagMeta; 2],
+    /// Virtual workspace capacity with fresh-workspace semantics:
+    /// starts at `δ_b`, doubles under [`BandPolicy::Grow`] exactly as
+    /// `align_views_ty` grows a fresh [`Workspace`].
+    cap: usize,
+    best: AlignResult,
+    t_best: i32,
+    live_lo: usize,
+    live_hi: usize,
+    prev_best_i: usize,
+    stats: AlignStats,
+    /// Candidate interval of the round being staged (set in the
+    /// prologue, consumed by stage/reduce).
+    cand_lo: usize,
+    cand_hi: usize,
+    state: LaneState,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LaneState {
+    /// Still sweeping antidiagonals.
+    Active,
+    /// Skipped this round's stage/reduce (degenerate interval) but
+    /// terminated normally.
+    Done,
+    /// A live value escaped the `i16` guard band: discard and re-run
+    /// through the `i32` reference.
+    Overflowed,
+    /// Terminated with the scalar reference's error.
+    Failed(AlignError),
+}
+
+impl Lane {
+    #[inline(always)]
+    fn round_active(&self) -> bool {
+        self.state == LaneState::Active
+    }
+}
+
+/// The `i32` cell size the modeled `work_bytes` are stated in: the
+/// device kernel's footprint is defined by the reference cell type,
+/// not by this host kernel's internal `i16` storage — bit-identity
+/// of [`AlignStats::work_bytes`] demands the reference's accounting.
+const CELL_BYTES: usize = std::mem::size_of::<i32>();
+
+/// Runs one lane group to completion: the scalar reference's control
+/// flow replicated per lane, with the per-cell recurrence hoisted
+/// into one flat branch-free saturating-`i16` pass per round.
+#[allow(clippy::needless_range_loop)]
+fn run_group(
+    tasks: &[BatchTask<'_>],
+    group: &[usize],
+    mm: &MatchMismatch,
+    params: XDropParams,
+    policy: BandPolicy,
+    out: &mut [Option<Result<AlignOutput>>],
+    report: &mut BatchReport,
+) {
+    let delta_b = policy.delta_b();
+    if delta_b == 0 {
+        for &t in group {
+            out[t] = Some(Err(AlignError::InvalidConfig("δ_b must be nonzero")));
+        }
+        return;
+    }
+    let x = params.x;
+    let gap16 = mm.gap_penalty as i16;
+    let (mat16, mis16) = (mm.match_score as i16, mm.mismatch_score as i16);
+    let k = group.len();
+
+    let mut ls: Vec<Lane> = group
+        .iter()
+        .map(|&t| {
+            let (h, v) = (tasks[t].h, tasks[t].v);
+            let (m, n) = (h.len(), v.len());
+            let mut bufs = [vec![NEG_INF16; delta_b], vec![NEG_INF16; delta_b]];
+            bufs[0][0] = 0;
+            Lane {
+                task: t,
+                hseq: h.materialize(),
+                vseq: v.materialize(),
+                m,
+                n,
+                bufs,
+                metas: [
+                    DiagMeta {
+                        cand_lo: 0,
+                        cand_hi: 0,
+                    },
+                    DiagMeta::EMPTY,
+                ],
+                cap: delta_b,
+                best: AlignResult::empty(),
+                t_best: 0,
+                live_lo: 0,
+                live_hi: 0,
+                prev_best_i: 0,
+                stats: AlignStats {
+                    cells_computed: 1,
+                    delta_w: 1,
+                    delta: m.min(n) + 1,
+                    work_bytes: 2 * delta_b * CELL_BYTES,
+                    ..Default::default()
+                },
+                cand_lo: 1,
+                cand_hi: 0,
+                state: LaneState::Active,
+            }
+        })
+        .collect();
+
+    // Lane-major SoA staging buffers: slot lane·max_w + w, so each
+    // lane's staged cells are one contiguous run (`sl`/`su` stage as
+    // plain slice copies; the flat sweep is elementwise and does not
+    // care about layout). `sd` is the staged d−2 diagonal (canonical
+    // −∞ when dropped/absent), `sim` its substitution score (0 when
+    // `sd` is −∞, so the flat add keeps the sentinel), `sl`/`su` the
+    // d−1 left/up inputs, `raw` the computed scores.
+    let mut sd: Vec<i16> = Vec::new();
+    let mut sim: Vec<i16> = Vec::new();
+    let mut sl: Vec<i16> = Vec::new();
+    let mut su: Vec<i16> = Vec::new();
+    let mut raw: Vec<i16> = Vec::new();
+
+    for d in 1usize.. {
+        // Prologue: per-lane candidate interval and band policy.
+        let mut max_w = 0usize;
+        for lane in ls.iter_mut() {
+            if !lane.round_active() {
+                continue;
+            }
+            lane.cand_lo = 1;
+            lane.cand_hi = 0; // degenerate unless set below
+            if d > lane.m + lane.n {
+                lane.state = LaneState::Done;
+                continue;
+            }
+            if let Some(cap) = params.max_antidiagonals {
+                if lane.stats.antidiagonals as usize >= cap {
+                    lane.state = LaneState::Done;
+                    continue;
+                }
+            }
+            let geo_lo = d.saturating_sub(lane.m);
+            let geo_hi = d.min(lane.n);
+            let mut cand_lo = lane.live_lo.max(geo_lo);
+            let mut cand_hi = (lane.live_hi + 1).min(geo_hi);
+            if cand_lo > cand_hi {
+                lane.state = LaneState::Done;
+                continue;
+            }
+            let width = cand_hi - cand_lo + 1;
+            let band_cap = match policy {
+                BandPolicy::Exact(b) | BandPolicy::Saturate(b) => b,
+                BandPolicy::Grow(_) => lane.cap,
+            };
+            if width > band_cap {
+                match policy {
+                    BandPolicy::Exact(delta_b) => {
+                        lane.state = LaneState::Failed(AlignError::BandExceeded {
+                            needed: width,
+                            delta_b,
+                            antidiagonal: d,
+                        });
+                        continue;
+                    }
+                    BandPolicy::Grow(_) => {
+                        let new_cap = width.max(2 * lane.cap);
+                        lane.cap = new_cap;
+                        for b in &mut lane.bufs {
+                            b.resize(new_cap, NEG_INF16);
+                        }
+                        lane.stats.work_bytes = 2 * new_cap * CELL_BYTES;
+                    }
+                    BandPolicy::Saturate(delta_b) => {
+                        let half = delta_b / 2;
+                        let lo_min = cand_lo;
+                        let lo_max = cand_hi + 1 - delta_b;
+                        let lo = lane.prev_best_i.saturating_sub(half).clamp(lo_min, lo_max);
+                        lane.stats.cells_clipped += (width - delta_b) as u64;
+                        cand_lo = lo;
+                        cand_hi = lo + delta_b - 1;
+                    }
+                }
+            }
+            lane.cand_lo = cand_lo;
+            lane.cand_hi = cand_hi;
+            max_w = max_w.max(cand_hi - cand_lo + 1);
+        }
+        if ls.iter().all(|l| !l.round_active()) {
+            break;
+        }
+
+        // Stage: reset the SoA buffers to padding, then write every
+        // active lane's cell inputs. Padding cells compute a dropped
+        // score the reduction never reads.
+        let slots = max_w * k;
+        sd.clear();
+        sd.resize(slots, NEG_INF16);
+        sim.clear();
+        sim.resize(slots, 0);
+        sl.clear();
+        sl.resize(slots, NEG_INF16);
+        su.clear();
+        su.resize(slots, NEG_INF16);
+        raw.clear();
+        raw.resize(slots, NEG_INF16);
+        let cur_idx = d % 2;
+        let prev_idx = 1 - cur_idx;
+        for (kidx, lane) in ls.iter().enumerate() {
+            if !lane.round_active() {
+                continue;
+            }
+            let p2 = lane.metas[cur_idx];
+            let p1 = lane.metas[prev_idx];
+            let (clo, chi) = (lane.cand_lo, lane.cand_hi);
+            let base = kidx * max_w;
+            // `sl` needs `i ∈ p1`: one contiguous copy over the
+            // intersection of the candidate and stored intervals
+            // (empty intersections — e.g. `DiagMeta::EMPTY` — copy
+            // nothing, leaving the −∞ padding).
+            let buf1 = &lane.bufs[prev_idx];
+            let lo = clo.max(p1.cand_lo);
+            let hi = chi.min(p1.cand_hi);
+            if lo <= hi {
+                sl[base + (lo - clo)..=base + (hi - clo)]
+                    .copy_from_slice(&buf1[lo - p1.cand_lo..=hi - p1.cand_lo]);
+            }
+            // `su` needs `i − 1 ∈ p1`, i.e. `i` shifted one right.
+            let lo = clo.max(p1.cand_lo + 1);
+            let hi = chi.min(p1.cand_hi + 1);
+            if lo <= hi {
+                su[base + (lo - clo)..=base + (hi - clo)]
+                    .copy_from_slice(&buf1[(lo - 1) - p1.cand_lo..=(hi - 1) - p1.cand_lo]);
+            }
+            // `sd`/`sim` need `i − 1 ∈ p2` and a live parent; the
+            // liveness test stays per cell, but runs over the exact
+            // intersection with plain slice indexing.
+            let buf2 = &lane.bufs[cur_idx];
+            let lo = clo.max(p2.cand_lo + 1);
+            let hi = chi.min(p2.cand_hi + 1);
+            for i in lo..=hi {
+                let diag_old = buf2[(i - 1) - p2.cand_lo];
+                if diag_old > DROP16 {
+                    let idx = base + (i - clo);
+                    sd[idx] = diag_old;
+                    // A live staged cell implies j = d − i ≥ 1.
+                    let j = d - i;
+                    sim[idx] = if lane.vseq[i - 1] == lane.hseq[j - 1] {
+                        mat16
+                    } else {
+                        mis16
+                    };
+                }
+            }
+        }
+
+        // Sweep: one flat branch-free pass over every lane's cells.
+        // Saturating adds are a safety net only — the guard band
+        // proves they never actually saturate on values the
+        // reduction keeps.
+        for idx in 0..slots {
+            let diag = sd[idx].saturating_add(sim[idx]);
+            let lft = sl[idx].saturating_add(gap16);
+            let up = su[idx].saturating_add(gap16);
+            raw[idx] = diag.max(lft).max(up);
+        }
+
+        // Reduce: the scalar reference's cutoff, liveness and
+        // first-maximum-wins reductions, per lane, in cell order.
+        for (kidx, lane) in ls.iter_mut().enumerate() {
+            if !lane.round_active() {
+                continue;
+            }
+            let (cand_lo, cand_hi) = (lane.cand_lo, lane.cand_hi);
+            let width = cand_hi - cand_lo + 1;
+            let base = kidx * max_w;
+            let thr = lane.t_best - x;
+            let mut t_new = lane.t_best;
+            let mut any_live = false;
+            let (mut new_lo, mut new_hi) = (usize::MAX, 0usize);
+            let mut new_best_i = lane.prev_best_i;
+            let mut best_on_diag = i32::MIN;
+            let mut escaped = false;
+            for i in cand_lo..=cand_hi {
+                let w = i - cand_lo;
+                let r = raw[base + w];
+                let s = i32::from(r);
+                let store = if r <= DROP16 {
+                    NEG_INF16
+                } else if s < thr {
+                    lane.stats.cells_dropped += 1;
+                    NEG_INF16
+                } else {
+                    any_live = true;
+                    new_lo = new_lo.min(i);
+                    new_hi = new_hi.max(i);
+                    t_new = t_new.max(s);
+                    if s > best_on_diag {
+                        best_on_diag = s;
+                        new_best_i = i;
+                    }
+                    if s > lane.best.best_score {
+                        lane.best = AlignResult {
+                            best_score: s,
+                            end_h: d - i,
+                            end_v: i,
+                        };
+                    }
+                    if s >= HIGH_GUARD || s <= LOW_GUARD {
+                        escaped = true;
+                    }
+                    r
+                };
+                lane.bufs[cur_idx][w] = store;
+            }
+            lane.stats.cells_computed += width as u64;
+            lane.stats.antidiagonals += 1;
+            lane.metas[cur_idx] = DiagMeta { cand_lo, cand_hi };
+            if escaped {
+                lane.state = LaneState::Overflowed;
+                continue;
+            }
+            if !any_live {
+                lane.state = LaneState::Done;
+                continue;
+            }
+            lane.live_lo = new_lo;
+            lane.live_hi = new_hi;
+            lane.prev_best_i = new_best_i;
+            lane.stats.delta_w = lane.stats.delta_w.max(new_hi - new_lo + 1);
+            lane.t_best = t_new;
+        }
+    }
+
+    for lane in ls {
+        out[lane.task] = Some(match lane.state {
+            LaneState::Done | LaneState::Active => Ok(AlignOutput {
+                result: lane.best,
+                stats: lane.stats,
+            }),
+            LaneState::Overflowed => {
+                report.reruns += 1;
+                scalar_task(&tasks[lane.task], mm, params, policy)
+            }
+            LaneState::Failed(e) => Err(e),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::encode_dna;
+
+    fn sc() -> MatchMismatch {
+        MatchMismatch::dna_default()
+    }
+
+    fn assert_batch_matches_scalar(
+        tasks: &[BatchTask<'_>],
+        scorer: &MatchMismatch,
+        params: XDropParams,
+        policy: BandPolicy,
+        lanes: usize,
+    ) -> BatchReport {
+        let (got, report) = align_batch_with_lanes(tasks, scorer, params, policy, lanes);
+        assert_eq!(got.len(), tasks.len());
+        for (t, g) in tasks.iter().zip(&got) {
+            let reference = scalar_task(t, scorer, params, policy);
+            assert_eq!(&reference, g, "lane vs scalar, lanes={lanes}");
+        }
+        report
+    }
+
+    #[test]
+    fn mixed_direction_batch_matches_scalar() {
+        let a = encode_dna(b"ACGTACGTACGTACGTACGTACGTACGT");
+        let b = encode_dna(b"ACGTACGAACGTACTTACGTACGAACGT");
+        let c = encode_dna(b"TTGGACGTACAA");
+        let tasks = [
+            BatchTask {
+                h: TaskView::Fwd(&a),
+                v: TaskView::Fwd(&b),
+            },
+            BatchTask {
+                h: TaskView::Rev(&a),
+                v: TaskView::Rev(&b),
+            },
+            BatchTask {
+                h: TaskView::Fwd(&c),
+                v: TaskView::Rev(&a),
+            },
+            BatchTask {
+                h: TaskView::Fwd(&a),
+                v: TaskView::Fwd(&a),
+            },
+        ];
+        for lanes in [1, 2, 8, 16] {
+            for policy in [
+                BandPolicy::Grow(4),
+                BandPolicy::Exact(3),
+                BandPolicy::Saturate(5),
+            ] {
+                let report =
+                    assert_batch_matches_scalar(&tasks, &sc(), XDropParams::new(12), policy, lanes);
+                assert_eq!(report.lanes, lanes);
+                assert_eq!(report.buckets, tasks.len().div_ceil(lanes));
+                assert_eq!(report.fallbacks, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_tasks() {
+        let a = encode_dna(b"ACGT");
+        let empty: [u8; 0] = [];
+        let tasks = [
+            BatchTask {
+                h: TaskView::Fwd(&empty),
+                v: TaskView::Fwd(&a),
+            },
+            BatchTask {
+                h: TaskView::Fwd(&a),
+                v: TaskView::Fwd(&empty),
+            },
+            BatchTask {
+                h: TaskView::Fwd(&empty),
+                v: TaskView::Fwd(&empty),
+            },
+            BatchTask {
+                h: TaskView::Fwd(&a[..1]),
+                v: TaskView::Fwd(&a[..1]),
+            },
+        ];
+        assert_batch_matches_scalar(&tasks, &sc(), XDropParams::new(5), BandPolicy::Exact(2), 4);
+    }
+
+    #[test]
+    fn zero_delta_b_is_the_scalar_error() {
+        let a = encode_dna(b"ACGT");
+        let tasks = [BatchTask {
+            h: TaskView::Fwd(&a),
+            v: TaskView::Fwd(&a),
+        }];
+        let (got, _) = align_batch(&tasks, &sc(), XDropParams::new(5), BandPolicy::Exact(0));
+        assert_eq!(
+            got[0],
+            Err(AlignError::InvalidConfig("δ_b must be nonzero"))
+        );
+    }
+
+    #[test]
+    fn ineligible_scorer_falls_back_per_task() {
+        // Positive gap penalty: the i16 dropped-sentinel argument
+        // breaks, so the whole batch must take the scalar fallback —
+        // and still match the reference bit for bit.
+        let a = encode_dna(b"ACGTACGTACGTACGT");
+        let b = encode_dna(b"ACGAACGTACTTACGT");
+        let weird = MatchMismatch::new(2, -3, 1);
+        let tasks = [
+            BatchTask {
+                h: TaskView::Fwd(&a),
+                v: TaskView::Fwd(&b),
+            },
+            BatchTask {
+                h: TaskView::Rev(&a),
+                v: TaskView::Rev(&b),
+            },
+        ];
+        let report = assert_batch_matches_scalar(
+            &tasks,
+            &weird,
+            XDropParams::new(9),
+            BandPolicy::Grow(4),
+            8,
+        );
+        assert_eq!(report.fallbacks, tasks.len());
+        assert_eq!(report.buckets, 0);
+        // Oversized score steps likewise.
+        let big = MatchMismatch::new(MAX_STEP + 1, -1, -1);
+        let (_, report) = align_batch(&tasks, &big, XDropParams::new(9), BandPolicy::Grow(4));
+        assert_eq!(report.fallbacks, tasks.len());
+    }
+
+    /// Overflow boundary, high side: identical sequences long enough
+    /// for the running best score to land exactly on `i16::MAX`. The
+    /// guard band must flag the lane *before* any saturating add can
+    /// go inexact, the rerun count must be reported, and the result
+    /// must bit-match the `i32` scalar reference (whose best score is
+    /// exactly `i16::MAX`).
+    #[test]
+    fn overflow_at_i16_max_triggers_rerun_and_matches_scalar() {
+        let len = i16::MAX as usize; // +1 per matched symbol
+        let s: Vec<u8> = (0..len).map(|i| (i % 4) as u8).collect();
+        let tasks = [BatchTask {
+            h: TaskView::Fwd(&s),
+            v: TaskView::Fwd(&s),
+        }];
+        let (got, report) = align_batch(&tasks, &sc(), XDropParams::new(4), BandPolicy::Grow(4));
+        assert_eq!(report.reruns, 1, "guard band must trip the rerun path");
+        let out = got[0].as_ref().expect("alignment succeeds");
+        assert_eq!(out.result.best_score, i16::MAX as i32);
+        let reference = scalar_task(&tasks[0], &sc(), XDropParams::new(4), BandPolicy::Grow(4));
+        assert_eq!(reference.as_ref().expect("reference"), out);
+    }
+
+    /// Overflow boundary, low side: with pruning effectively disabled
+    /// and nothing but mismatches, live scores march down towards
+    /// `i16::MIN`. The low guard must flag the lane while values are
+    /// still exact, and the rerun must bit-match the reference —
+    /// including every stats field of the wide saturate band.
+    #[test]
+    fn overflow_towards_i16_min_triggers_rerun_and_matches_scalar() {
+        // h is all-0s, v all-1s: every cell is a mismatch.
+        let h = vec![0u8; 3600];
+        let v = vec![1u8; 3600];
+        let tasks = [BatchTask {
+            h: TaskView::Fwd(&h),
+            v: TaskView::Fwd(&v),
+        }];
+        let params = XDropParams::new(1_000_000);
+        let policy = BandPolicy::Saturate(8);
+        let (got, report) = align_batch(&tasks, &sc(), params, policy);
+        assert_eq!(report.reruns, 1, "low guard must trip the rerun path");
+        let reference = scalar_task(&tasks[0], &sc(), params, policy);
+        assert_eq!(&reference, &got[0]);
+    }
+
+    /// Scores inside the guard band never rerun: the fast path is
+    /// exercised, not silently bypassed.
+    #[test]
+    fn in_range_scores_stay_on_the_fast_path() {
+        let s: Vec<u8> = (0..2000).map(|i| (i % 4) as u8).collect();
+        let tasks = [BatchTask {
+            h: TaskView::Fwd(&s),
+            v: TaskView::Fwd(&s),
+        }];
+        let (got, report) = align_batch(&tasks, &sc(), XDropParams::new(4), BandPolicy::Grow(4));
+        assert_eq!(report.reruns, 0);
+        assert_eq!(report.fallbacks, 0);
+        assert_eq!(got[0].as_ref().unwrap().result.best_score, 2000);
+    }
+
+    #[test]
+    fn bucketing_is_deterministic_and_by_length() {
+        // 5 tasks, lane width 2: longest two share a bucket, etc.
+        let s: Vec<u8> = (0..64).map(|i| (i % 4) as u8).collect();
+        let lens = [60usize, 8, 32, 8, 50];
+        let tasks: Vec<BatchTask<'_>> = lens
+            .iter()
+            .map(|&l| BatchTask {
+                h: TaskView::Fwd(&s[..l]),
+                v: TaskView::Fwd(&s[..l]),
+            })
+            .collect();
+        let report = assert_batch_matches_scalar(
+            &tasks,
+            &sc(),
+            XDropParams::new(10),
+            BandPolicy::Grow(4),
+            2,
+        );
+        assert_eq!(report.buckets, 3);
+        assert_eq!(report.reruns, 0);
+    }
+
+    #[test]
+    fn max_antidiagonals_cap_matches_scalar() {
+        let a = encode_dna(b"ACGTACGTACGTACGTACGTACGTACGTACGT");
+        let tasks = [BatchTask {
+            h: TaskView::Fwd(&a),
+            v: TaskView::Fwd(&a),
+        }];
+        let params = XDropParams::new(20).with_max_antidiagonals(7);
+        assert_batch_matches_scalar(&tasks, &sc(), params, BandPolicy::Grow(4), 4);
+    }
+}

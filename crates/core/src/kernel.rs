@@ -66,9 +66,9 @@ use crate::{XDropParams, NEG_INF};
 pub const CHUNK: usize = 16;
 
 /// Environment variable forcing the kernel choice, overriding
-/// hardware detection: `scalar`, `chunked`, `simd`, or `auto`.
-/// Unknown values fall back to detection. Intended for tests and for
-/// A/B runs of the bench harness.
+/// hardware detection: `scalar`, `chunked`, `simd`, `batched`, or
+/// `auto`. Unknown values fall back to detection. Intended for tests
+/// and for A/B runs of the bench harness.
 pub const KERNEL_ENV: &str = "XDROP_KERNEL";
 
 /// Which antidiagonal inner-loop implementation to run.
@@ -86,6 +86,14 @@ pub enum KernelKind {
     /// match/mismatch (DNA) case; every other configuration falls
     /// back to the `Chunked` sweep per sub-kernel.
     Simd,
+    /// Inter-sequence batching ([`crate::batched`]): 8–32 independent
+    /// alignments share each vector register in `i16` lanes, with
+    /// length bucketing and an overflow-rerun safety net. Selected
+    /// explicitly (never by [`KernelKind::detect`]) because its
+    /// payoff comes from the slice-of-comparisons entry points in the
+    /// executor; through the single-comparison API it runs a batch of
+    /// one.
+    Batched,
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -105,14 +113,21 @@ fn simd_available() -> bool {
 
 impl KernelKind {
     /// Every kernel, scalar first (bench/report ordering).
-    pub const ALL: [KernelKind; 3] = [KernelKind::Scalar, KernelKind::Chunked, KernelKind::Simd];
+    pub const ALL: [KernelKind; 4] = [
+        KernelKind::Scalar,
+        KernelKind::Chunked,
+        KernelKind::Simd,
+        KernelKind::Batched,
+    ];
 
-    /// Stable lower-case name (`scalar` / `chunked` / `simd`).
+    /// Stable lower-case name (`scalar` / `chunked` / `simd` /
+    /// `batched`).
     pub fn name(self) -> &'static str {
         match self {
             KernelKind::Scalar => "scalar",
             KernelKind::Chunked => "chunked",
             KernelKind::Simd => "simd",
+            KernelKind::Batched => "batched",
         }
     }
 
@@ -123,6 +138,7 @@ impl KernelKind {
             "scalar" => Some(KernelKind::Scalar),
             "chunked" => Some(KernelKind::Chunked),
             "simd" => Some(KernelKind::Simd),
+            "batched" => Some(KernelKind::Batched),
             "auto" => Some(KernelKind::detect()),
             _ => None,
         }
@@ -164,6 +180,38 @@ pub fn align_views<T: ScoreTy, S: Scorer, HV: SeqView, VV: SeqView>(
         KernelKind::Chunked | KernelKind::Simd => {
             let explicit_simd = kind == KernelKind::Simd && simd_available();
             lane_parallel(h, v, scorer, params, policy, ws, explicit_simd)
+        }
+        KernelKind::Batched => {
+            // The inter-sequence kernel's natural entry point is
+            // `crate::batched::align_batch` over a *slice* of tasks
+            // (the executor hands it whole claims); through the
+            // single-comparison API it runs a batch of one. It owns
+            // per-lane i16 buffers with fresh-workspace semantics and
+            // therefore ignores `ws` — under `BandPolicy::Grow` its
+            // reported `work_bytes` match the scalar reference on a
+            // *fresh* workspace (a reused pre-grown workspace would
+            // legitimately report more; every other field is
+            // workspace-independent).
+            if T::as_i32_slice(&[]).is_some() {
+                let ho = crate::seqview::collect_view(h);
+                let vo = crate::seqview::collect_view(v);
+                let task = crate::batched::BatchTask {
+                    h: crate::batched::TaskView::Fwd(&ho),
+                    v: crate::batched::TaskView::Fwd(&vo),
+                };
+                let (mut results, _) = crate::batched::align_batch(
+                    std::slice::from_ref(&task),
+                    scorer,
+                    params,
+                    policy,
+                );
+                results.pop().expect("batch of one")
+            } else {
+                // Non-i32 cells (the f32 dual-issue variant) have no
+                // i16 lane mapping; the scalar reference is the
+                // definitionally bit-identical fallback.
+                xdrop2::align_views_ty(h, v, scorer, params, policy, ws)
+            }
         }
     }
 }
@@ -1011,7 +1059,7 @@ mod tests {
                         align_views(kind, &Fwd(h), &Fwd(v), &sc(), p, policy, &mut ws)
                     };
                     let scalar = run(KernelKind::Scalar);
-                    for kind in [KernelKind::Chunked, KernelKind::Simd] {
+                    for kind in [KernelKind::Chunked, KernelKind::Simd, KernelKind::Batched] {
                         assert_identical_output(&scalar, &run(kind), &(kind, policy, x));
                     }
                 }
@@ -1023,7 +1071,7 @@ mod tests {
     fn exact_band_error_is_identical() {
         let s = encode_dna(&b"ACGTACGTACGTACGT".repeat(4));
         let p = XDropParams::new(10_000);
-        for kind in [KernelKind::Chunked, KernelKind::Simd] {
+        for kind in [KernelKind::Chunked, KernelKind::Simd, KernelKind::Batched] {
             let mut ws = Workspace::<i32>::new();
             let err = align_views(
                 kind,
@@ -1068,7 +1116,7 @@ mod tests {
                 policy,
                 &mut ws,
             );
-            for kind in [KernelKind::Chunked, KernelKind::Simd] {
+            for kind in [KernelKind::Chunked, KernelKind::Simd, KernelKind::Batched] {
                 let mut ws = Workspace::<i32>::new();
                 let packed = align_views(kind, &hp, &vp, &sc(), p, policy, &mut ws);
                 assert_identical_output(&scalar, &packed, &("packed", kind, policy));
@@ -1105,7 +1153,7 @@ mod tests {
                 policy,
                 &mut ws,
             );
-            for kind in [KernelKind::Chunked, KernelKind::Simd] {
+            for kind in [KernelKind::Chunked, KernelKind::Simd, KernelKind::Batched] {
                 let mut ws = Workspace::<f32>::new();
                 let got = align_views(kind, &Fwd(&h), &Fwd(&v), &sc(), p, policy, &mut ws);
                 assert_identical_output(&scalar, &got, &("f32", kind, policy));
@@ -1133,7 +1181,7 @@ mod tests {
             BandPolicy::Grow(8),
             &mut ws,
         );
-        for kind in [KernelKind::Chunked, KernelKind::Simd] {
+        for kind in [KernelKind::Chunked, KernelKind::Simd, KernelKind::Batched] {
             let mut ws = Workspace::<i32>::new();
             let got = align_views(
                 kind,

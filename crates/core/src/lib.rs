@@ -45,6 +45,7 @@
 pub mod affine;
 pub mod algorithm1;
 pub mod alphabet;
+pub mod batched;
 pub mod error;
 pub mod extension;
 pub mod hirschberg;

@@ -89,7 +89,13 @@ impl<T: ScoreTy> Workspace<T> {
     ///
     /// Already-sized workspaces take the early return and never touch
     /// the vectors — `ensure` sits on the per-alignment hot path and
-    /// batches reuse one workspace across thousands of calls.
+    /// batches reuse one workspace across thousands of calls. The
+    /// fast path deliberately checks the scratch buffer *and* the
+    /// band capacity: a workspace that last served a wide alignment
+    /// may satisfy `capacity() >= cap` while a desynchronized scratch
+    /// is still sized for a narrower one, and the lane-parallel
+    /// staging (`stage_diag2`) writes `scratch[..width]` with `width`
+    /// bounded only by `capacity()` under [`BandPolicy::Grow`].
     #[inline(always)]
     pub(crate) fn ensure(&mut self, cap: usize) {
         if self.capacity() >= cap && self.scratch.len() >= cap {
@@ -100,6 +106,18 @@ impl<T: ScoreTy> Workspace<T> {
 
     #[cold]
     fn grow_to(&mut self, cap: usize) {
+        // Lockstep growth: all three buffers settle at one common
+        // length, restoring the invariant `scratch.len() >=
+        // capacity()` even if a caller (or an earlier partial resize)
+        // desynchronized them. Growing only the lagging buffers to
+        // `cap` would leave a larger band buffer un-mirrored by
+        // scratch, which the next `ensure` fast path would then
+        // accept — the stale-capacity surface the cross-batch
+        // regression tests pin down.
+        let cap = cap
+            .max(self.bufs[0].len())
+            .max(self.bufs[1].len())
+            .max(self.scratch.len());
         for b in &mut self.bufs {
             if b.len() < cap {
                 b.resize(cap, T::neg_inf());
@@ -660,6 +678,97 @@ mod tests {
         ws.ensure(65); // larger: must grow all buffers in lockstep
         assert!(ws.capacity() >= 65);
         assert!(ws.scratch.len() >= 65);
+    }
+
+    /// Regression for the stale-capacity surface: a workspace whose
+    /// buffers were desynchronized (here by hand; historically by a
+    /// partial resize) must come out of the next `ensure` with the
+    /// `scratch.len() >= capacity()` invariant restored, because the
+    /// lane-parallel staging sizes its scratch writes by `capacity()`
+    /// under `Grow`, not by the `ensure` argument.
+    #[test]
+    fn ensure_restores_lockstep_after_desync() {
+        let mut ws = Workspace::<i32>::new();
+        ws.ensure(16);
+        // Desynchronize: one band buffer races ahead of scratch.
+        ws.bufs[0].resize(128, crate::NEG_INF);
+        assert!(ws.scratch.len() < ws.bufs[0].len());
+        ws.ensure(32);
+        assert!(ws.scratch.len() >= ws.capacity());
+        assert_eq!(ws.capacity(), 128, "lockstep settles on the maximum");
+        assert_eq!(ws.scratch.len(), 128);
+        // And the other direction: an oversized scratch drags the
+        // band buffers up rather than shadowing a too-small band.
+        let mut ws = Workspace::<i32>::new();
+        ws.ensure(8);
+        ws.scratch.resize(64, crate::NEG_INF);
+        ws.ensure(9);
+        assert_eq!(ws.capacity(), 64);
+        assert!(ws.scratch.len() >= ws.capacity());
+    }
+
+    /// Regression for scratch reuse across batches of differing
+    /// maximum length: one workspace serving interleaved long and
+    /// short alignments through the lane-parallel kernel (which
+    /// stages into scratch every sweep) must stay bit-identical to
+    /// fresh-workspace runs, and the lockstep invariant must hold
+    /// after every call.
+    #[test]
+    fn workspace_reuse_across_batches_of_differing_max_length() {
+        let long = encode_dna(&b"ACGTACGTGGATCCAT".repeat(32)); // 512 bp
+        let short = encode_dna(b"ACGTACGTACGTACGT");
+        let mut ws = Workspace::<i32>::new();
+        // Batch lengths alternate between extremes, as when a length
+        // bucketed batch of long comparisons is followed by a batch
+        // of short ones.
+        for round in 0..3 {
+            for s in [&long, &short, &long[..33].to_vec(), &short] {
+                let mut h = s.clone();
+                h[0] = (h[0] + 1) % 4;
+                for policy in [
+                    BandPolicy::Grow(2),
+                    BandPolicy::Saturate(7),
+                    BandPolicy::Exact(1024),
+                ] {
+                    let p = XDropParams::new(30).with_kernel(crate::kernel::KernelKind::Simd);
+                    let reused = crate::kernel::align_views(
+                        p.kernel,
+                        &Fwd(&h),
+                        &Fwd(s),
+                        &sc(),
+                        p,
+                        policy,
+                        &mut ws,
+                    )
+                    .unwrap();
+                    let mut fresh_ws = Workspace::<i32>::new();
+                    let fresh = crate::kernel::align_views(
+                        p.kernel,
+                        &Fwd(&h),
+                        &Fwd(s),
+                        &sc(),
+                        p,
+                        policy,
+                        &mut fresh_ws,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        fresh.result, reused.result,
+                        "round {round} policy {policy:?}"
+                    );
+                    let mut reused_stats = reused.stats;
+                    if matches!(policy, BandPolicy::Grow(_)) {
+                        assert!(reused_stats.work_bytes >= fresh.stats.work_bytes);
+                        reused_stats.work_bytes = fresh.stats.work_bytes;
+                    }
+                    assert_eq!(fresh.stats, reused_stats, "round {round} policy {policy:?}");
+                    assert!(
+                        ws.scratch.len() >= ws.capacity(),
+                        "lockstep invariant after round {round} policy {policy:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -12,8 +12,10 @@ use crate::pool::{resolve_threads, IndexQueue, SharedSlots};
 use crossbeam::thread;
 use std::cmp::Reverse;
 use std::sync::Mutex;
+use xdrop_core::batched::{self, BatchTask, TaskView};
 use xdrop_core::error::{AlignError, Result};
 use xdrop_core::extension::{Backend, Extender, ExtenderPool, Side};
+use xdrop_core::kernel::KernelKind;
 use xdrop_core::scoring::Scorer;
 use xdrop_core::stats::AlignStats;
 use xdrop_core::workload::Workload;
@@ -207,6 +209,147 @@ pub fn planning_units(w: &Workload, lr_split: bool) -> Vec<WorkUnit> {
     units
 }
 
+/// How many comparisons each queue claim should hand one worker: the
+/// batched kernel's hardware lane width under [`KernelKind::Batched`]
+/// (so every claim can fill a whole lane group — and, because claims
+/// are consecutive runs of the LPT order, its comparisons already
+/// have similar cost), 1 for the per-comparison kernels.
+pub fn claim_grain(cfg: &ExecConfig) -> usize {
+    if cfg.params.kernel == KernelKind::Batched {
+        batched::lane_width()
+    } else {
+        1
+    }
+}
+
+/// What aligning one comparison yields: its result plus the one or
+/// two work units it produces (see [`align_comparison`]).
+pub type ComparisonOutcome = Result<(UnitResult, WorkUnit, Option<WorkUnit>)>;
+
+/// Batched analogue of [`align_comparison`] over a whole claim: the
+/// left and right extensions of every claimed comparison become tasks
+/// of a single [`batched::align_batch`] call, so up to `2 × grain`
+/// alignments share the kernel's lane groups. Outcomes are returned
+/// in claim order and each is bit-identical to what
+/// [`align_comparison`] produces for that comparison alone — seed
+/// validation first, then the left extension's error takes precedence
+/// over the right's, exactly like `Extender::extend`'s early returns.
+pub fn align_comparisons_batched<S: Scorer>(
+    w: &Workload,
+    scorer: &S,
+    cfg: &ExecConfig,
+    claim: &[u32],
+) -> Vec<(u32, ComparisonOutcome)> {
+    // Task layout: comparisons with a valid seed contribute two
+    // consecutive tasks (left, right) at their recorded base index.
+    let mut tasks: Vec<BatchTask<'_>> = Vec::with_capacity(claim.len() * 2);
+    let mut bases: Vec<Result<usize>> = Vec::with_capacity(claim.len());
+    for &ci in claim {
+        let c = w.comparisons[ci as usize];
+        let h = w.seqs.get(c.h);
+        let v = w.seqs.get(c.v);
+        match c.seed.validate(h.len(), v.len()) {
+            Ok(()) => {
+                bases.push(Ok(tasks.len()));
+                tasks.push(BatchTask {
+                    h: TaskView::Rev(&h[..c.seed.h_pos]),
+                    v: TaskView::Rev(&v[..c.seed.v_pos]),
+                });
+                tasks.push(BatchTask {
+                    h: TaskView::Fwd(&h[c.seed.h_pos + c.seed.k..]),
+                    v: TaskView::Fwd(&v[c.seed.v_pos + c.seed.k..]),
+                });
+            }
+            Err(e) => bases.push(Err(e)),
+        }
+    }
+    let (outs, _report) = batched::align_batch(&tasks, scorer, cfg.params, cfg.policy);
+    claim
+        .iter()
+        .zip(bases)
+        .map(|(&ci, base)| {
+            let outcome = base.and_then(|base| {
+                let left = outs[base].clone()?;
+                let right = outs[base + 1].clone()?;
+                let c = w.comparisons[ci as usize];
+                let h = w.seqs.get(c.h);
+                let v = w.seqs.get(c.v);
+                let seed_score = scorer.seed_score(
+                    &h[c.seed.h_pos..c.seed.h_pos + c.seed.k],
+                    &v[c.seed.v_pos..c.seed.v_pos + c.seed.k],
+                );
+                let mut stats = left.stats;
+                stats.merge(&right.stats);
+                let result = UnitResult {
+                    score: left.result.best_score + seed_score + right.result.best_score,
+                    stats,
+                };
+                if cfg.lr_split {
+                    let (lh, lv) = w.left_lens(&c);
+                    let (rh, rv) = w.right_lens(&c);
+                    Ok((
+                        result,
+                        WorkUnit {
+                            cmp: ci,
+                            side: Some(Side::Left),
+                            stats: left.stats,
+                            score: left.result.best_score,
+                            est_complexity: lh as u64 * lv as u64,
+                        },
+                        Some(WorkUnit {
+                            cmp: ci,
+                            side: Some(Side::Right),
+                            stats: right.stats,
+                            score: right.result.best_score,
+                            est_complexity: rh as u64 * rv as u64,
+                        }),
+                    ))
+                } else {
+                    Ok((
+                        result,
+                        WorkUnit {
+                            cmp: ci,
+                            side: None,
+                            stats,
+                            score: result.score,
+                            est_complexity: w.complexity(&c),
+                        },
+                        None,
+                    ))
+                }
+            });
+            (ci, outcome)
+        })
+        .collect()
+}
+
+/// Serial batched execution over a contiguous range: grain-sized runs
+/// of comparisons go through [`align_comparisons_batched`] in index
+/// order, so the first failing index raises the same error as the
+/// per-comparison serial pass.
+fn exec_range_batched<S: Scorer>(
+    w: &Workload,
+    scorer: &S,
+    cfg: &ExecConfig,
+    range: std::ops::Range<usize>,
+    grain: usize,
+) -> Result<(Vec<WorkUnit>, Vec<UnitResult>)> {
+    let indices: Vec<u32> = range.map(|ci| ci as u32).collect();
+    let mut units = Vec::with_capacity(indices.len() * if cfg.lr_split { 2 } else { 1 });
+    let mut results = Vec::with_capacity(indices.len());
+    for chunk in indices.chunks(grain.max(1)) {
+        for (_, outcome) in align_comparisons_batched(w, scorer, cfg, chunk) {
+            let (result, u0, u1) = outcome?;
+            results.push(result);
+            units.push(u0);
+            if let Some(u1) = u1 {
+                units.push(u1);
+            }
+        }
+    }
+    Ok((units, results))
+}
+
 fn exec_range<S: Scorer + Sync>(
     w: &Workload,
     scorer: &S,
@@ -306,8 +449,13 @@ pub fn execute_workload<S: Scorer + Sync>(
 ) -> Result<ExecOutput> {
     let n = w.comparisons.len();
     let threads = resolve_threads(cfg.host_threads).min(n.max(1));
+    let grain = claim_grain(cfg);
     if threads <= 1 || n < 16 {
-        let (units, results) = exec_range(w, scorer, cfg, 0..n)?;
+        let (units, results) = if grain > 1 {
+            exec_range_batched(w, scorer, cfg, 0..n, grain)?
+        } else {
+            exec_range(w, scorer, cfg, 0..n)?
+        };
         return Ok(ExecOutput { units, results });
     }
     let upc = if cfg.lr_split { 2 } else { 1 };
@@ -321,6 +469,32 @@ pub fn execute_workload<S: Scorer + Sync>(
             let (queue, units, results, extenders, errors) =
                 (&queue, &units, &results, &extenders, &errors);
             s.spawn(move |_| {
+                if grain > 1 {
+                    // Batched kernel: claim a lane-width run of the
+                    // LPT order at a time and align the whole run in
+                    // one batch call, so comparisons of similar cost
+                    // share lane groups.
+                    while let Some(claim) = queue.claim(grain) {
+                        for (ci, outcome) in align_comparisons_batched(w, scorer, cfg, claim) {
+                            match outcome {
+                                // SAFETY: same single-writer argument
+                                // as the per-comparison loop below.
+                                Ok((result, u0, u1)) => unsafe {
+                                    results.write(ci as usize, result);
+                                    units.write(ci as usize * upc, u0);
+                                    if let Some(u1) = u1 {
+                                        units.write(ci as usize * upc + 1, u1);
+                                    }
+                                },
+                                Err(e) => {
+                                    queue.cancel();
+                                    errors.lock().expect("error log poisoned").push((ci, e));
+                                }
+                            }
+                        }
+                    }
+                    return;
+                }
                 let mut ext = extenders.checkout();
                 while let Some(claim) = queue.claim(1) {
                     for &ci in claim {
@@ -514,6 +688,76 @@ mod tests {
             err,
             xdrop_core::error::AlignError::BandExceeded { .. }
         ));
+    }
+
+    #[test]
+    fn batched_kernel_matches_scalar_executor_bit_for_bit() {
+        let w = small_workload();
+        let sc = MatchMismatch::dna_default();
+        for lr in [false, true] {
+            let mut scalar = cfg(lr);
+            scalar.params = scalar.params.with_kernel(KernelKind::Scalar);
+            scalar.host_threads = 1;
+            assert_eq!(claim_grain(&scalar), 1);
+            let oracle = execute_workload_reference(&w, &sc, &scalar).unwrap();
+            for threads in [1usize, 3, 8] {
+                let mut c = cfg(lr);
+                c.params = c.params.with_kernel(KernelKind::Batched);
+                c.host_threads = threads;
+                assert!(claim_grain(&c) >= 8);
+                let got = execute_workload(&w, &sc, &c).unwrap();
+                assert_eq!(oracle.units, got.units, "lr={lr} threads={threads}");
+                assert_eq!(oracle.results, got.results, "lr={lr} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernel_errors_match_scalar_executor() {
+        use xdrop_core::xdrop2::BandPolicy;
+        let w = small_workload();
+        let sc = MatchMismatch::dna_default();
+        let mut scalar = cfg(true);
+        scalar.policy = BandPolicy::Exact(1);
+        scalar.params = scalar.params.with_kernel(KernelKind::Scalar);
+        scalar.host_threads = 1;
+        let want = execute_workload_reference(&w, &sc, &scalar).unwrap_err();
+        for threads in [1usize, 8] {
+            let mut c = cfg(true);
+            c.policy = BandPolicy::Exact(1);
+            c.params = c.params.with_kernel(KernelKind::Batched);
+            c.host_threads = threads;
+            let got = execute_workload(&w, &sc, &c).unwrap_err();
+            assert_eq!(want, got, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batched_claim_handles_invalid_seed_without_poisoning_lanes() {
+        // An out-of-bounds seed in the middle of a claim must fail
+        // that comparison alone; its neighbours in the same batch
+        // still bit-match the scalar path.
+        let mut w = small_workload();
+        let bad = 7usize;
+        let c = &mut w.comparisons[bad];
+        c.seed = SeedMatch::new(10_000, 10_000, 17);
+        let sc = MatchMismatch::dna_default();
+        let mut batchedc = cfg(true);
+        batchedc.params = batchedc.params.with_kernel(KernelKind::Batched);
+        let claim: Vec<u32> = (0..16).collect();
+        let outcomes = align_comparisons_batched(&w, &sc, &batchedc, &claim);
+        assert_eq!(outcomes.len(), claim.len());
+        let mut ext = Extender::new(batchedc.params, Backend::TwoDiag(batchedc.policy));
+        let mut scalarc = batchedc;
+        scalarc.params = scalarc.params.with_kernel(KernelKind::Scalar);
+        for (ci, outcome) in outcomes {
+            let scalar = align_comparison(&w, &mut ext, &sc, &scalarc, ci as usize);
+            match (ci as usize == bad, outcome, scalar) {
+                (true, Err(a), Err(b)) => assert_eq!(a, b),
+                (false, Ok(a), Ok(b)) => assert_eq!(a, b, "ci={ci}"),
+                (at_bad, a, b) => panic!("ci={ci} at_bad={at_bad}: {a:?} vs {b:?}"),
+            }
+        }
     }
 
     #[test]

@@ -77,6 +77,13 @@ impl IndexQueue {
 
     /// Claims the next up-to-`grain` indices, or `None` when the
     /// queue is exhausted or cancelled.
+    ///
+    /// Claims are disjoint, consecutive runs of the order, so with a
+    /// cost-sorted (LPT) order a `grain > 1` claim hands one worker a
+    /// run of similar-cost indices — the batched kernel relies on
+    /// this to fill its lane groups with comparisons that retire
+    /// together ([`crate::exec::claim_grain`]). Only the final claim
+    /// can be shorter than `grain`.
     pub fn claim(&self, grain: usize) -> Option<&[u32]> {
         if self.cancelled.load(Ordering::Relaxed) {
             return None;
@@ -285,6 +292,21 @@ mod tests {
         assert_eq!(q.claim(2), Some(&[5u32, 3][..]));
         assert_eq!(q.claim(2), Some(&[1u32][..]));
         assert_eq!(q.claim(2), None);
+    }
+
+    #[test]
+    fn grain_claims_are_consecutive_runs_of_the_order() {
+        // The batched kernel's claim contract: every claim is a
+        // contiguous run of the order, so lane groups inherit the
+        // LPT sort's similar-cost adjacency.
+        let order: Vec<u32> = (0..100).rev().collect();
+        let q = IndexQueue::with_order(order.clone());
+        let mut seen = Vec::new();
+        while let Some(claim) = q.claim(16) {
+            assert!(claim.len() == 16 || seen.len() + claim.len() == order.len());
+            seen.extend_from_slice(claim);
+        }
+        assert_eq!(seen, order);
     }
 
     #[test]

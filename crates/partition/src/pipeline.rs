@@ -10,7 +10,11 @@
 //!
 //! 1. Worker threads claim comparisons one at a time (LPT order) from
 //!    an [`IndexQueue`] and align them, writing units/results into
-//!    [`SharedSlots`] keyed by comparison index.
+//!    [`SharedSlots`] keyed by comparison index. Under
+//!    [`KernelKind::Batched`](xdrop_core::kernel::KernelKind) each
+//!    claim is a lane-width *run* of the LPT order instead
+//!    ([`claim_grain`]), aligned by one batch-kernel call whose
+//!    results are bit-identical to the per-comparison path.
 //! 2. *While they align*, the main thread plans batches from workload
 //!    metadata alone ([`planning_units`]) — both planners read only
 //!    `cmp` and `est_complexity`, which don't depend on alignment
@@ -39,8 +43,9 @@ use ipu_sim::cluster::{run_cluster_faulty, BatchScheduler, ClusterOptions, Clust
 use ipu_sim::cost::{CostModel, OptFlags};
 use ipu_sim::device::{run_batch_on_device_scratch, BatchReport, BatchScratch};
 use ipu_sim::exec::{
-    align_comparison, execute_workload, execute_workload_reference, lpt_order, planning_units,
-    ExecConfig, ExecOutput, UnitResult, WorkUnit,
+    align_comparison, align_comparisons_batched, claim_grain, execute_workload,
+    execute_workload_reference, lpt_order, planning_units, ExecConfig, ExecOutput, UnitResult,
+    WorkUnit,
 };
 use ipu_sim::fault::{ClusterError, FaultPlan};
 use ipu_sim::pool::{resolve_threads, IndexQueue, ReadyQueue, SharedSlots};
@@ -245,6 +250,7 @@ pub fn run_pipeline_faulty<S: Scorer + Sync>(
     }
 
     let exec_cfg = cfg.exec;
+    let grain = claim_grain(&exec_cfg);
     let upc = if exec_cfg.lr_split { 2 } else { 1 };
     let queue = IndexQueue::with_order(lpt_order(w));
     let units = SharedSlots::new(n * upc, WorkUnit::default());
@@ -268,35 +274,65 @@ pub fn run_pipeline_faulty<S: Scorer + Sync>(
                 (&queue, &units, &results, &ready, &extenders, &batches_cell);
             s.spawn(move |_| {
                 // Phase 1: steal alignments until the queue is dry.
-                let mut ext = extenders.checkout();
-                while let Some(claim) = queue.claim(1) {
-                    for &ci in claim {
-                        match align_comparison(w, &mut ext, scorer, &exec_cfg, ci as usize) {
-                            Ok((result, u0, u1)) => {
-                                // SAFETY: `ci` is claimed by exactly
-                                // one worker; readers are ordered
-                                // behind this write by the channel
-                                // send below (replay) or the scope
-                                // join (final assembly).
-                                unsafe {
-                                    results.write(ci as usize, result);
-                                    units.write(ci as usize * upc, u0);
-                                    if let Some(u1) = u1 {
-                                        units.write(ci as usize * upc + 1, u1);
+                // Under the batched kernel each claim is a lane-width
+                // run of the LPT order, aligned in one batch call so
+                // similar-cost comparisons share lane groups.
+                if grain > 1 {
+                    while let Some(claim) = queue.claim(grain) {
+                        for (ci, outcome) in align_comparisons_batched(w, scorer, &exec_cfg, claim)
+                        {
+                            match outcome {
+                                // SAFETY: same single-writer argument
+                                // as the per-comparison loop below.
+                                Ok((result, u0, u1)) => {
+                                    unsafe {
+                                        results.write(ci as usize, result);
+                                        units.write(ci as usize * upc, u0);
+                                        if let Some(u1) = u1 {
+                                            units.write(ci as usize * upc + 1, u1);
+                                        }
+                                    }
+                                    if tx.send(Msg::Aligned(ci)).is_err() {
+                                        return;
                                     }
                                 }
-                                if tx.send(Msg::Aligned(ci)).is_err() {
-                                    return;
+                                Err(e) => {
+                                    queue.cancel();
+                                    let _ = tx.send(Msg::Failed(ci, e));
                                 }
                             }
-                            Err(e) => {
-                                queue.cancel();
-                                let _ = tx.send(Msg::Failed(ci, e));
+                        }
+                    }
+                } else {
+                    let mut ext = extenders.checkout();
+                    while let Some(claim) = queue.claim(1) {
+                        for &ci in claim {
+                            match align_comparison(w, &mut ext, scorer, &exec_cfg, ci as usize) {
+                                Ok((result, u0, u1)) => {
+                                    // SAFETY: `ci` is claimed by
+                                    // exactly one worker; readers are
+                                    // ordered behind this write by the
+                                    // channel send below (replay) or
+                                    // the scope join (final assembly).
+                                    unsafe {
+                                        results.write(ci as usize, result);
+                                        units.write(ci as usize * upc, u0);
+                                        if let Some(u1) = u1 {
+                                            units.write(ci as usize * upc + 1, u1);
+                                        }
+                                    }
+                                    if tx.send(Msg::Aligned(ci)).is_err() {
+                                        return;
+                                    }
+                                }
+                                Err(e) => {
+                                    queue.cancel();
+                                    let _ = tx.send(Msg::Failed(ci, e));
+                                }
                             }
                         }
                     }
                 }
-                drop(ext);
                 // Phase 2: replay batches as they become ready. The
                 // coordinator publishes `batches_cell` before the
                 // first push, and only pushes a batch once every
@@ -528,6 +564,24 @@ mod tests {
                     "t={threads} s={streaming}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn batched_kernel_pipeline_is_bit_identical_to_scalar() {
+        use xdrop_core::kernel::KernelKind;
+        let w = workload(24);
+        let sc = MatchMismatch::dna_default();
+        let spec = IpuSpec::gc200();
+        let oracle = run_pipeline_reference(&w, &sc, &spec, &cfg(1, false)).unwrap();
+        for threads in [1usize, 3, 8] {
+            let mut c = cfg(threads, true);
+            c.exec.params = c.exec.params.with_kernel(KernelKind::Batched);
+            let out = run_pipeline(&w, &sc, &spec, &c).unwrap();
+            assert_eq!(out.exec.units, oracle.exec.units, "t={threads}");
+            assert_eq!(out.exec.results, oracle.exec.results, "t={threads}");
+            assert_eq!(out.batches, oracle.batches, "t={threads}");
+            assert_eq!(out.report, oracle.report, "t={threads}");
         }
     }
 

@@ -8,11 +8,14 @@
 //! count is constant within a configuration. The v2 schema adds the
 //! end-to-end pipeline section (`e2e`) and the partitioner front-end
 //! section (`partition`); v3 adds the fault-recovery section
-//! (`faults`). Regenerate the kernel rows with `cargo run --release
+//! (`faults`); v4 adds the `batched` kernel rows and the batched
+//! lanes × length-dispersion section (`batched`). Regenerate the
+//! kernel rows and the batched section with `cargo run --release
 //! -p xdrop-bench --bin experiments -- bench --bench-json` and the
 //! e2e/partition/faults rows with the same command using `e2e`,
 //! `partition` or `faults`.
 
+use xdrop_bench::exp::batchbench::BATCHED_REPRO_COMMAND;
 use xdrop_bench::exp::e2e::E2E_REPRO_COMMAND;
 use xdrop_bench::exp::faultbench::{FAULTS_REPRO_COMMAND, FAULT_DEVICES};
 use xdrop_bench::exp::kernelbench::{BenchFile, REPRO_COMMAND, SCHEMA};
@@ -28,8 +31,9 @@ fn load() -> BenchFile {
             "BENCH_xdrop.json does not parse against the {SCHEMA} schema ({e}); \
              a stale baseline is missing a section — regenerate the kernel rows \
              with `{REPRO_COMMAND}`, then the other sections with \
-             `{E2E_REPRO_COMMAND}`, `{PARTITION_REPRO_COMMAND}` and \
-             `{FAULTS_REPRO_COMMAND}` (any one of them upgrades the schema \
+             `{E2E_REPRO_COMMAND}`, `{PARTITION_REPRO_COMMAND}`, \
+             `{FAULTS_REPRO_COMMAND}` and `{BATCHED_REPRO_COMMAND}` (any \
+             one of them upgrades the schema \
              in place, preserving the committed sections)"
         )
     })
@@ -42,7 +46,7 @@ fn baseline_parses_and_is_well_formed() {
     assert_eq!(file.command, REPRO_COMMAND);
     assert!(!file.rows.is_empty());
 
-    let kernels = ["scalar", "chunked", "simd"];
+    let kernels = ["scalar", "chunked", "simd", "batched"];
     assert_eq!(file.rows.len() % kernels.len(), 0);
     for group in file.rows.chunks(kernels.len()) {
         for (row, expected) in group.iter().zip(kernels) {
@@ -216,6 +220,84 @@ fn faults_section_is_well_formed() {
         "recovery overhead {}x exceeds the serial-execution bound",
         lost.overhead_vs_fault_free
     );
+}
+
+#[test]
+fn batched_section_is_well_formed() {
+    let file = load();
+    assert_eq!(file.batched_command, BATCHED_REPRO_COMMAND);
+    assert!(
+        !file.batched.is_empty(),
+        "batched section missing from BENCH_xdrop.json; regenerate with \
+         `{BATCHED_REPRO_COMMAND}`"
+    );
+    // The lanes × dispersion sweep: 3 lane counts per dispersion, in
+    // ascending lane order within each dispersion block.
+    assert_eq!(file.batched.len() % 3, 0);
+    for block in file.batched.chunks(3) {
+        assert_eq!(
+            block.iter().map(|r| r.lanes).collect::<Vec<_>>(),
+            vec![4, 8, 16]
+        );
+        for r in block {
+            assert_eq!(r.dispersion_pct, block[0].dispersion_pct);
+            assert_eq!(
+                r.config,
+                format!("lanes{}/disp{}", r.lanes, r.dispersion_pct)
+            );
+            // Bit-identity: the counted work never depends on lanes.
+            assert_eq!(r.cells, block[0].cells, "{}", r.config);
+            assert!(r.comparisons > 0 && r.cells > 0, "{}", r.config);
+            assert!(r.seconds_scalar > 0.0 && r.seconds_batched > 0.0);
+            assert!(r.speedup_vs_scalar > 0.0);
+            assert_eq!(
+                r.reruns, 0,
+                "bench pool scores fit i16; a rerun flags a guard-band bug"
+            );
+            assert!(r.hw_lanes >= 1 && r.host_cores >= 1);
+        }
+    }
+    let disps: Vec<u32> = file
+        .batched
+        .chunks(3)
+        .map(|b| b[0].dispersion_pct)
+        .collect();
+    assert_eq!(disps, vec![0, 25, 75]);
+}
+
+#[test]
+fn committed_baseline_shows_batched_win() {
+    let file = load();
+    let best = file
+        .batched
+        .iter()
+        .map(|r| r.speedup_vs_scalar)
+        .fold(0.0f64, f64::max);
+    let r = file.batched.first().expect("batched section present");
+    if r.host_cores >= 4 && r.avx2 {
+        // On a real multi-core AVX2 host the i16 lane packing must
+        // clear 8x scalar throughput on its best configuration.
+        assert!(
+            best >= 8.0,
+            "expected >=8x batched speedup on a {}-core AVX2 host, best was {best:.2}x",
+            r.host_cores
+        );
+    } else {
+        // Honest small-host baseline (e.g. the 1-core container that
+        // produced the committed file): the staged i16 path pays a
+        // separate scalar reduce pass the standalone scalar kernel
+        // folds into its sweep, so single-threaded it lands below 1x
+        // (committed best ~0.8x). The floor only guards against a
+        // collapse — the batch-throughput win comes from claim-grain
+        // batching across cores, which this host cannot show.
+        assert!(
+            best >= 0.4,
+            "batched kernel must not collapse vs the scalar loop even \
+             on a {}-core host (avx2={}), best was {best:.2}x",
+            r.host_cores,
+            r.avx2
+        );
+    }
 }
 
 #[test]

@@ -86,9 +86,9 @@ fn assert_identical<T: ScoreTy, S: Scorer, HV: SeqView, VV: SeqView>(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// The tentpole property: Chunked and Simd are bit-identical to
-    /// Scalar across all three band policies, in both extension
-    /// directions, for i32 cells.
+    /// The tentpole property: Chunked, Simd, and Batched (as a batch
+    /// of one) are bit-identical to Scalar across all three band
+    /// policies, in both extension directions, for i32 cells.
     #[test]
     fn kernel_bit_identity(
         (h, v) in related_pair(),
@@ -103,7 +103,7 @@ proptest! {
             BandPolicy::Saturate(db),   // exercises the clipping path
         ];
         for policy in policies {
-            for kind in [KernelKind::Chunked, KernelKind::Simd] {
+            for kind in [KernelKind::Chunked, KernelKind::Simd, KernelKind::Batched] {
                 assert_identical::<i32, _, _, _>(kind, &Fwd(&h), &Fwd(&v), &sc, p, policy)?;
                 assert_identical::<i32, _, _, _>(kind, &Rev(&h), &Rev(&v), &sc, p, policy)?;
             }
@@ -121,7 +121,7 @@ proptest! {
         let sc = MatchMismatch::dna_default();
         let p = XDropParams::new(x);
         for policy in [BandPolicy::Grow(db), BandPolicy::Saturate(db)] {
-            for kind in [KernelKind::Chunked, KernelKind::Simd] {
+            for kind in [KernelKind::Chunked, KernelKind::Simd, KernelKind::Batched] {
                 assert_identical::<f32, _, _, _>(kind, &Fwd(&h), &Fwd(&v), &sc, p, policy)?;
             }
         }
@@ -139,7 +139,7 @@ proptest! {
             XDropParams::new(x).with_kernel(KernelKind::Scalar),
             BandPolicy::Grow(4),
         ).unwrap();
-        for kind in [KernelKind::Chunked, KernelKind::Simd] {
+        for kind in [KernelKind::Chunked, KernelKind::Simd, KernelKind::Batched] {
             let got = xdrop2::align(
                 &h,
                 &v,
@@ -174,7 +174,7 @@ fn env_knob_end_to_end() {
         BandPolicy::Grow(8),
     )
     .unwrap();
-    for name in ["scalar", "chunked", "simd"] {
+    for name in ["scalar", "chunked", "simd", "batched"] {
         std::env::set_var(KERNEL_ENV, name);
         let p = XDropParams::new(20);
         assert_eq!(p.kernel, KernelKind::parse(name).unwrap(), "{name}");

@@ -73,6 +73,47 @@ fn spans(trace: &Option<ChromeTrace>) -> Vec<TraceEvent> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(3))]
 
+    /// The batched inter-sequence kernel is a wall-clock optimization
+    /// too: the streaming pipeline under `KernelKind::Batched` (where
+    /// workers claim lane-width runs of the LPT order and align them
+    /// in one batch call) produces results, batches, report, and
+    /// trace bit-identical to the scalar barriered reference for any
+    /// thread count.
+    #[test]
+    fn batched_kernel_pipeline_is_bit_identical(
+        n in 8usize..17,
+        seed in 0u64..1_000,
+        err_pct in 0u64..9,
+        devices in 1usize..4,
+    ) {
+        use xdrop_ipu::core::kernel::KernelKind;
+        let w = workload(n, seed, err_pct);
+        let sc = MatchMismatch::dna_default();
+        let spec = IpuSpec::gc200();
+        let oracle =
+            run_pipeline_reference(&w, &sc, &spec, &config(1, false, devices)).expect("grow");
+        let oracle_spans = spans(&oracle.trace);
+        for threads in [1usize, 3, 8] {
+            let mut cfg = config(threads, true, devices);
+            cfg.exec.params = cfg.exec.params.with_kernel(KernelKind::Batched);
+            let out = run_pipeline(&w, &sc, &spec, &cfg).expect("grow");
+            prop_assert_eq!(
+                &out.exec.units, &oracle.exec.units,
+                "units: batched threads {}", threads
+            );
+            prop_assert_eq!(
+                &out.exec.results, &oracle.exec.results,
+                "results: batched threads {}", threads
+            );
+            prop_assert_eq!(&out.batches, &oracle.batches, "batches: batched threads {}", threads);
+            prop_assert_eq!(&out.report, &oracle.report, "report: batched threads {}", threads);
+            prop_assert_eq!(
+                spans(&out.trace), oracle_spans.clone(),
+                "trace: batched threads {}", threads
+            );
+        }
+    }
+
     #[test]
     fn pipeline_is_bit_identical_for_any_thread_count(
         n in 8usize..17,
