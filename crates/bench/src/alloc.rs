@@ -1,0 +1,97 @@
+//! A zero-dependency tracking allocator for peak-heap assertions.
+//!
+//! The windowed out-of-core pipeline's whole point is bounded host
+//! residency (DESIGN.md §13); CI proves it by installing
+//! [`TrackingAllocator`] as the global allocator, running the
+//! windowed path over a large synthetic input, and asserting the
+//! tracked peak stays under a budget no in-core run could meet.
+//!
+//! The counters are process-global statics so any binary or
+//! integration test can install the allocator with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: xdrop_bench::alloc::TrackingAllocator = TrackingAllocator;
+//! ```
+//!
+//! and read the numbers through [`peak_bytes`] / [`current_bytes`].
+//! When no `TrackingAllocator` is installed the counters stay at
+//! zero, which readers treat as "not tracking".
+//!
+//! Accounting uses relaxed atomics: the peak is maintained with a
+//! `fetch_max` on every allocation, so it is exact for the
+//! high-water mark up to the instruction-level interleaving of
+//! concurrent allocations — more than enough resolution to tell an
+//! `O(window)` footprint from an `O(dataset)` one.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// Heap bytes currently live, as tracked by the installed
+/// [`TrackingAllocator`] (0 when none is installed).
+pub fn current_bytes() -> u64 {
+    CURRENT.load(Relaxed) as u64
+}
+
+/// High-water mark of live heap bytes since process start or the
+/// last [`reset_peak`] (0 when no [`TrackingAllocator`] is
+/// installed).
+pub fn peak_bytes() -> u64 {
+    PEAK.load(Relaxed) as u64
+}
+
+/// Restarts the high-water mark from the current live size, so a
+/// measurement covers only the region of interest.
+pub fn reset_peak() {
+    PEAK.store(CURRENT.load(Relaxed), Relaxed);
+}
+
+fn add(size: usize) {
+    let now = CURRENT.fetch_add(size, Relaxed) + size;
+    PEAK.fetch_max(now, Relaxed);
+}
+
+fn sub(size: usize) {
+    CURRENT.fetch_sub(size, Relaxed);
+}
+
+/// A [`System`]-delegating allocator that maintains the module's
+/// live/peak counters.
+pub struct TrackingAllocator;
+
+// SAFETY: pure delegation to `System`; the counters never influence
+// the returned pointers or layouts.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            add(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        sub(layout.size());
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            add(layout.size());
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            sub(layout.size());
+            add(new_size);
+        }
+        p
+    }
+}

@@ -19,6 +19,8 @@
 //!              plus the batched lanes x dispersion sweep
 //!   e2e        host pipeline: streaming vs barriered wall-clock
 //!   faults     fault recovery: fault-free vs one device lost
+//!   scaling    fleet scaling: windowed out-of-core pipeline,
+//!              4-512 devices with host-link contention
 //!   all        everything above
 //! ```
 //!
@@ -30,13 +32,18 @@
 use seqdata::{Dataset, DatasetKind};
 use xdrop_bench::exp;
 use xdrop_bench::exp::{
-    batchbench, compare, e2e, faultbench, kernelbench, partbench, realworld, scaling, search_space,
-    table1, table2, tilesched,
+    batchbench, compare, e2e, faultbench, fleetscale, kernelbench, partbench, realworld, scaling,
+    search_space, table1, table2, tilesched,
 };
 use xdrop_bench::svg;
 use xdrop_pipelines::elba::ElbaConfig;
 use xdrop_pipelines::overlap::OverlapConfig;
 use xdrop_pipelines::pastis::PastisConfig;
+
+/// Track heap usage so `experiments scaling` can report the peak
+/// residency of the windowed out-of-core front end.
+#[global_allocator]
+static ALLOC: xdrop_bench::alloc::TrackingAllocator = xdrop_bench::alloc::TrackingAllocator;
 
 struct Args {
     name: String,
@@ -95,16 +102,17 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage: experiments <table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|sec61|partition|elba|pastis|bench|e2e|faults|all> [--scale F] [--threads N] [--iters N] [--trace] [--bench-json]\n\
+        "usage: experiments <table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|sec61|partition|elba|pastis|bench|e2e|faults|scaling|all> [--scale F] [--threads N] [--iters N] [--trace] [--bench-json]\n\
          \n\
          --iters       with `bench`/`e2e`/`partition`/`faults`: timing\n\
-         \x20             iterations per configuration (default 3)\n\
+         \x20             iterations per configuration (default 3;\n\
+         \x20             `scaling` is modeled time and ignores it)\n\
          --trace       also dump a Chrome trace_event timeline to\n\
          \x20             results/<name>.trace.json (fig4, fig7, elba, pastis)\n\
-         --bench-json  with `bench`/`e2e`/`partition`/`faults`: also write\n\
-         \x20             the machine-readable perf baseline BENCH_xdrop.json\n\
-         \x20             at the repo root (`partition` adds the serial-vs-\n\
-         \x20             sharded front-end benchmark)"
+         --bench-json  with `bench`/`e2e`/`partition`/`faults`/`scaling`:\n\
+         \x20             also write the machine-readable perf baseline\n\
+         \x20             BENCH_xdrop.json at the repo root (`partition` adds\n\
+         \x20             the serial-vs-sharded front-end benchmark)"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -460,6 +468,24 @@ fn run_one(name: &str, args: &Args) {
             exp::save_json("e2e", &rows);
             if args.bench_json {
                 match kernelbench::write_e2e_json(&rows) {
+                    Ok(path) => println!("   wrote {}", path.display()),
+                    Err(e) => eprintln!("   could not write BENCH_xdrop.json: {e}"),
+                }
+            }
+        }
+        "scaling" => {
+            let section = fleetscale::run(args.scale);
+            println!(
+                "Fleet scaling: windowed pipeline, {} devices with link contention",
+                fleetscale::SCALING_DEVICE_SWEEP
+                    .last()
+                    .copied()
+                    .unwrap_or(0)
+            );
+            print!("{}", fleetscale::render(&section));
+            exp::save_json("scaling_fleet", &section);
+            if args.bench_json {
+                match kernelbench::write_scaling_json(&section) {
                     Ok(path) => println!("   wrote {}", path.display()),
                     Err(e) => eprintln!("   could not write BENCH_xdrop.json: {e}"),
                 }

@@ -83,12 +83,59 @@ pub struct BenchFile {
     /// bench`): lanes × length-dispersion sweep of
     /// `batched::align_batch` vs the scalar per-comparison loop.
     pub batched: Vec<super::batchbench::BatchedRow>,
+    /// The command that regenerates the scaling section.
+    pub scaling_command: String,
+    /// Fleet-scale strong scaling (`experiments scaling`): modeled
+    /// GCUPS vs device count at {4, 16, 64, 256, 512} with and
+    /// without host-link contention, produced through the windowed
+    /// out-of-core pipeline.
+    pub scaling: super::fleetscale::ScalingSection,
 }
 
-/// The v3 on-disk shape, kept so a baseline written before the
-/// batched section existed still parses (the vendored serde has no
-/// `#[serde(default)]`, so missing fields fail the v4 parse) and can
-/// be upgraded in place instead of silently discarded.
+/// The v4 on-disk shape, kept so a baseline written before the
+/// fleet-scaling section existed still parses (the vendored serde
+/// has no `#[serde(default)]`, so missing fields fail the v5 parse)
+/// and can be upgraded in place instead of silently discarded.
+#[derive(Debug, Clone, serde::Deserialize)]
+struct LegacyBenchFileV4 {
+    #[allow(dead_code)]
+    schema: String,
+    command: String,
+    detected_kernel: String,
+    rows: Vec<Row>,
+    e2e_command: String,
+    e2e: Vec<super::e2e::E2eRow>,
+    partition_command: String,
+    partition: Vec<super::partbench::PartitionBenchRow>,
+    faults_command: String,
+    faults: Vec<super::faultbench::FaultBenchRow>,
+    batched_command: String,
+    batched: Vec<super::batchbench::BatchedRow>,
+}
+
+impl From<LegacyBenchFileV4> for BenchFile {
+    fn from(v4: LegacyBenchFileV4) -> Self {
+        BenchFile {
+            schema: SCHEMA.to_string(),
+            command: v4.command,
+            detected_kernel: v4.detected_kernel,
+            rows: v4.rows,
+            e2e_command: v4.e2e_command,
+            e2e: v4.e2e,
+            partition_command: v4.partition_command,
+            partition: v4.partition,
+            faults_command: v4.faults_command,
+            faults: v4.faults,
+            batched_command: v4.batched_command,
+            batched: v4.batched,
+            scaling_command: super::fleetscale::SCALING_REPRO_COMMAND.to_string(),
+            scaling: super::fleetscale::ScalingSection::default(),
+        }
+    }
+}
+
+/// The v3 on-disk shape, kept for the same upgrade-in-place reason
+/// (v3 predates the batched and scaling sections).
 #[derive(Debug, Clone, serde::Deserialize)]
 struct LegacyBenchFileV3 {
     #[allow(dead_code)]
@@ -119,6 +166,8 @@ impl From<LegacyBenchFileV3> for BenchFile {
             faults: v3.faults,
             batched_command: super::batchbench::BATCHED_REPRO_COMMAND.to_string(),
             batched: Vec::new(),
+            scaling_command: super::fleetscale::SCALING_REPRO_COMMAND.to_string(),
+            scaling: super::fleetscale::ScalingSection::default(),
         }
     }
 }
@@ -153,6 +202,8 @@ impl From<LegacyBenchFileV2> for BenchFile {
             faults: Vec::new(),
             batched_command: super::batchbench::BATCHED_REPRO_COMMAND.to_string(),
             batched: Vec::new(),
+            scaling_command: super::fleetscale::SCALING_REPRO_COMMAND.to_string(),
+            scaling: super::fleetscale::ScalingSection::default(),
         }
     }
 }
@@ -304,8 +355,9 @@ pub const REPRO_COMMAND: &str =
 
 /// Schema tag of `BENCH_xdrop.json` (v2 added the `e2e` section, v3
 /// the fault-recovery `faults` section, v4 the batched
-/// inter-sequence kernel section and the `batched` kernel rows).
-pub const SCHEMA: &str = "xdrop-kernel-bench/v4";
+/// inter-sequence kernel section and the `batched` kernel rows, v5
+/// the fleet-scale `scaling` section).
+pub const SCHEMA: &str = "xdrop-kernel-bench/v5";
 
 fn bench_json_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_xdrop.json")
@@ -319,6 +371,11 @@ fn read_existing() -> Option<BenchFile> {
     let text = std::fs::read_to_string(bench_json_path()).ok()?;
     serde_json::from_str::<BenchFile>(&text)
         .ok()
+        .or_else(|| {
+            serde_json::from_str::<LegacyBenchFileV4>(&text)
+                .ok()
+                .map(BenchFile::from)
+        })
         .or_else(|| {
             serde_json::from_str::<LegacyBenchFileV3>(&text)
                 .ok()
@@ -357,6 +414,8 @@ fn base_file() -> BenchFile {
         faults: Vec::new(),
         batched_command: super::batchbench::BATCHED_REPRO_COMMAND.to_string(),
         batched: Vec::new(),
+        scaling_command: super::fleetscale::SCALING_REPRO_COMMAND.to_string(),
+        scaling: super::fleetscale::ScalingSection::default(),
     });
     file.schema = SCHEMA.to_string();
     file
@@ -409,6 +468,17 @@ pub fn write_batched_json(
     let mut file = base_file();
     file.batched_command = super::batchbench::BATCHED_REPRO_COMMAND.to_string();
     file.batched = batched.to_vec();
+    write_file(&file)
+}
+
+/// Writes the fleet-scaling section of the baseline, preserving
+/// every other committed section.
+pub fn write_scaling_json(
+    scaling: &super::fleetscale::ScalingSection,
+) -> std::io::Result<std::path::PathBuf> {
+    let mut file = base_file();
+    file.scaling_command = super::fleetscale::SCALING_REPRO_COMMAND.to_string();
+    file.scaling = scaling.clone();
     write_file(&file)
 }
 

@@ -4,6 +4,7 @@ pub mod batchbench;
 pub mod compare;
 pub mod e2e;
 pub mod faultbench;
+pub mod fleetscale;
 pub mod kernelbench;
 pub mod partbench;
 pub mod realworld;

@@ -8,6 +8,7 @@
 //! text table *and* writes `results/<experiment>.json` so that
 //! `EXPERIMENTS.md` can be checked against re-runs.
 
+pub mod alloc;
 pub mod exp;
 pub mod harness;
 pub mod svg;

@@ -19,9 +19,15 @@
 //!   structure-of-arrays buffers (`slot = lane · w_max + w`, so the
 //!   left/up operands stage as contiguous slice copies), runs
 //!   one flat branch-free saturating-`i16` pass over all of them
-//!   (the autovectorizer turns it into `vpaddsw`/`vpmaxsw` chains),
-//!   then applies the X-Drop cutoff and reductions per lane with the
-//!   scalar reference's exact control flow.
+//!   (the autovectorizer turns it into `vpaddsw`/`vpmaxsw` chains)
+//!   **with the X-Drop cutoff fused in** — each slot carries its
+//!   lane's clamped threshold, so classification (live / dropped /
+//!   pruned) is part of the same elementwise sweep. What remains per
+//!   lane is a handful of contiguous reductions (max, live-min,
+//!   dropped count — all branch-free and autovectorizable) plus three
+//!   short positional scans, which reproduce the scalar reference's
+//!   first-maximum-wins reductions exactly (the first slot holding
+//!   the diagonal maximum *is* the first-max-wins argmax).
 //! * **Overflow detection and rerun** — `i16` can hold scores the
 //!   `i32` reference cannot. A guard band bounds every *live* stored
 //!   value away from the representable edges by the maximum per-round
@@ -132,6 +138,19 @@ impl TaskView<'_> {
         match self {
             TaskView::Fwd(s) => s.to_vec(),
             TaskView::Rev(s) => s.iter().rev().copied().collect(),
+        }
+    }
+
+    /// Reverse-order copy: physical index `t` holds logical symbol
+    /// `len − 1 − t`. On antidiagonal `d` the substitution compare
+    /// reads logical `H` symbol `d − i − 1` for cell `i`; against
+    /// this copy that is physical index `len − d + i` — *forward* in
+    /// `i` — so the compare runs over two forward slices and
+    /// autovectorizes.
+    fn materialize_rev(&self) -> Vec<u8> {
+        match self {
+            TaskView::Fwd(s) => s.iter().rev().copied().collect(),
+            TaskView::Rev(s) => s.to_vec(),
         }
     }
 }
@@ -292,9 +311,9 @@ pub fn align_batch_with_lanes<S: Scorer>(
 /// other lanes of its group.
 struct Lane {
     task: usize,
-    /// Forward-order copy of the `H` view (see
-    /// [`TaskView::materialize`]).
-    hseq: Vec<u8>,
+    /// Reverse-order copy of the `H` view (see
+    /// [`TaskView::materialize_rev`] for why reversed).
+    hrev: Vec<u8>,
     /// Forward-order copy of the `V` view.
     vseq: Vec<u8>,
     m: usize,
@@ -380,7 +399,7 @@ fn run_group(
             bufs[0][0] = 0;
             Lane {
                 task: t,
-                hseq: h.materialize(),
+                hrev: h.materialize_rev(),
                 vseq: v.materialize(),
                 m,
                 n,
@@ -418,12 +437,18 @@ fn run_group(
     // care about layout). `sd` is the staged d−2 diagonal (canonical
     // −∞ when dropped/absent), `sim` its substitution score (0 when
     // `sd` is −∞, so the flat add keeps the sentinel), `sl`/`su` the
-    // d−1 left/up inputs, `raw` the computed scores.
+    // d−1 left/up inputs. `sth` carries each slot's clamped X-Drop
+    // threshold (padding `i16::MAX`, so padding always classifies
+    // dropped), `st` receives the classified stored value (the score
+    // when live, [`NEG_INF16`] otherwise) and `dr` the pruned-by-
+    // cutoff flag the per-lane `cells_dropped` count sums.
     let mut sd: Vec<i16> = Vec::new();
     let mut sim: Vec<i16> = Vec::new();
     let mut sl: Vec<i16> = Vec::new();
     let mut su: Vec<i16> = Vec::new();
-    let mut raw: Vec<i16> = Vec::new();
+    let mut sth: Vec<i16> = Vec::new();
+    let mut st: Vec<i16> = Vec::new();
+    let mut dr: Vec<i16> = Vec::new();
 
     for d in 1usize.. {
         // Prologue: per-lane candidate interval and band policy.
@@ -506,8 +531,12 @@ fn run_group(
         sl.resize(slots, NEG_INF16);
         su.clear();
         su.resize(slots, NEG_INF16);
-        raw.clear();
-        raw.resize(slots, NEG_INF16);
+        sth.clear();
+        sth.resize(slots, i16::MAX);
+        st.clear();
+        st.resize(slots, NEG_INF16);
+        dr.clear();
+        dr.resize(slots, 0);
         let cur_idx = d % 2;
         let prev_idx = 1 - cur_idx;
         for (kidx, lane) in ls.iter().enumerate() {
@@ -518,6 +547,15 @@ fn run_group(
             let p1 = lane.metas[prev_idx];
             let (clo, chi) = (lane.cand_lo, lane.cand_hi);
             let base = kidx * max_w;
+            // The lane's X-Drop threshold, clamped into the `i16`
+            // domain. Clamping is exact where it matters: below
+            // `DROP16` no live value (`> DROP16`) can sit under the
+            // threshold either way, and a threshold above `i16::MAX`
+            // (only reachable with a negative `x`) can misclassify
+            // only a cell equal to `i16::MAX` — which then sits on
+            // [`HIGH_GUARD`] and escapes to the exact scalar rerun.
+            let thr16 = (lane.t_best - x).clamp(i32::from(DROP16), i32::from(i16::MAX)) as i16;
+            sth[base..base + (chi - clo + 1)].fill(thr16);
             // `sl` needs `i ∈ p1`: one contiguous copy over the
             // intersection of the candidate and stored intervals
             // (empty intersections — e.g. `DiagMeta::EMPTY` — copy
@@ -536,41 +574,61 @@ fn run_group(
                 su[base + (lo - clo)..=base + (hi - clo)]
                     .copy_from_slice(&buf1[(lo - 1) - p1.cand_lo..=(hi - 1) - p1.cand_lo]);
             }
-            // `sd`/`sim` need `i − 1 ∈ p2` and a live parent; the
-            // liveness test stays per cell, but runs over the exact
-            // intersection with plain slice indexing.
+            // `sd`/`sim` need `i − 1 ∈ p2`: dropped cells are stored
+            // as the canonical [`NEG_INF16`], so `sd` stages as a
+            // plain shifted slice copy with no per-cell liveness
+            // branch — a dead parent's `−∞ ± sim` still lands below
+            // [`DROP16`] and loses every `max` against a live
+            // operand, exactly like the staged sentinel did. The
+            // substitution compare then runs unconditionally over
+            // the same interval: forward `V` slice against the
+            // reversed `H` copy (both forward in `i`, see
+            // [`TaskView::materialize_rev`]), a branch-free
+            // compare-select the autovectorizer handles. Bounds are
+            // geometric, not liveness-dependent: `i ≤ p2.cand_hi + 1
+            // ≤ d − 1` gives `j = d − i ≥ 1`, and `i − 1 ≥
+            // p2.cand_lo ≥ d − 2 − m + 1` keeps `j − 1 ≤ m − 1`.
             let buf2 = &lane.bufs[cur_idx];
             let lo = clo.max(p2.cand_lo + 1);
             let hi = chi.min(p2.cand_hi + 1);
-            for i in lo..=hi {
-                let diag_old = buf2[(i - 1) - p2.cand_lo];
-                if diag_old > DROP16 {
-                    let idx = base + (i - clo);
-                    sd[idx] = diag_old;
-                    // A live staged cell implies j = d − i ≥ 1.
-                    let j = d - i;
-                    sim[idx] = if lane.vseq[i - 1] == lane.hseq[j - 1] {
-                        mat16
-                    } else {
-                        mis16
-                    };
+            if lo <= hi {
+                let off = base + (lo - clo);
+                let run = hi - lo + 1;
+                sd[off..off + run]
+                    .copy_from_slice(&buf2[(lo - 1) - p2.cand_lo..=(hi - 1) - p2.cand_lo]);
+                let vs = &lane.vseq[lo - 1..hi];
+                let hs = &lane.hrev[lane.m + lo - d..lane.m + hi + 1 - d];
+                let sim_run = &mut sim[off..off + run];
+                for w in 0..run {
+                    sim_run[w] = if vs[w] == hs[w] { mat16 } else { mis16 };
                 }
             }
         }
 
-        // Sweep: one flat branch-free pass over every lane's cells.
-        // Saturating adds are a safety net only — the guard band
-        // proves they never actually saturate on values the
-        // reduction keeps.
+        // Sweep: one flat branch-free pass over every lane's cells,
+        // with the X-Drop classification fused in — `st` gets the
+        // score when the cell survives (live parent, above its lane's
+        // threshold) and the canonical −∞ otherwise; `dr` flags the
+        // cells the cutoff pruned. Saturating adds are a safety net
+        // only — the guard band proves they never actually saturate
+        // on values the reduction keeps.
         for idx in 0..slots {
             let diag = sd[idx].saturating_add(sim[idx]);
             let lft = sl[idx].saturating_add(gap16);
             let up = su[idx].saturating_add(gap16);
-            raw[idx] = diag.max(lft).max(up);
+            let r = diag.max(lft).max(up);
+            let alive = r > DROP16;
+            let kept = alive & (r >= sth[idx]);
+            st[idx] = if kept { r } else { NEG_INF16 };
+            dr[idx] = i16::from(alive & !kept);
         }
 
-        // Reduce: the scalar reference's cutoff, liveness and
-        // first-maximum-wins reductions, per lane, in cell order.
+        // Reduce: per lane, three contiguous branch-free reductions
+        // (diagonal max, live min, pruned count — all vectorizable)
+        // plus short positional scans. These reproduce the scalar
+        // reference's in-order reductions exactly: the first slot
+        // holding the diagonal maximum is its first-max-wins argmax,
+        // and the first/last live slots bound the next live interval.
         for (kidx, lane) in ls.iter_mut().enumerate() {
             if !lane.round_active() {
                 continue;
@@ -578,61 +636,52 @@ fn run_group(
             let (cand_lo, cand_hi) = (lane.cand_lo, lane.cand_hi);
             let width = cand_hi - cand_lo + 1;
             let base = kidx * max_w;
-            let thr = lane.t_best - x;
-            let mut t_new = lane.t_best;
-            let mut any_live = false;
-            let (mut new_lo, mut new_hi) = (usize::MAX, 0usize);
-            let mut new_best_i = lane.prev_best_i;
-            let mut best_on_diag = i32::MIN;
-            let mut escaped = false;
-            for i in cand_lo..=cand_hi {
-                let w = i - cand_lo;
-                let r = raw[base + w];
-                let s = i32::from(r);
-                let store = if r <= DROP16 {
-                    NEG_INF16
-                } else if s < thr {
-                    lane.stats.cells_dropped += 1;
-                    NEG_INF16
-                } else {
-                    any_live = true;
-                    new_lo = new_lo.min(i);
-                    new_hi = new_hi.max(i);
-                    t_new = t_new.max(s);
-                    if s > best_on_diag {
-                        best_on_diag = s;
-                        new_best_i = i;
-                    }
-                    if s > lane.best.best_score {
-                        lane.best = AlignResult {
-                            best_score: s,
-                            end_h: d - i,
-                            end_v: i,
-                        };
-                    }
-                    if s >= HIGH_GUARD || s <= LOW_GUARD {
-                        escaped = true;
-                    }
-                    r
-                };
-                lane.bufs[cur_idx][w] = store;
+            let stl = &st[base..base + width];
+            let drl = &dr[base..base + width];
+            let mut mx = NEG_INF16;
+            let mut mn = i16::MAX;
+            let mut dropped = 0u64;
+            for w in 0..width {
+                let v = stl[w];
+                mx = mx.max(v);
+                mn = mn.min(if v > DROP16 { v } else { i16::MAX });
+                dropped += drl[w] as u64;
             }
+            lane.bufs[cur_idx][..width].copy_from_slice(stl);
             lane.stats.cells_computed += width as u64;
+            lane.stats.cells_dropped += dropped;
             lane.stats.antidiagonals += 1;
             lane.metas[cur_idx] = DiagMeta { cand_lo, cand_hi };
-            if escaped {
+            if i32::from(mx) >= HIGH_GUARD || i32::from(mn) <= LOW_GUARD {
                 lane.state = LaneState::Overflowed;
                 continue;
             }
-            if !any_live {
+            if mx <= DROP16 {
                 lane.state = LaneState::Done;
                 continue;
             }
-            lane.live_lo = new_lo;
-            lane.live_hi = new_hi;
-            lane.prev_best_i = new_best_i;
-            lane.stats.delta_w = lane.stats.delta_w.max(new_hi - new_lo + 1);
-            lane.t_best = t_new;
+            let mut lo_w = 0usize;
+            while stl[lo_w] <= DROP16 {
+                lo_w += 1;
+            }
+            let mut hi_w = width - 1;
+            while stl[hi_w] <= DROP16 {
+                hi_w -= 1;
+            }
+            let best_w = stl.iter().position(|&v| v == mx).expect("live max present");
+            let smax = i32::from(mx);
+            lane.live_lo = cand_lo + lo_w;
+            lane.live_hi = cand_lo + hi_w;
+            lane.prev_best_i = cand_lo + best_w;
+            if smax > lane.best.best_score {
+                lane.best = AlignResult {
+                    best_score: smax,
+                    end_h: d - (cand_lo + best_w),
+                    end_v: cand_lo + best_w,
+                };
+            }
+            lane.stats.delta_w = lane.stats.delta_w.max(hi_w - lo_w + 1);
+            lane.t_best = lane.t_best.max(smax);
         }
     }
 

@@ -12,11 +12,20 @@ use crate::alphabet::Alphabet;
 use crate::extension::SeedMatch;
 
 /// An indexed pool of encoded sequences.
+///
+/// Two representations share this type: the ordinary *resident* pool
+/// holding every payload, and a *skeleton* pool (see
+/// [`SeqSet::skeleton`]) that records only lengths — what the
+/// out-of-core planners operate on when the payload bytes are
+/// streamed window by window and never fully resident.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct SeqSet {
     /// Alphabet all sequences are encoded in.
     pub alphabet: Alphabet,
     seqs: Vec<Vec<u8>>,
+    /// Lengths-only mode: when set, `seqs` is empty and lengths come
+    /// from here; [`SeqSet::get`] is unavailable.
+    lens: Option<Vec<u32>>,
 }
 
 impl SeqSet {
@@ -25,11 +34,34 @@ impl SeqSet {
         Self {
             alphabet,
             seqs: Vec::new(),
+            lens: None,
         }
+    }
+
+    /// A lengths-only pool: `len`/`seq_len`/`total_bytes` behave as
+    /// if `lens[i]` bytes were stored for sequence `i`, but no
+    /// payload is resident and [`SeqSet::get`] panics. Batch
+    /// planning and graph partitioning read only lengths, so a
+    /// skeleton drives them byte-identically to the resident pool.
+    pub fn skeleton(alphabet: Alphabet, lens: Vec<u32>) -> Self {
+        Self {
+            alphabet,
+            seqs: Vec::new(),
+            lens: Some(lens),
+        }
+    }
+
+    /// Whether this pool is lengths-only.
+    pub fn is_skeleton(&self) -> bool {
+        self.lens.is_some()
     }
 
     /// Adds a sequence and returns its id.
     pub fn push(&mut self, seq: Vec<u8>) -> SeqId {
+        assert!(
+            self.lens.is_none(),
+            "cannot push payloads into a skeleton SeqSet"
+        );
         let id = self.seqs.len() as SeqId;
         self.seqs.push(seq);
         id
@@ -37,26 +69,42 @@ impl SeqSet {
 
     /// Number of sequences.
     pub fn len(&self) -> usize {
-        self.seqs.len()
+        match &self.lens {
+            Some(lens) => lens.len(),
+            None => self.seqs.len(),
+        }
     }
 
     /// Whether the pool is empty.
     pub fn is_empty(&self) -> bool {
-        self.seqs.is_empty()
+        self.len() == 0
     }
 
-    /// The sequence with id `id`.
+    /// The sequence with id `id`. Panics on a skeleton pool — the
+    /// payload was never materialized.
     pub fn get(&self, id: SeqId) -> &[u8] {
+        assert!(
+            self.lens.is_none(),
+            "sequence payloads are not resident in a skeleton SeqSet"
+        );
         &self.seqs[id as usize]
     }
 
     /// Length in symbols of sequence `id`.
     pub fn seq_len(&self, id: SeqId) -> usize {
-        self.seqs[id as usize].len()
+        match &self.lens {
+            Some(lens) => lens[id as usize] as usize,
+            None => self.seqs[id as usize].len(),
+        }
     }
 
-    /// Iterates over `(id, sequence)` pairs.
+    /// Iterates over `(id, sequence)` pairs. Panics on a skeleton
+    /// pool.
     pub fn iter(&self) -> impl Iterator<Item = (SeqId, &[u8])> {
+        assert!(
+            self.lens.is_none(),
+            "sequence payloads are not resident in a skeleton SeqSet"
+        );
         self.seqs
             .iter()
             .enumerate()
@@ -66,7 +114,10 @@ impl SeqSet {
     /// Total bytes of sequence payload (1 byte per symbol, as stored
     /// in tile SRAM).
     pub fn total_bytes(&self) -> usize {
-        self.seqs.iter().map(Vec::len).sum()
+        match &self.lens {
+            Some(lens) => lens.iter().map(|&l| l as usize).sum(),
+            None => self.seqs.iter().map(Vec::len).sum(),
+        }
     }
 }
 
@@ -107,6 +158,16 @@ impl Workload {
         Self {
             seqs: SeqSet::new(alphabet),
             comparisons: Vec::new(),
+        }
+    }
+
+    /// A lengths-only workload (see [`SeqSet::skeleton`]): enough for
+    /// complexity estimates, batch planning and graph partitioning,
+    /// with no sequence payload resident.
+    pub fn skeleton(alphabet: Alphabet, lens: Vec<u32>, comparisons: Vec<Comparison>) -> Self {
+        Self {
+            seqs: SeqSet::skeleton(alphabet, lens),
+            comparisons,
         }
     }
 
@@ -203,6 +264,33 @@ mod tests {
         w.comparisons
             .push(Comparison::new(0, 1, SeedMatch::new(9, 0, 5)));
         assert!(w.validate().is_err());
+    }
+
+    #[test]
+    fn skeleton_reports_lengths_without_payload() {
+        let full = tiny();
+        let lens: Vec<u32> = (0..full.seqs.len() as u32)
+            .map(|i| full.seqs.seq_len(i) as u32)
+            .collect();
+        let sk = Workload::skeleton(Alphabet::Dna, lens, full.comparisons.clone());
+        assert!(sk.seqs.is_skeleton());
+        assert_eq!(sk.seqs.len(), full.seqs.len());
+        assert_eq!(sk.seqs.total_bytes(), full.seqs.total_bytes());
+        for i in 0..full.seqs.len() as u32 {
+            assert_eq!(sk.seqs.seq_len(i), full.seqs.seq_len(i));
+        }
+        let c = &full.comparisons[0];
+        assert_eq!(sk.complexity(c), full.complexity(c));
+        assert_eq!(sk.left_lens(c), full.left_lens(c));
+        assert_eq!(sk.right_lens(c), full.right_lens(c));
+        assert!(sk.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "not resident")]
+    fn skeleton_get_panics() {
+        let sk = Workload::skeleton(Alphabet::Dna, vec![10], Vec::new());
+        let _ = sk.seqs.get(0);
     }
 
     #[test]

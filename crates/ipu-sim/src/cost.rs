@@ -104,6 +104,19 @@ pub struct CostModel {
     pub instr_per_diag: f64,
     /// Fixed per-work-unit overhead (dequeue, setup, result store).
     pub instr_per_unit: f64,
+    /// Shared host-link contention coefficient for fleet-scale runs.
+    /// When a transfer starts while `w` other devices already have
+    /// free fetch engines (all pulling from the same shared batch
+    /// queue over the same host link, §2.1.1), the effective
+    /// bandwidth is `B / (1 + eta · w)` — see
+    /// [`contended_bandwidth`]. The per-waiter fraction `eta` models
+    /// protocol and switch overhead that grows with the number of
+    /// concurrently-streaming devices; at hundreds of devices it
+    /// produces the saturation knee in the modeled strong-scaling
+    /// curve. The default `0.0` divides by exactly `1.0`, which is a
+    /// bit-exact identity — every historical report is reproduced
+    /// bit-for-bit.
+    pub host_link_contention: f64,
 }
 
 impl Default for CostModel {
@@ -113,8 +126,22 @@ impl Default for CostModel {
             dual_issue_speedup: 1.30,
             instr_per_diag: 24.0,
             instr_per_unit: 600.0,
+            host_link_contention: 0.0,
         }
     }
+}
+
+/// Effective shared-link bandwidth when `waiters` other devices have
+/// free fetch engines at the moment a transfer starts:
+/// `base / (1 + eta · waiters)`.
+///
+/// This is the single source of truth for the contention term — the
+/// event-driven scheduler, the reference driver, and the bench
+/// scaling model all call it. With `eta == 0.0` the divisor is
+/// exactly `1.0` and IEEE division by `1.0` is an identity, so the
+/// legacy uncontended timing is reproduced bit-for-bit.
+pub fn contended_bandwidth(base_bytes_per_s: f64, eta: f64, waiters: usize) -> f64 {
+    base_bytes_per_s / (1.0 + eta * waiters as f64)
 }
 
 impl CostModel {
@@ -170,6 +197,30 @@ mod tests {
     fn empty_unit_still_costs_overhead() {
         let m = CostModel::default();
         assert!(m.unit_instructions(&stats(0, 0), false) >= 600);
+    }
+
+    #[test]
+    fn zero_contention_is_a_bit_exact_identity() {
+        assert_eq!(CostModel::default().host_link_contention, 0.0);
+        for base in [1.0, 12.5e9, 3.333e7] {
+            for waiters in [0usize, 1, 7, 511] {
+                assert_eq!(contended_bandwidth(base, 0.0, waiters), base);
+            }
+        }
+    }
+
+    #[test]
+    fn contention_shrinks_bandwidth_monotonically() {
+        let base = 12.5e9;
+        let mut last = f64::INFINITY;
+        for waiters in 0..512 {
+            let bw = contended_bandwidth(base, 0.05, waiters);
+            assert!(bw < last, "waiters {waiters}");
+            last = bw;
+        }
+        // At 511 waiters and eta = 0.05 the link runs at
+        // 1/(1 + 25.55) of nominal — deep into saturation.
+        assert!(last < base / 25.0);
     }
 
     #[test]

@@ -65,6 +65,21 @@ impl ComparisonGraph {
         }
     }
 
+    /// Assembles a graph from pre-built CSR arrays — the back end of
+    /// the windowed builder in [`crate::outofcore`], which produces
+    /// exactly the arrays [`ComparisonGraph::build`] would.
+    pub(crate) fn from_parts(
+        offsets: Vec<u32>,
+        edges: Vec<(SeqId, u32)>,
+        n_comparisons: usize,
+    ) -> Self {
+        Self {
+            offsets,
+            edges,
+            n_comparisons,
+        }
+    }
+
     /// [`ComparisonGraph::build`] parallelized over `host_threads`
     /// pool threads (`0` = auto).
     ///

@@ -24,12 +24,17 @@
 //! * [`pipeline`] — the streaming work-stealing host pipeline that
 //!   overlaps align → plan → replay → schedule (§4.4), bit-identical
 //!   to the barriered phases.
+//! * [`outofcore`] — the windowed out-of-core pipeline: streamed
+//!   graph build + component stitching, skeleton planning, and
+//!   bounded-residency window execution, bit-identical to the
+//!   in-core run for any window size.
 //! * [`error`] — typed partitioner/pipeline errors.
 
 pub mod driver;
 pub mod error;
 pub mod graph;
 pub mod greedy;
+pub mod outofcore;
 pub mod pipeline;
 pub mod plan;
 pub mod shard;
@@ -38,6 +43,10 @@ pub use driver::{IpuSystem, SystemReport};
 pub use error::{PartitionError, PipelineError};
 pub use graph::ComparisonGraph;
 pub use greedy::{greedy_partitions, greedy_partitions_with_load_cap, Partition};
+pub use outofcore::{
+    run_pipeline_out_of_core, sharded_partitions_windowed, windows_of, ComponentStitcher,
+    GraphScatter, GraphStitcher, WorkloadWindow,
+};
 pub use pipeline::{
     run_pipeline, run_pipeline_faulty, run_pipeline_reference, run_pipeline_reference_faulty,
     PipelineConfig, PipelineOutput,

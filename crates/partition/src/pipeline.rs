@@ -112,7 +112,7 @@ pub struct PipelineOutput {
 /// out back to back from t = 0 on the [`ipu_sim::trace::TID_HOST`]
 /// track. These are host wall-clock, so determinism comparisons
 /// filter `cat == "host"`.
-fn annotate_host_phases(trace: &mut Option<ChromeTrace>, t: &PlanTimings) {
+pub(crate) fn annotate_host_phases(trace: &mut Option<ChromeTrace>, t: &PlanTimings) {
     if let Some(tr) = trace.as_mut() {
         if t.partition_s > 0.0 {
             tr.push_host_phase("partition", 0.0, t.partition_s);
@@ -261,7 +261,8 @@ pub fn run_pipeline_faulty<S: Scorer + Sync>(
     let (tx, rx) = mpsc::channel::<Msg>();
 
     let mut sched =
-        BatchScheduler::with_faults(cfg.devices, spec, cfg.collect_trace, resolved, plan);
+        BatchScheduler::with_faults(cfg.devices, spec, cfg.collect_trace, resolved, plan)
+            .with_link_contention(cfg.cost.host_link_contention);
     let mut errors: Vec<(u32, AlignError)> = Vec::new();
     let mut plan_err: Option<PartitionError> = None;
     let mut cluster_err: Option<ClusterError> = None;

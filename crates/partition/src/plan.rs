@@ -33,6 +33,12 @@ pub struct PlanConfig {
     /// Host pool threads for graph build + sharded walk (`0` = auto,
     /// matching the pipeline convention).
     pub host_threads: usize,
+    /// Stream the partitioner front end (CSR build + component
+    /// labeling) over comparison windows of this many comparisons —
+    /// the out-of-core path (`crate::outofcore`). `None` consumes
+    /// the comparison list whole. The plan is bit-identical either
+    /// way.
+    pub window_comparisons: Option<usize>,
 }
 
 impl PlanConfig {
@@ -44,6 +50,7 @@ impl PlanConfig {
             min_batches: 2,
             shards: 0,
             host_threads: 0,
+            window_comparisons: None,
         }
     }
 
@@ -55,6 +62,7 @@ impl PlanConfig {
             min_batches: 2,
             shards: 0,
             host_threads: 0,
+            window_comparisons: None,
         }
     }
 
@@ -73,6 +81,13 @@ impl PlanConfig {
     /// Sets the host thread count of the partitioner front-end.
     pub fn with_host_threads(mut self, host_threads: usize) -> Self {
         self.host_threads = host_threads;
+        self
+    }
+
+    /// Streams the partitioner front end over comparison windows of
+    /// `window` comparisons (the out-of-core path).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window_comparisons = Some(window.max(1));
         self
     }
 }
@@ -203,15 +218,27 @@ pub fn plan_batches_timed(
         (w.total_complexity() / (cfg.min_batches.max(1) as u64 * spec.tiles as u64).max(1)).max(1);
     let start = std::time::Instant::now();
     if cfg.use_partitioning {
-        let parts = sharded_partitions(
-            w,
-            cfg.batch.tile_budget(spec),
-            cfg.batch.threads,
-            cfg.batch.delta_b,
-            Some(cap),
-            cfg.shards,
-            cfg.host_threads,
-        )?;
+        let parts = match cfg.window_comparisons {
+            Some(window) => crate::outofcore::sharded_partitions_windowed(
+                w,
+                cfg.batch.tile_budget(spec),
+                cfg.batch.threads,
+                cfg.batch.delta_b,
+                Some(cap),
+                cfg.shards,
+                cfg.host_threads,
+                window,
+            )?,
+            None => sharded_partitions(
+                w,
+                cfg.batch.tile_budget(spec),
+                cfg.batch.threads,
+                cfg.batch.delta_b,
+                Some(cap),
+                cfg.shards,
+                cfg.host_threads,
+            )?,
+        };
         let partition_s = start.elapsed().as_secs_f64();
         let plan_start = std::time::Instant::now();
         let batches = partition_batches(w, units, &parts, spec);

@@ -98,23 +98,37 @@ fn union(parents: &[AtomicU32], a: u32, b: u32) {
 /// union-find over the comparison list (`host_threads` pool threads,
 /// `0` = auto). The labeling is identical for any thread count.
 pub fn connected_components(w: &Workload, host_threads: usize) -> Vec<SeqId> {
-    let n = w.seqs.len();
-    let m = w.comparisons.len();
-    let parents: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let parents: Vec<AtomicU32> = (0..w.seqs.len() as u32).map(AtomicU32::new).collect();
+    union_comparisons(&parents, &w.comparisons, host_threads);
+    finalize_reps(&parents)
+}
+
+/// Unites the endpoints of every comparison in `comparisons` into
+/// `parents` (`host_threads` pool threads, `0` = auto). Union-find
+/// state composes: absorbing the comparison list in any number of
+/// chunks yields the same quiescent parent forest as one call —
+/// which is what lets [`crate::outofcore::ComponentStitcher`] stitch
+/// components across generation windows.
+pub(crate) fn union_comparisons(
+    parents: &[AtomicU32],
+    comparisons: &[xdrop_core::workload::Comparison],
+    host_threads: usize,
+) {
+    let m = comparisons.len();
     let threads = resolve_threads(host_threads).min(m.max(1));
     if threads <= 1 {
-        for c in &w.comparisons {
-            union(&parents, c.h, c.v);
+        for c in comparisons {
+            union(parents, c.h, c.v);
         }
     } else {
         let queue = IndexQueue::new(m);
         crossbeam::thread::scope(|s| {
             for _ in 0..threads {
-                let (queue, parents) = (&queue, &parents);
+                let queue = &queue;
                 s.spawn(move |_| {
                     while let Some(claim) = queue.claim(UNION_GRAIN) {
                         for &ci in claim {
-                            let c = &w.comparisons[ci as usize];
+                            let c = &comparisons[ci as usize];
                             union(parents, c.h, c.v);
                         }
                     }
@@ -123,11 +137,16 @@ pub fn connected_components(w: &Workload, host_threads: usize) -> Vec<SeqId> {
         })
         .expect("scope");
     }
+}
+
+/// Resolves the quiescent parent forest into per-vertex component
+/// representatives (the minimum vertex id of each component).
+pub(crate) fn finalize_reps(parents: &[AtomicU32]) -> Vec<SeqId> {
     // Serial finalize: parents always point strictly downward, so one
     // ascending pass resolves every chain (reps of smaller ids are
     // final by the time they are read).
-    let mut reps = vec![0 as SeqId; n];
-    for v in 0..n {
+    let mut reps = vec![0 as SeqId; parents.len()];
+    for v in 0..parents.len() {
         let p = parents[v].load(Ordering::Relaxed) as usize;
         reps[v] = if p == v { v as SeqId } else { reps[p] };
     }
@@ -265,14 +284,44 @@ pub fn sharded_partitions(
         ));
     }
     let reps = connected_components(w, host_threads);
-    let plan = discover_shards(w, &g, &reps, k);
+    Ok(walk_shards(
+        w,
+        &g,
+        &reps,
+        k,
+        budget_bytes,
+        threads,
+        delta_b,
+        max_load,
+        host_threads,
+    ))
+}
+
+/// The back half of [`sharded_partitions`]: discovers shard bounds
+/// from pre-computed component labels and runs the per-shard walks
+/// on the pool. Shared with the windowed front end in
+/// [`crate::outofcore`], which arrives here with a graph and labels
+/// stitched from comparison windows instead of built whole.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn walk_shards(
+    w: &Workload,
+    g: &ComparisonGraph,
+    reps: &[SeqId],
+    shards: usize,
+    budget_bytes: usize,
+    threads: usize,
+    delta_b: usize,
+    max_load: Option<u64>,
+    host_threads: usize,
+) -> Vec<Partition> {
+    let plan = discover_shards(w, g, reps, shards);
     let k = plan.len();
     let pool = resolve_threads(host_threads).min(k);
     let results: Mutex<Vec<Option<Vec<Partition>>>> = Mutex::new(vec![None; k]);
     let queue = IndexQueue::new(k);
     crossbeam::thread::scope(|s| {
         for _ in 0..pool {
-            let (queue, results, plan, g) = (&queue, &results, &plan, &g);
+            let (queue, results, plan) = (&queue, &results, &plan);
             s.spawn(move |_| {
                 while let Some(claim) = queue.claim(1) {
                     for &si in claim {
@@ -288,12 +337,12 @@ pub fn sharded_partitions(
     .expect("scope");
     // Concatenate in shard order: output depends on the shard plan
     // only, never on which thread ran which shard.
-    Ok(results
+    results
         .into_inner()
         .expect("shard results")
         .into_iter()
         .flat_map(|p| p.expect("every shard ran"))
-        .collect())
+        .collect()
 }
 
 #[cfg(test)]

@@ -137,9 +137,19 @@ impl Dataset {
         self
     }
 
+    /// Number of synthetic pairs at this scale (Simulated85).
+    pub(crate) fn pair_count(&self) -> usize {
+        ((40_000.0 * self.scale) as usize).max(1)
+    }
+
+    /// Number of protein sequences at this scale (Metaclust500k).
+    pub(crate) fn protein_seq_count(&self) -> usize {
+        ((500_000.0 * self.scale) as usize).max(8)
+    }
+
     /// Read-simulation parameters for the pipeline-derived DNA
     /// datasets (genome length carries the scale).
-    fn read_params(&self) -> Option<ReadSimParams> {
+    pub(crate) fn read_params(&self) -> Option<ReadSimParams> {
         let p = match self.kind {
             DatasetKind::Ecoli => ReadSimParams {
                 genome_len: (4_600_000.0 * self.scale) as usize,
@@ -190,11 +200,10 @@ impl Dataset {
         let mut rng = StdRng::seed_from_u64(self.seed);
         match self.kind {
             DatasetKind::Simulated85 => {
-                let count = ((40_000.0 * self.scale) as usize).max(1);
-                gen::generate_pair_workload(&mut rng, &PairSpec::simulated85(), count)
+                gen::generate_pair_workload(&mut rng, &PairSpec::simulated85(), self.pair_count())
             }
             DatasetKind::Metaclust500k => {
-                protein_family_workload(&mut rng, ((500_000.0 * self.scale) as usize).max(8), 6)
+                protein_family_workload(&mut rng, self.protein_seq_count(), 6)
             }
             _ => {
                 let p = self.read_params().expect("DNA pipeline dataset");
@@ -202,6 +211,39 @@ impl Dataset {
             }
         }
     }
+}
+
+/// One homologous protein family: mutated members sharing a
+/// protected anchor k-mer. The atomic generation step of the
+/// metaclust-shaped workload — shared between the in-core builder
+/// below and the windowed out-of-core generator (`crate::window`).
+pub(crate) struct FamilyStep {
+    /// Family members, in creation order.
+    pub members: Vec<Vec<u8>>,
+    /// Anchor position (identical in every member).
+    pub anchor: usize,
+}
+
+/// Generates the next family, consuming exactly the RNG draws the
+/// in-core builder would for the same `remaining` count.
+pub(crate) fn protein_family_step<R: Rng>(rng: &mut R, remaining: usize, k: usize) -> FamilyStep {
+    let fam_size = rng.gen_range(2..=6).min(remaining.max(2));
+    let len = rng.gen_range(80..600);
+    let root = gen::random_seq(rng, Alphabet::Protein, len);
+    // One protected anchor region per family keeps an exact k-mer
+    // recoverable in every member.
+    let anchor = rng.gen_range(0..=len.saturating_sub(k));
+    let mut members = Vec::with_capacity(fam_size);
+    for _ in 0..fam_size {
+        members.push(gen::mutate(
+            rng,
+            &root,
+            Alphabet::Protein,
+            MutationProfile::uniform_mismatch(0.30),
+            Some((anchor, anchor + k)),
+        ));
+    }
+    FamilyStep { members, anchor }
 }
 
 /// Builds a protein workload shaped like the metaclust subsample:
@@ -212,27 +254,19 @@ pub fn protein_family_workload<R: Rng>(rng: &mut R, n_seqs: usize, k: usize) -> 
     let mut w = Workload::new(Alphabet::Protein);
     let mut remaining = n_seqs;
     while remaining > 0 {
-        let fam_size = rng.gen_range(2..=6).min(remaining.max(2));
-        let len = rng.gen_range(80..600);
-        let root = gen::random_seq(rng, Alphabet::Protein, len);
-        // One protected anchor region per family keeps an exact k-mer
-        // recoverable in every member.
-        let anchor = rng.gen_range(0..=len.saturating_sub(k));
+        let fam = protein_family_step(rng, remaining, k);
+        let fam_size = fam.members.len();
         let mut member_ids = Vec::with_capacity(fam_size);
-        for _ in 0..fam_size {
-            let m = gen::mutate(
-                rng,
-                &root,
-                Alphabet::Protein,
-                MutationProfile::uniform_mismatch(0.30),
-                Some((anchor, anchor + k)),
-            );
+        for m in fam.members {
             member_ids.push(w.seqs.push(m));
         }
         for (i, &a) in member_ids.iter().enumerate() {
             for &b in &member_ids[i + 1..] {
-                w.comparisons
-                    .push(Comparison::new(a, b, SeedMatch::new(anchor, anchor, k)));
+                w.comparisons.push(Comparison::new(
+                    a,
+                    b,
+                    SeedMatch::new(fam.anchor, fam.anchor, k),
+                ));
             }
         }
         remaining = remaining.saturating_sub(fam_size);

@@ -21,8 +21,10 @@ pub mod fasta;
 pub mod gen;
 pub mod reads;
 pub mod stats;
+pub mod window;
 
 pub use datasets::{Dataset, DatasetKind};
 pub use gen::{MutationProfile, PairSpec};
 pub use reads::ReadSimParams;
 pub use stats::{Distribution, WorkloadStats};
+pub use window::{DatasetMeta, Window, WindowIter};

@@ -133,7 +133,7 @@ pub struct SimulatedReads {
 
 /// Samples a log-normal read length with mean `mean` and log-sigma
 /// `sigma`, via Box-Muller (keeps us inside the plain `rand` crate).
-fn sample_len<R: Rng>(rng: &mut R, p: &ReadSimParams) -> usize {
+pub(crate) fn sample_len<R: Rng>(rng: &mut R, p: &ReadSimParams) -> usize {
     if p.read_len_sigma <= 0.0 {
         return (p.read_len_mean as usize).clamp(p.min_read_len, p.max_read_len);
     }
@@ -229,6 +229,26 @@ fn find_seed(
     ov: (usize, usize),
     k: usize,
 ) -> Option<SeedMatch> {
+    find_seed_parts(
+        (&sim.reads[a], &sim.maps[a], sim.intervals[a]),
+        (&sim.reads[b], &sim.maps[b], sim.intervals[b]),
+        ov,
+        k,
+    )
+}
+
+/// [`find_seed`] on explicit `(read, map, interval)` triples, shared
+/// with the windowed out-of-core generator (`crate::window`), which
+/// regenerates reads on demand instead of holding a whole
+/// [`SimulatedReads`].
+pub(crate) fn find_seed_parts(
+    a: (&[u8], &[u32], (usize, usize)),
+    b: (&[u8], &[u32], (usize, usize)),
+    ov: (usize, usize),
+    k: usize,
+) -> Option<SeedMatch> {
+    let (ra, map_a, int_a) = a;
+    let (rb, map_b, int_b) = b;
     let (ov_lo, ov_hi) = ov;
     if ov_hi - ov_lo < k {
         return None;
@@ -248,9 +268,8 @@ fn find_seed(
         if g < ov_lo || g > last_start {
             continue;
         }
-        let pa = sim.maps[a][g - sim.intervals[a].0] as usize;
-        let pb = sim.maps[b][g - sim.intervals[b].0] as usize;
-        let (ra, rb) = (&sim.reads[a], &sim.reads[b]);
+        let pa = map_a[g - int_a.0] as usize;
+        let pb = map_b[g - int_b.0] as usize;
         if pa + k <= ra.len() && pb + k <= rb.len() && ra[pa..pa + k] == rb[pb..pb + k] {
             return Some(SeedMatch::new(pa, pb, k));
         }
