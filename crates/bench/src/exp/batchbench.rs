@@ -6,10 +6,11 @@
 //! kernel, one comparison at a time, and (b) `batched::align_batch`
 //! with its `i16` lane packing. Both produce bit-identical results —
 //! `tests/batched_identity.rs` enforces that — so only host
-//! wall-clock differs. Dispersion measures how well the
-//! length-bucketing heuristic copes with ragged batches: at 0% every
-//! lane retires together; at 75% the sorter has to work for its
-//! living.
+//! wall-clock differs. Dispersion measures how well lane packing
+//! copes with ragged batches: at 0% every lane retires together; at
+//! 75% mid-flight refill has to work for its living, and the sweep
+//! records the occupancy and staging counters (`occupancy`,
+//! `staged_bytes_per_cell`) the persistent-staging kernel reports.
 //!
 //! Reproduce with:
 //!
@@ -53,6 +54,18 @@ pub struct BatchedRow {
     /// `i16`-overflow lanes re-run through the scalar path (expected
     /// 0 on this workload; nonzero would flag a guard-band bug).
     pub reruns: u64,
+    /// Mean lane occupancy (`BatchReport::occupancy`): swept
+    /// lane-rounds over `rounds × lanes`. Mid-flight refill should
+    /// keep this near 1.0 even at high dispersion.
+    pub occupancy: f64,
+    /// Staging traffic per scored lane cell in bytes
+    /// (`BatchReport::staged_bytes_per_cell`). Compare against
+    /// [`V5_STAGED_BYTES_PER_CELL`].
+    pub staged_bytes_per_cell: f64,
+    /// Mid-flight slot refills the batch performed.
+    pub refills: u64,
+    /// Engine rounds the batch ran.
+    pub rounds: u64,
     /// Hardware lane width `batched::lane_width()` on this host.
     pub hw_lanes: usize,
     /// `available_parallelism()` on the producing host — readers gate
@@ -198,6 +211,10 @@ pub fn run(scale: f64, iters: usize) -> Vec<BatchedRow> {
                 seconds_batched,
                 speedup_vs_scalar: seconds_scalar / seconds_batched,
                 reruns: report.reruns as u64,
+                occupancy: report.occupancy(),
+                staged_bytes_per_cell: report.staged_bytes_per_cell(),
+                refills: report.refills as u64,
+                rounds: report.rounds,
                 hw_lanes: hw,
                 host_cores: cores,
                 avx2,
@@ -207,23 +224,32 @@ pub fn run(scale: f64, iters: usize) -> Vec<BatchedRow> {
     rows
 }
 
+/// Staging traffic per staged slot of the pre-refill (schema ≤ v5)
+/// kernel, in bytes: seven `i16` operand/staging buffers (`sd`,
+/// `sim`, `sl`, `su`, `sth`, `st`, `dr`) were re-filled per slot per
+/// round. The v6 persistent-staging kernel's `staged_bytes_per_cell`
+/// is gated against this figure (CI asserts ≥ 2× reduction).
+pub const V5_STAGED_BYTES_PER_CELL: f64 = 14.0;
+
 /// Renders the rows as an aligned text table.
 pub fn render(rows: &[BatchedRow]) -> String {
     let cores = rows.first().map_or(0, |r| r.host_cores);
     let avx2 = rows.first().is_some_and(|r| r.avx2);
     let mut s = format!(
-        "config           lanes   disp%   cells/batch    s scalar   s batched   vs scalar   ({cores} cores, avx2={avx2})\n"
+        "config           lanes   disp%   cells/batch    s scalar   s batched   vs scalar   occup   B/cell   ({cores} cores, avx2={avx2})\n"
     );
     for r in rows {
         s.push_str(&format!(
-            "{:<16} {:>5} {:>7} {:>13} {:>11.6} {:>11.6} {:>10.2}x\n",
+            "{:<16} {:>5} {:>7} {:>13} {:>11.6} {:>11.6} {:>10.2}x {:>7.3} {:>8.2}\n",
             r.config,
             r.lanes,
             r.dispersion_pct,
             r.cells,
             r.seconds_scalar,
             r.seconds_batched,
-            r.speedup_vs_scalar
+            r.speedup_vs_scalar,
+            r.occupancy,
+            r.staged_bytes_per_cell
         ));
     }
     s
@@ -249,10 +275,28 @@ mod tests {
             assert_eq!(r.reruns, 0, "guard band must hold on the bench pool");
             assert_eq!(r.comparisons, 64);
             assert!(r.host_cores >= 1);
+            assert!(
+                r.occupancy > 0.0 && r.occupancy <= 1.0,
+                "occupancy out of range: {}",
+                r.occupancy
+            );
+            assert!(r.rounds > 0);
+            assert!(
+                r.staged_bytes_per_cell > 0.0
+                    && r.staged_bytes_per_cell <= V5_STAGED_BYTES_PER_CELL / 2.0,
+                "persistent staging must at least halve the v5 traffic, got {}",
+                r.staged_bytes_per_cell
+            );
         }
+        // Dispersed buckets churn lanes: refill must actually happen
+        // and keep occupancy high.
+        let disp75: Vec<&BatchedRow> = rows.iter().filter(|r| r.dispersion_pct == 75).collect();
+        assert!(disp75.iter().any(|r| r.refills > 0));
+        assert!(disp75.iter().all(|r| r.occupancy >= 0.8));
         let labels: Vec<&str> = rows.iter().map(|r| r.config.as_str()).collect();
         assert!(labels.contains(&"lanes16/disp75"));
         let txt = render(&rows);
         assert!(txt.contains("vs scalar"));
+        assert!(txt.contains("occup"));
     }
 }

@@ -92,6 +92,75 @@ pub struct BenchFile {
     pub scaling: super::fleetscale::ScalingSection,
 }
 
+/// The batched-row shape of schema v5, before the persistent-staging
+/// kernel's occupancy/staging counters were added. Parsed only to
+/// recognize a v5 file; the rows themselves measured a kernel that no
+/// longer exists and are dropped on upgrade.
+#[derive(Debug, Clone, serde::Deserialize)]
+#[allow(dead_code)]
+struct LegacyBatchedRowV5 {
+    config: String,
+    lanes: usize,
+    dispersion_pct: u32,
+    len: usize,
+    comparisons: usize,
+    cells: u64,
+    seconds_scalar: f64,
+    seconds_batched: f64,
+    speedup_vs_scalar: f64,
+    reruns: u64,
+    hw_lanes: usize,
+    host_cores: usize,
+    avx2: bool,
+}
+
+/// The v5 on-disk shape: same sections as v6, but its `batched` rows
+/// predate the occupancy/staging counters of the persistent-staging
+/// kernel (the vendored serde has no `#[serde(default)]`, so the
+/// missing fields fail the v6 parse). The stale batched rows are
+/// dropped on upgrade — an empty section forces regeneration via the
+/// documented command — while every other section is preserved.
+#[derive(Debug, Clone, serde::Deserialize)]
+struct LegacyBenchFileV5 {
+    #[allow(dead_code)]
+    schema: String,
+    command: String,
+    detected_kernel: String,
+    rows: Vec<Row>,
+    e2e_command: String,
+    e2e: Vec<super::e2e::E2eRow>,
+    partition_command: String,
+    partition: Vec<super::partbench::PartitionBenchRow>,
+    faults_command: String,
+    faults: Vec<super::faultbench::FaultBenchRow>,
+    batched_command: String,
+    #[allow(dead_code)]
+    batched: Vec<LegacyBatchedRowV5>,
+    scaling_command: String,
+    scaling: super::fleetscale::ScalingSection,
+}
+
+impl From<LegacyBenchFileV5> for BenchFile {
+    fn from(v5: LegacyBenchFileV5) -> Self {
+        BenchFile {
+            schema: SCHEMA.to_string(),
+            command: v5.command,
+            detected_kernel: v5.detected_kernel,
+            rows: v5.rows,
+            e2e_command: v5.e2e_command,
+            e2e: v5.e2e,
+            partition_command: v5.partition_command,
+            partition: v5.partition,
+            faults_command: v5.faults_command,
+            faults: v5.faults,
+            batched_command: v5.batched_command,
+            batched: Vec::new(),
+            scaling_command: v5.scaling_command,
+            scaling: v5.scaling,
+        }
+    }
+}
+
 /// The v4 on-disk shape, kept so a baseline written before the
 /// fleet-scaling section existed still parses (the vendored serde
 /// has no `#[serde(default)]`, so missing fields fail the v5 parse)
@@ -110,7 +179,8 @@ struct LegacyBenchFileV4 {
     faults_command: String,
     faults: Vec<super::faultbench::FaultBenchRow>,
     batched_command: String,
-    batched: Vec<super::batchbench::BatchedRow>,
+    #[allow(dead_code)]
+    batched: Vec<LegacyBatchedRowV5>,
 }
 
 impl From<LegacyBenchFileV4> for BenchFile {
@@ -127,7 +197,7 @@ impl From<LegacyBenchFileV4> for BenchFile {
             faults_command: v4.faults_command,
             faults: v4.faults,
             batched_command: v4.batched_command,
-            batched: v4.batched,
+            batched: Vec::new(),
             scaling_command: super::fleetscale::SCALING_REPRO_COMMAND.to_string(),
             scaling: super::fleetscale::ScalingSection::default(),
         }
@@ -356,8 +426,10 @@ pub const REPRO_COMMAND: &str =
 /// Schema tag of `BENCH_xdrop.json` (v2 added the `e2e` section, v3
 /// the fault-recovery `faults` section, v4 the batched
 /// inter-sequence kernel section and the `batched` kernel rows, v5
-/// the fleet-scale `scaling` section).
-pub const SCHEMA: &str = "xdrop-kernel-bench/v5";
+/// the fleet-scale `scaling` section, v6 the batched rows'
+/// `occupancy`/`staged_bytes_per_cell`/`refills`/`rounds` counters
+/// from the persistent-staging kernel).
+pub const SCHEMA: &str = "xdrop-kernel-bench/v6";
 
 fn bench_json_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_xdrop.json")
@@ -371,6 +443,11 @@ fn read_existing() -> Option<BenchFile> {
     let text = std::fs::read_to_string(bench_json_path()).ok()?;
     serde_json::from_str::<BenchFile>(&text)
         .ok()
+        .or_else(|| {
+            serde_json::from_str::<LegacyBenchFileV5>(&text)
+                .ok()
+                .map(BenchFile::from)
+        })
         .or_else(|| {
             serde_json::from_str::<LegacyBenchFileV4>(&text)
                 .ok()

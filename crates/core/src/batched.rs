@@ -9,25 +9,41 @@
 //! the register is full even when every band is one cell wide. This
 //! module is that inter-sequence kernel ([`KernelKind::Batched`]):
 //!
-//! * **Length bucketing** — tasks are sorted by descending `|H|+|V|`
-//!   and grouped into lane-width buckets, so the lanes of a group
-//!   retire after similar numbers of antidiagonal rounds instead of
-//!   idling behind one long straggler.
-//! * **i16 lanes** — cell values are stored as `i16`, doubling the
-//!   lane count per register over the `i32` kernels. Each round
-//!   stages every active lane's candidate cells into lane-major
-//!   structure-of-arrays buffers (`slot = lane · w_max + w`, so the
-//!   left/up operands stage as contiguous slice copies), runs
-//!   one flat branch-free saturating-`i16` pass over all of them
-//!   (the autovectorizer turns it into `vpaddsw`/`vpmaxsw` chains)
-//!   **with the X-Drop cutoff fused in** — each slot carries its
-//!   lane's clamped threshold, so classification (live / dropped /
-//!   pruned) is part of the same elementwise sweep. What remains per
-//!   lane is a handful of contiguous reductions (max, live-min,
-//!   dropped count — all branch-free and autovectorizable) plus three
-//!   short positional scans, which reproduce the scalar reference's
-//!   first-maximum-wins reductions exactly (the first slot holding
-//!   the diagonal maximum *is* the first-max-wins argmax).
+//! * **Persistent lane-major staging** — each lane owns one row in a
+//!   three-plane rolling arena (row pitch = band capacity + 2 pad
+//!   cells). Round *d* writes its classified antidiagonal into plane
+//!   `d mod 3`; the `sl`/`su` operands of round *d* are index-shifted
+//!   *views* of the plane written in round *d−1* and the `sd` operand
+//!   a view of round *d−2* — the per-operand `copy_from_slice`
+//!   staging of the earlier kernel (≈14 B of buffer traffic per
+//!   staged cell) disappears. Even the substitution scores are never
+//!   staged: the sweep compares the sentinel-padded sequence copies
+//!   (materialized once per task, see [`Lane::enter`]) in-register,
+//!   so per-round staging traffic is exactly zero bytes.
+//! * **Live-lane compaction with mid-flight refill** — X-Drop's early
+//!   exits retire lanes at wildly different rounds. Instead of
+//!   sweeping a pack until its slowest member terminates, a lane that
+//!   terminates (or leaves for the overflow rerun) is finalized and
+//!   its slot refilled from the pending task queue at the top of the
+//!   next round, continuous-batching style, so occupancy stays near
+//!   1.0 instead of draining to a single straggler. Refill timing
+//!   cannot affect results: every lane's computation is a pure
+//!   function of its own task (lanes share no state, only the arena
+//!   allocation), so each task sees exactly the rounds the scalar
+//!   reference would run — see [`BatchReport::occupancy`].
+//! * **i16 lanes, fully fused rounds in bursts** — cell values are
+//!   stored as `i16`, doubling the lane count per register over the
+//!   `i32` kernels. Each round is **one** branch-free saturating-`i16`
+//!   pass per lane over contiguous slices (the autovectorizer turns it
+//!   into `vpaddsw`/`vpmaxsw` chains) with the substitution compare,
+//!   the X-Drop cutoff, *and* the max/live-min reductions all fused
+//!   in; only three short positional scans follow, reproducing the
+//!   scalar reference's first-maximum-wins reductions exactly (the
+//!   first slot holding the diagonal maximum *is* the first-max-wins
+//!   argmax). Lanes advance [`BURST_ROUNDS`] rounds per engine
+//!   iteration so lane state stays in registers and the per-lane loop
+//!   overhead amortizes — the bands are only a few vectors wide, so
+//!   fixed costs, not arithmetic, bound the round rate.
 //! * **Overflow detection and rerun** — `i16` can hold scores the
 //!   `i32` reference cannot. A guard band bounds every *live* stored
 //!   value away from the representable edges by the maximum per-round
@@ -35,6 +51,28 @@
 //!   the lane is marked overflowed and transparently re-run through
 //!   the scalar `i32` reference. See the soundness argument on
 //!   [`HIGH_GUARD`].
+//!
+//! ## Arena layout and padding invariants
+//!
+//! Plane row slot for logical band position `i` of the row with base
+//! `b` (= that round's `cand_lo`) is `1 + (i − b)`: slot 0 is a
+//! permanent leading `−∞` pad and the sweep writes one trailing `−∞`
+//! pad at `width + 1`. The reads of round *d* stay inside
+//! `[0, width(src) + 1]` of each source row — i.e. inside the valid
+//! cells plus those two pads — because the candidate interval is
+//! monotone: `cand_lo(d) ≥ cand_lo(d−1) ≥ cand_lo(d−2)` and
+//! `cand_hi(d) ≤ cand_hi(d−1) + 1 ≤ cand_hi(d−2) + 2` (the live
+//! interval is a subinterval of the stored row, and the next
+//! candidate widens it by at most one on the right). Stale cells
+//! beyond the trailing pad — left over from round `d−3` of the same
+//! lane or from a previous slot occupant — are therefore never read.
+//! The substitution compare runs unconditionally over the whole
+//! candidate interval against sentinel-padded sequence copies
+//! ([`SEQ_PAD`]): at the interval ends where a sequence index leaves
+//! the real symbols, the compared `sd` parent is a pad or canonical
+//! dropped cell, and `NEG_INF16 + s ≤ DROP16` for every
+//! `|s| ≤ MAX_STEP`, so the compare's outcome there is never
+//! observable.
 //!
 //! ## Bit-identity is still the contract
 //!
@@ -54,7 +92,7 @@ use crate::error::{AlignError, Result};
 use crate::scoring::{MatchMismatch, Scorer};
 use crate::seqview::{Fwd, Rev};
 use crate::stats::{AlignOutput, AlignResult, AlignStats};
-use crate::xdrop2::{self, BandPolicy, DiagMeta, Workspace};
+use crate::xdrop2::{self, BandPolicy, Workspace};
 use crate::XDropParams;
 
 /// `-∞` sentinel of the `i16` lane domain — `i16::MIN / 4`, mirroring
@@ -165,12 +203,20 @@ pub struct BatchTask<'a> {
 }
 
 /// What the batched kernel did with a batch — lane configuration,
-/// bucketing, and how many lanes left the `i16` fast path.
+/// bucketing, occupancy/staging counters, and how many lanes left the
+/// `i16` fast path.
+///
+/// The occupancy and staging counters are *observations*, never
+/// inputs: no per-task value depends on them, which is why extending
+/// the report cannot perturb the bit-identity contract.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct BatchReport {
     /// Lane count used (vector width in `i16` cells).
     pub lanes: usize,
-    /// Number of lane groups (length buckets) executed.
+    /// Nominal length-bucket count, `⌈tasks / lanes⌉` — the number of
+    /// lane groups the pre-refill kernel would have executed (kept
+    /// for report compatibility; with mid-flight refill the engine
+    /// runs one continuous pack).
     pub buckets: usize,
     /// Lanes that overflowed the `i16` guard band and were re-run
     /// through the scalar `i32` reference.
@@ -178,6 +224,72 @@ pub struct BatchReport {
     /// Tasks that never entered the `i16` path (ineligible scorer or
     /// score magnitudes) and ran the scalar reference directly.
     pub fallbacks: usize,
+    /// Engine rounds that swept at least one lane.
+    pub rounds: u64,
+    /// Sum over rounds of lanes swept that round — the occupancy
+    /// numerator ([`BatchReport::occupancy`]).
+    pub lane_rounds: u64,
+    /// `i16` cells scored in lanes (Σ of swept candidate widths; the
+    /// overflow-rerun and fallback cells are not lane cells).
+    pub lane_cells: u64,
+    /// Bytes copied into staging state: materialized sequence copies,
+    /// arena row resets at lane entry, and arena-growth row moves.
+    /// Per-round staging is zero — operands are views of persistent
+    /// rows and the substitution compare is fused into the sweep. The
+    /// pre-refill kernel's equivalent figure was ≈14 B per staged
+    /// slot (seven operand buffers re-filled per round); see
+    /// [`BatchReport::staged_bytes_per_cell`].
+    pub staged_bytes: u64,
+    /// Mid-flight slot refills: lanes entered while the pack was
+    /// already live (0 in no-refill mode, where slots only refill
+    /// after the whole pack drains).
+    pub refills: usize,
+    /// Tasks whose sequences were materialized into forward/reverse
+    /// copies — exactly once per task entering the `i16` path; rerun
+    /// and fallback paths run on the original views and never
+    /// re-materialize.
+    pub materializations: usize,
+    /// Nanoseconds in the per-round prologue (interval geometry and
+    /// band policy; 0 unless the `batch-profile` feature is enabled).
+    /// Profiling laps the clock inside the burst loop, so enabling
+    /// the feature costs real time — the split stays meaningful, the
+    /// total does not.
+    pub prologue_ns: u64,
+    /// Nanoseconds staging persistent lane state — refill-time
+    /// sequence materialization and row resets, plus arena growth (0
+    /// unless profiled). There is no per-round staging to attribute.
+    pub stage_ns: u64,
+    /// Nanoseconds in the fused sweep (substitution compare + DP +
+    /// cutoff + reductions; 0 unless profiled).
+    pub sweep_ns: u64,
+    /// Nanoseconds in the positional scans, stats bookkeeping, and
+    /// lane finalization including overflow reruns (0 unless
+    /// profiled).
+    pub reduce_ns: u64,
+}
+
+impl BatchReport {
+    /// Mean lane occupancy: swept lane-rounds over `rounds × lanes`.
+    /// 1.0 means every slot swept a live task every round; the
+    /// pre-refill kernel drained towards `1/lanes` at each bucket
+    /// tail. 0.0 when the engine never ran a round.
+    pub fn occupancy(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.lane_rounds as f64 / (self.rounds * self.lanes as u64) as f64
+        }
+    }
+
+    /// Staging traffic per scored lane cell, in bytes
+    /// (`staged_bytes / lane_cells`; 0.0 when no lane cells ran).
+    pub fn staged_bytes_per_cell(&self) -> f64 {
+        if self.lane_cells == 0 {
+            0.0
+        } else {
+            self.staged_bytes as f64 / self.lane_cells as f64
+        }
+    }
 }
 
 /// Runtime lane-width detection: how many `i16` cells one vector
@@ -223,7 +335,10 @@ fn eligible<S: Scorer>(scorer: &S) -> Option<MatchMismatch> {
 
 /// Runs one task through the scalar `i32` reference on a fresh
 /// workspace — the oracle the batch results are pinned to, and the
-/// rerun/fallback path.
+/// rerun/fallback path. Operates on the original [`TaskView`] borrows
+/// directly: no sequence is materialized here, so a rerun or fallback
+/// never repeats the copy a lane already paid for
+/// ([`BatchReport::materializations`] counts lane entries only).
 fn scalar_task<S: Scorer>(
     task: &BatchTask<'_>,
     scorer: &S,
@@ -245,6 +360,19 @@ fn scalar_task<S: Scorer>(
             xdrop2::align_views_ty(&Rev(h), &Rev(v), scorer, params, policy, &mut ws)
         }
     }
+}
+
+/// The deterministic task schedule of a batch: indices sorted by
+/// descending `|H| + |V|`, tie-broken by **ascending original task
+/// index**. The explicit index tiebreak makes the schedule a total
+/// order — equal-length tasks always enter lanes in submission order,
+/// so bucketing and mid-flight refill are reproducible run to run
+/// (and results never depend on the schedule at all; lanes are
+/// independent).
+pub fn task_order(tasks: &[BatchTask<'_>]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_unstable_by_key(|&t| (std::cmp::Reverse(tasks[t].h.len() + tasks[t].v.len()), t));
+    order
 }
 
 /// Aligns a batch of tasks with the hardware-detected lane width.
@@ -271,6 +399,26 @@ pub fn align_batch_with_lanes<S: Scorer>(
     policy: BandPolicy,
     lanes: usize,
 ) -> (Vec<Result<AlignOutput>>, BatchReport) {
+    align_batch_with_opts(tasks, scorer, params, policy, lanes, true)
+}
+
+/// [`align_batch_with_lanes`] with mid-flight refill switchable.
+///
+/// `refill = true` (the default everywhere) refills a vacated lane
+/// slot from the pending queue at the top of the next round.
+/// `refill = false` only admits tasks when the whole pack has drained
+/// — reproducing the strict length-bucket groups of the pre-refill
+/// kernel. Both modes produce bit-identical per-task outcomes (each
+/// lane's computation is a pure function of its own task); the switch
+/// exists so tests can prove exactly that.
+pub fn align_batch_with_opts<S: Scorer>(
+    tasks: &[BatchTask<'_>],
+    scorer: &S,
+    params: XDropParams,
+    policy: BandPolicy,
+    lanes: usize,
+    refill: bool,
+) -> (Vec<Result<AlignOutput>>, BatchReport) {
     let lanes = lanes.max(1);
     let mut report = BatchReport {
         lanes,
@@ -279,16 +427,19 @@ pub fn align_batch_with_lanes<S: Scorer>(
     let mut out: Vec<Option<Result<AlignOutput>>> = (0..tasks.len()).map(|_| None).collect();
     match eligible(scorer) {
         Some(mm) => {
-            // Length bucketing: descending |H|+|V| (index as tiebreak,
-            // so grouping is deterministic), chunked into lane groups.
-            let mut order: Vec<usize> = (0..tasks.len()).collect();
-            order.sort_unstable_by_key(|&t| {
-                (std::cmp::Reverse(tasks[t].h.len() + tasks[t].v.len()), t)
-            });
-            for group in order.chunks(lanes) {
-                report.buckets += 1;
-                run_group(tasks, group, &mm, params, policy, &mut out, &mut report);
-            }
+            report.buckets = tasks.len().div_ceil(lanes);
+            let order = task_order(tasks);
+            run_engine(
+                tasks,
+                &order,
+                &mm,
+                params,
+                policy,
+                lanes,
+                refill,
+                &mut out,
+                &mut report,
+            );
         }
         None => {
             for (task, slot) in tasks.iter().zip(out.iter_mut()) {
@@ -297,7 +448,6 @@ pub fn align_batch_with_lanes<S: Scorer>(
             }
         }
     }
-    // Overflowed lanes: transparent rerun through the i32 reference.
     (
         out.into_iter()
             .map(|slot| slot.expect("every task resolved"))
@@ -307,20 +457,33 @@ pub fn align_batch_with_lanes<S: Scorer>(
 }
 
 /// Per-lane DP state — one task's complete scalar-reference state
-/// machine, advanced one antidiagonal per round in lockstep with the
-/// other lanes of its group.
+/// machine, advanced one antidiagonal per round. Lanes are fully
+/// independent: the only shared structure is the arena allocation,
+/// in which each lane owns its own rows.
 struct Lane {
     task: usize,
     /// Reverse-order copy of the `H` view (see
-    /// [`TaskView::materialize_rev`] for why reversed).
-    hrev: Vec<u8>,
-    /// Forward-order copy of the `V` view.
-    vseq: Vec<u8>,
+    /// [`TaskView::materialize_rev`] for why reversed) with one
+    /// [`SEQ_PAD`] sentinel appended at index `m`; made once at lane
+    /// entry and reused for every round. On antidiagonal `d`, cell
+    /// `i` reads `hpad[m + i − d]` — in bounds for the whole
+    /// candidate interval (`i ≤ d` geometrically, with `i = d`
+    /// landing on the sentinel).
+    hpad: Vec<u8>,
+    /// Forward-order copy of the `V` view with one [`SEQ_PAD`]
+    /// sentinel *prepended*: cell `i` reads `vpad[i]` (logical
+    /// `V[i − 1]`), with `i = 0` landing on the sentinel.
+    vpad: Vec<u8>,
     m: usize,
     n: usize,
-    /// The two antidiagonal band buffers (`i16` cells).
-    bufs: [Vec<i16>; 2],
-    metas: [DiagMeta; 2],
+    /// The lane's own antidiagonal counter. Refill desynchronizes
+    /// lane rounds, so the arena ring rotation is driven by this,
+    /// never by a global round number.
+    d: usize,
+    /// `cand_lo` of the row each arena plane holds for this lane.
+    bases: [usize; 3],
+    /// Width of the row each arena plane holds (0 = no row yet).
+    widths: [usize; 3],
     /// Virtual workspace capacity with fresh-workspace semantics:
     /// starts at `δ_b`, doubles under [`BandPolicy::Grow`] exactly as
     /// `align_views_ty` grows a fresh [`Workspace`].
@@ -331,10 +494,6 @@ struct Lane {
     live_hi: usize,
     prev_best_i: usize,
     stats: AlignStats,
-    /// Candidate interval of the round being staged (set in the
-    /// prologue, consumed by stage/reduce).
-    cand_lo: usize,
-    cand_hi: usize,
     state: LaneState,
 }
 
@@ -342,8 +501,8 @@ struct Lane {
 enum LaneState {
     /// Still sweeping antidiagonals.
     Active,
-    /// Skipped this round's stage/reduce (degenerate interval) but
-    /// terminated normally.
+    /// Terminated normally (geometry exhausted, band went dead, or
+    /// the antidiagonal cap hit).
     Done,
     /// A live value escaped the `i16` guard band: discard and re-run
     /// through the `i32` reference.
@@ -352,10 +511,54 @@ enum LaneState {
     Failed(AlignError),
 }
 
+/// Sequence pad sentinel: `hpad[m]` and `vpad[0]` hold this value so
+/// the fused substitution compare runs over the full candidate
+/// interval with no per-cell bounds logic. Correctness does not
+/// depend on the sentinel's value at all: a pad byte is only read for
+/// cells whose diagonal (`sd`) parent is a `−∞` pad or canonical
+/// dropped cell — where the compare's outcome is unobservable (see
+/// the module padding invariants) — and the two pads can never face
+/// *each other* (`i = 0` and `i = d` coincide only at `d = 0`, before
+/// the first round).
+const SEQ_PAD: u8 = u8::MAX;
+
 impl Lane {
-    #[inline(always)]
-    fn round_active(&self) -> bool {
-        self.state == LaneState::Active
+    /// Builds the lane state for `tasks[task]` — the one place a
+    /// task's sequences are materialized.
+    fn enter(task: usize, t: &BatchTask<'_>, delta_b: usize) -> Lane {
+        let (h, v) = (t.h, t.v);
+        let (m, n) = (h.len(), v.len());
+        let mut hpad = h.materialize_rev();
+        hpad.push(SEQ_PAD);
+        let mut vpad = Vec::with_capacity(n + 1);
+        vpad.push(SEQ_PAD);
+        vpad.extend_from_slice(&v.materialize());
+        Lane {
+            task,
+            hpad,
+            vpad,
+            m,
+            n,
+            d: 0,
+            bases: [0; 3],
+            // Plane 0 (= round 0 mod 3) holds the seed row H[0] =
+            // {cell 0} after the arena rows are reset.
+            widths: [1, 0, 0],
+            cap: delta_b,
+            best: AlignResult::empty(),
+            t_best: 0,
+            live_lo: 0,
+            live_hi: 0,
+            prev_best_i: 0,
+            stats: AlignStats {
+                cells_computed: 1,
+                delta_w: 1,
+                delta: m.min(n) + 1,
+                work_bytes: 2 * delta_b * CELL_BYTES,
+                ..Default::default()
+            },
+            state: LaneState::Active,
+        }
     }
 }
 
@@ -365,339 +568,588 @@ impl Lane {
 /// of [`AlignStats::work_bytes`] demands the reference's accounting.
 const CELL_BYTES: usize = std::mem::size_of::<i32>();
 
-/// Runs one lane group to completion: the scalar reference's control
-/// flow replicated per lane, with the per-cell recurrence hoisted
-/// into one flat branch-free saturating-`i16` pass per round.
-#[allow(clippy::needless_range_loop)]
-fn run_group(
+/// Per-phase wall-clock accumulation for [`BatchReport`], compiled to
+/// nothing unless the `batch-profile` cargo feature is on (the fast
+/// path must not pay two `Instant::now` calls per phase by default).
+#[cfg(feature = "batch-profile")]
+struct PhaseTimer {
+    last: std::time::Instant,
+}
+
+#[cfg(feature = "batch-profile")]
+impl PhaseTimer {
+    #[inline(always)]
+    fn start() -> Self {
+        PhaseTimer {
+            last: std::time::Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the previous lap (or start).
+    #[inline(always)]
+    fn lap(&mut self) -> u64 {
+        let now = std::time::Instant::now();
+        let ns = now.duration_since(self.last).as_nanos() as u64;
+        self.last = now;
+        ns
+    }
+}
+
+/// Profiling disabled: a zero-sized no-op timer.
+#[cfg(not(feature = "batch-profile"))]
+struct PhaseTimer;
+
+#[cfg(not(feature = "batch-profile"))]
+impl PhaseTimer {
+    #[inline(always)]
+    fn start() -> Self {
+        PhaseTimer
+    }
+
+    #[inline(always)]
+    fn lap(&mut self) -> u64 {
+        0
+    }
+}
+
+/// Doubles (at least) the arena row pitch, preserving every occupied
+/// lane's three rows. Unoccupied rows and the grown tails are reset
+/// to the `−∞` sentinel.
+fn grow_arena(
+    planes: &mut [Vec<i16>; 3],
+    slots: &[Option<Lane>],
+    k: usize,
+    stride: &mut usize,
+    min_stride: usize,
+    report: &mut BatchReport,
+) {
+    let old = *stride;
+    let new_stride = min_stride.max(2 * old);
+    for p in planes.iter_mut() {
+        let mut np = vec![NEG_INF16; k * new_stride];
+        for (s, slot) in slots.iter().enumerate() {
+            if slot.is_some() {
+                np[s * new_stride..s * new_stride + old]
+                    .copy_from_slice(&p[s * old..(s + 1) * old]);
+                report.staged_bytes += 2 * old as u64;
+            }
+        }
+        *p = np;
+    }
+    *stride = new_stride;
+}
+
+/// Rounds a lane advances per engine iteration before control returns
+/// to the pack loop. Large enough to amortize per-lane fixed costs
+/// (slot dispatch, plane selection, lane-state loads and stores) over
+/// many rounds — the live bands are only a few vectors wide, so those
+/// fixed costs, not arithmetic, would otherwise bound the round rate
+/// — and small enough that a vacated slot waits at most this many
+/// rounds for its refill, which is well under 2% of the round count
+/// of any task long enough for occupancy to matter.
+const BURST_ROUNDS: usize = 64;
+
+/// Runs the whole batch through one persistent lane pack: the scalar
+/// reference's control flow replicated per lane over the three-plane
+/// rolling arena, with terminated lanes compacted out and their slots
+/// refilled from `order`. Lanes advance in [`BURST_ROUNDS`]-round
+/// bursts ([`lane_burst`]); lanes are pure functions of their own
+/// task, so neither burst nor refill scheduling is observable in any
+/// result.
+#[allow(clippy::too_many_arguments)]
+fn run_engine(
     tasks: &[BatchTask<'_>],
-    group: &[usize],
+    order: &[usize],
     mm: &MatchMismatch,
     params: XDropParams,
     policy: BandPolicy,
+    k: usize,
+    refill: bool,
     out: &mut [Option<Result<AlignOutput>>],
     report: &mut BatchReport,
 ) {
     let delta_b = policy.delta_b();
     if delta_b == 0 {
-        for &t in group {
+        for &t in order {
             out[t] = Some(Err(AlignError::InvalidConfig("δ_b must be nonzero")));
         }
         return;
     }
-    let x = params.x;
-    let gap16 = mm.gap_penalty as i16;
-    let (mat16, mis16) = (mm.match_score as i16, mm.mismatch_score as i16);
-    let k = group.len();
 
-    let mut ls: Vec<Lane> = group
-        .iter()
-        .map(|&t| {
-            let (h, v) = (tasks[t].h, tasks[t].v);
-            let (m, n) = (h.len(), v.len());
-            let mut bufs = [vec![NEG_INF16; delta_b], vec![NEG_INF16; delta_b]];
-            bufs[0][0] = 0;
-            Lane {
-                task: t,
-                hrev: h.materialize_rev(),
-                vseq: v.materialize(),
-                m,
-                n,
-                bufs,
-                metas: [
-                    DiagMeta {
-                        cand_lo: 0,
-                        cand_hi: 0,
-                    },
-                    DiagMeta::EMPTY,
-                ],
-                cap: delta_b,
-                best: AlignResult::empty(),
-                t_best: 0,
-                live_lo: 0,
-                live_hi: 0,
-                prev_best_i: 0,
-                stats: AlignStats {
-                    cells_computed: 1,
-                    delta_w: 1,
-                    delta: m.min(n) + 1,
-                    work_bytes: 2 * delta_b * CELL_BYTES,
-                    ..Default::default()
-                },
-                cand_lo: 1,
-                cand_hi: 0,
-                state: LaneState::Active,
-            }
-        })
-        .collect();
+    // Arena: 3 planes × (k rows of `stride` i16 cells). Row layout:
+    // slot 0 = leading −∞ pad, slots 1..=width = the stored row,
+    // slot width+1 = trailing −∞ pad (see the module docs for the
+    // bounds argument). `stride ≥ max lane cap + 2` is maintained by
+    // `grow_arena`.
+    let mut stride = delta_b + 2;
+    let mut planes: [Vec<i16>; 3] = std::array::from_fn(|_| vec![NEG_INF16; k * stride]);
+    let mut slots: Vec<Option<Lane>> = (0..k).map(|_| None).collect();
+    let mut next = 0usize;
 
-    // Lane-major SoA staging buffers: slot lane·max_w + w, so each
-    // lane's staged cells are one contiguous run (`sl`/`su` stage as
-    // plain slice copies; the flat sweep is elementwise and does not
-    // care about layout). `sd` is the staged d−2 diagonal (canonical
-    // −∞ when dropped/absent), `sim` its substitution score (0 when
-    // `sd` is −∞, so the flat add keeps the sentinel), `sl`/`su` the
-    // d−1 left/up inputs. `sth` carries each slot's clamped X-Drop
-    // threshold (padding `i16::MAX`, so padding always classifies
-    // dropped), `st` receives the classified stored value (the score
-    // when live, [`NEG_INF16`] otherwise) and `dr` the pruned-by-
-    // cutoff flag the per-lane `cells_dropped` count sums.
-    let mut sd: Vec<i16> = Vec::new();
-    let mut sim: Vec<i16> = Vec::new();
-    let mut sl: Vec<i16> = Vec::new();
-    let mut su: Vec<i16> = Vec::new();
-    let mut sth: Vec<i16> = Vec::new();
-    let mut st: Vec<i16> = Vec::new();
-    let mut dr: Vec<i16> = Vec::new();
+    loop {
+        let mut timer = PhaseTimer::start();
 
-    for d in 1usize.. {
-        // Prologue: per-lane candidate interval and band policy.
-        let mut max_w = 0usize;
-        for lane in ls.iter_mut() {
-            if !lane.round_active() {
-                continue;
-            }
-            lane.cand_lo = 1;
-            lane.cand_hi = 0; // degenerate unless set below
-            if d > lane.m + lane.n {
-                lane.state = LaneState::Done;
-                continue;
-            }
-            if let Some(cap) = params.max_antidiagonals {
-                if lane.stats.antidiagonals as usize >= cap {
-                    lane.state = LaneState::Done;
-                    continue;
-                }
-            }
-            let geo_lo = d.saturating_sub(lane.m);
-            let geo_hi = d.min(lane.n);
-            let mut cand_lo = lane.live_lo.max(geo_lo);
-            let mut cand_hi = (lane.live_hi + 1).min(geo_hi);
-            if cand_lo > cand_hi {
-                lane.state = LaneState::Done;
-                continue;
-            }
-            let width = cand_hi - cand_lo + 1;
-            let band_cap = match policy {
-                BandPolicy::Exact(b) | BandPolicy::Saturate(b) => b,
-                BandPolicy::Grow(_) => lane.cap,
-            };
-            if width > band_cap {
-                match policy {
-                    BandPolicy::Exact(delta_b) => {
-                        lane.state = LaneState::Failed(AlignError::BandExceeded {
-                            needed: width,
-                            delta_b,
-                            antidiagonal: d,
-                        });
-                        continue;
-                    }
-                    BandPolicy::Grow(_) => {
-                        let new_cap = width.max(2 * lane.cap);
-                        lane.cap = new_cap;
-                        for b in &mut lane.bufs {
-                            b.resize(new_cap, NEG_INF16);
+        // ---- Refill: admit pending tasks into vacated slots. In
+        // no-refill mode only a fully drained pack admits (strict
+        // length buckets, as before this engine existed).
+        if next < order.len() {
+            let pack_live = slots.iter().any(Option::is_some);
+            if refill || !pack_live {
+                for (s, slot) in slots.iter_mut().enumerate() {
+                    if slot.is_none() && next < order.len() {
+                        let t = order[next];
+                        next += 1;
+                        let lane = Lane::enter(t, &tasks[t], delta_b);
+                        let rb = s * stride;
+                        for p in planes.iter_mut() {
+                            p[rb..rb + stride].fill(NEG_INF16);
                         }
-                        lane.stats.work_bytes = 2 * new_cap * CELL_BYTES;
-                    }
-                    BandPolicy::Saturate(delta_b) => {
-                        let half = delta_b / 2;
-                        let lo_min = cand_lo;
-                        let lo_max = cand_hi + 1 - delta_b;
-                        let lo = lane.prev_best_i.saturating_sub(half).clamp(lo_min, lo_max);
-                        lane.stats.cells_clipped += (width - delta_b) as u64;
-                        cand_lo = lo;
-                        cand_hi = lo + delta_b - 1;
+                        // Seed cell H[0][0] = 0 in plane 0, slot 1.
+                        planes[0][rb + 1] = 0;
+                        report.materializations += 1;
+                        report.staged_bytes += (lane.m + lane.n) as u64 + 3 * 2 * stride as u64;
+                        if pack_live {
+                            report.refills += 1;
+                        }
+                        *slot = Some(lane);
                     }
                 }
             }
-            lane.cand_lo = cand_lo;
-            lane.cand_hi = cand_hi;
-            max_w = max_w.max(cand_hi - cand_lo + 1);
         }
-        if ls.iter().all(|l| !l.round_active()) {
+        report.stage_ns += timer.lap();
+        if slots.iter().all(Option::is_none) {
             break;
         }
 
-        // Stage: reset the SoA buffers to padding, then write every
-        // active lane's cell inputs. Padding cells compute a dropped
-        // score the reduction never reads.
-        let slots = max_w * k;
-        sd.clear();
-        sd.resize(slots, NEG_INF16);
-        sim.clear();
-        sim.resize(slots, 0);
-        sl.clear();
-        sl.resize(slots, NEG_INF16);
-        su.clear();
-        su.resize(slots, NEG_INF16);
-        sth.clear();
-        sth.resize(slots, i16::MAX);
-        st.clear();
-        st.resize(slots, NEG_INF16);
-        dr.clear();
-        dr.resize(slots, 0);
-        let cur_idx = d % 2;
-        let prev_idx = 1 - cur_idx;
-        for (kidx, lane) in ls.iter().enumerate() {
-            if !lane.round_active() {
+        // ---- Bursts: advance every occupied lane up to
+        // [`BURST_ROUNDS`] rounds. A lane stops early only to
+        // terminate or to request a wider arena pitch (Grow policy),
+        // in which case it resumes — with no state committed for the
+        // paused round — after the re-pitch below.
+        let mut max_exec = 0u64;
+        let mut need_stride = 0usize;
+        for (s, slot) in slots.iter_mut().enumerate() {
+            let Some(lane) = slot.as_mut() else { continue };
+            let exec = lane_burst(
+                lane,
+                &mut planes,
+                s * stride,
+                stride,
+                mm,
+                params,
+                policy,
+                &mut need_stride,
+                report,
+            );
+            report.lane_rounds += exec;
+            max_exec = max_exec.max(exec);
+        }
+        // The engine iteration spans `max_exec` logical rounds; a lane
+        // that terminated earlier leaves its slot idle for the rest of
+        // the iteration (the occupancy denominator sees that).
+        report.rounds += max_exec;
+        timer.lap(); // burst time is attributed inside `lane_burst`
+
+        // A lane's band outgrew the row pitch (Grow policy): re-pitch
+        // the arena, then let the paused lane re-run its prologue.
+        if need_stride > stride {
+            grow_arena(&mut planes, &slots, k, &mut stride, need_stride, report);
+        }
+        report.stage_ns += timer.lap();
+
+        // ---- Compact: finalize terminated lanes and vacate their
+        // slots for the next iteration's refill.
+        for slot in slots.iter_mut() {
+            let finished = slot
+                .as_ref()
+                .is_some_and(|lane| !matches!(lane.state, LaneState::Active));
+            if !finished {
                 continue;
             }
-            let p2 = lane.metas[cur_idx];
-            let p1 = lane.metas[prev_idx];
-            let (clo, chi) = (lane.cand_lo, lane.cand_hi);
-            let base = kidx * max_w;
-            // The lane's X-Drop threshold, clamped into the `i16`
-            // domain. Clamping is exact where it matters: below
-            // `DROP16` no live value (`> DROP16`) can sit under the
-            // threshold either way, and a threshold above `i16::MAX`
-            // (only reachable with a negative `x`) can misclassify
-            // only a cell equal to `i16::MAX` — which then sits on
-            // [`HIGH_GUARD`] and escapes to the exact scalar rerun.
-            let thr16 = (lane.t_best - x).clamp(i32::from(DROP16), i32::from(i16::MAX)) as i16;
-            sth[base..base + (chi - clo + 1)].fill(thr16);
-            // `sl` needs `i ∈ p1`: one contiguous copy over the
-            // intersection of the candidate and stored intervals
-            // (empty intersections — e.g. `DiagMeta::EMPTY` — copy
-            // nothing, leaving the −∞ padding).
-            let buf1 = &lane.bufs[prev_idx];
-            let lo = clo.max(p1.cand_lo);
-            let hi = chi.min(p1.cand_hi);
-            if lo <= hi {
-                sl[base + (lo - clo)..=base + (hi - clo)]
-                    .copy_from_slice(&buf1[lo - p1.cand_lo..=hi - p1.cand_lo]);
+            let lane = slot.take().expect("checked occupied");
+            out[lane.task] = Some(match lane.state {
+                LaneState::Done => Ok(AlignOutput {
+                    result: lane.best,
+                    stats: lane.stats,
+                }),
+                LaneState::Overflowed => {
+                    report.reruns += 1;
+                    scalar_task(&tasks[lane.task], mm, params, policy)
+                }
+                LaneState::Failed(e) => Err(e),
+                LaneState::Active => unreachable!("finished lanes are not active"),
+            });
+        }
+        report.reduce_ns += timer.lap();
+    }
+}
+
+/// One row of the fused sweep, scalar: per cell `i = cand_lo + w`,
+/// substitution compare, saturating DP `max`, X-Drop classification,
+/// and store — with the row maximum, live minimum, and pruned count
+/// accumulated in the same pass. Returns `(mx, mn, dropped)` folded
+/// into the accumulators passed in. This is the reference body; the
+/// x86-64 [`sweep_row`] lanes the identical per-cell arithmetic
+/// (saturating adds, `max` chains and the classification are all
+/// lanewise-exact operations, so the two are bit-identical).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn sweep_row_generic(
+    r1s: &[i16],
+    r2s: &[i16],
+    vs: &[u8],
+    hs: &[u8],
+    orow: &mut [i16],
+    from: usize,
+    width: usize,
+    mat16: i16,
+    mis16: i16,
+    gap16: i16,
+    thr16: i16,
+    mx: &mut i16,
+    mn: &mut i16,
+    dropped: &mut u64,
+) {
+    for w in from..width {
+        let simw = if vs[w] == hs[w] { mat16 } else { mis16 };
+        let diag = r2s[w].saturating_add(simw);
+        let up = r1s[w].saturating_add(gap16);
+        let lft = r1s[w + 1].saturating_add(gap16);
+        let r = diag.max(lft).max(up);
+        let alive = r > DROP16;
+        let kept = alive & (r >= thr16);
+        let v = if kept { r } else { NEG_INF16 };
+        orow[w + 1] = v;
+        *dropped += u64::from(alive & !kept);
+        *mx = (*mx).max(v);
+        *mn = (*mn).min(if v > DROP16 { v } else { i16::MAX });
+    }
+}
+
+/// One row of the fused sweep over explicit SSE2 `i16` lanes — SSE2
+/// is x86-64 baseline, so there is no runtime dispatch. Eight cells
+/// per step: byte compare → select, three `paddsw`, two `pmaxsw`,
+/// classification by mask, and the row max / live min / pruned count
+/// reduced in-register (the count via `-=` of the all-ones mask,
+/// flushed to the wide accumulator every 2¹⁶ cells so the `i16`
+/// segment counters cannot wrap). The autovectorizer refused this
+/// factor on its own: the `u64` count accumulator pins loop-wide
+/// vectorization at two lanes, which is why the kernel lanes the body
+/// by hand exactly like [`crate::kernel`]'s `isa` modules do.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn sweep_row(
+    r1s: &[i16],
+    r2s: &[i16],
+    vs: &[u8],
+    hs: &[u8],
+    orow: &mut [i16],
+    width: usize,
+    mat16: i16,
+    mis16: i16,
+    gap16: i16,
+    thr16: i16,
+) -> (i16, i16, u64) {
+    use std::arch::x86_64::*;
+    debug_assert!(r1s.len() >= width + 1 && r2s.len() >= width);
+    debug_assert!(vs.len() >= width && hs.len() >= width && orow.len() >= width + 2);
+    let mut mx;
+    let mut mn;
+    let mut dropped = 0u64;
+    let vect = width & !7;
+    // SAFETY: every load reads at most 16 B ending at index `w + 8`
+    // of `r2s`/`vs`/`hs` (length ≥ `width ≥ vect ≥ w + 8`) or
+    // `w + 9` of `r1s` (length ≥ `width + 1`); the store writes
+    // `orow[w + 1 .. w + 9]` (length ≥ `width + 2 ≥ w + 10`). SSE2 is
+    // unconditionally available on `x86_64`.
+    unsafe {
+        let vmat = _mm_set1_epi16(mat16);
+        let vmis = _mm_set1_epi16(mis16);
+        let vgap = _mm_set1_epi16(gap16);
+        let vthr = _mm_set1_epi16(thr16);
+        let vdrop = _mm_set1_epi16(DROP16);
+        let vneg = _mm_set1_epi16(NEG_INF16);
+        let vimax = _mm_set1_epi16(i16::MAX);
+        let zero = _mm_setzero_si128();
+        let mut vmx = vneg;
+        let mut vmn = vimax;
+        let mut w = 0usize;
+        while w < vect {
+            let seg = (w + (1 << 16)).min(vect);
+            let mut dcnt = zero;
+            while w < seg {
+                let v16 = _mm_unpacklo_epi8(_mm_loadl_epi64(vs.as_ptr().add(w).cast()), zero);
+                let h16 = _mm_unpacklo_epi8(_mm_loadl_epi64(hs.as_ptr().add(w).cast()), zero);
+                let eq = _mm_cmpeq_epi16(v16, h16);
+                let sim = _mm_or_si128(_mm_and_si128(eq, vmat), _mm_andnot_si128(eq, vmis));
+                let diag = _mm_adds_epi16(_mm_loadu_si128(r2s.as_ptr().add(w).cast()), sim);
+                let up = _mm_adds_epi16(_mm_loadu_si128(r1s.as_ptr().add(w).cast()), vgap);
+                let lft = _mm_adds_epi16(_mm_loadu_si128(r1s.as_ptr().add(w + 1).cast()), vgap);
+                let r = _mm_max_epi16(diag, _mm_max_epi16(lft, up));
+                let alive = _mm_cmpgt_epi16(r, vdrop);
+                let below = _mm_cmpgt_epi16(vthr, r); // r < thr16
+                let kept = _mm_andnot_si128(below, alive);
+                let stored = _mm_or_si128(_mm_and_si128(kept, r), _mm_andnot_si128(kept, vneg));
+                _mm_storeu_si128(orow.as_mut_ptr().add(w + 1).cast(), stored);
+                dcnt = _mm_sub_epi16(dcnt, _mm_and_si128(alive, below));
+                vmx = _mm_max_epi16(vmx, stored);
+                vmn = _mm_min_epi16(
+                    vmn,
+                    _mm_or_si128(_mm_and_si128(kept, r), _mm_andnot_si128(kept, vimax)),
+                );
+                w += 8;
             }
-            // `su` needs `i − 1 ∈ p1`, i.e. `i` shifted one right.
-            let lo = clo.max(p1.cand_lo + 1);
-            let hi = chi.min(p1.cand_hi + 1);
-            if lo <= hi {
-                su[base + (lo - clo)..=base + (hi - clo)]
-                    .copy_from_slice(&buf1[(lo - 1) - p1.cand_lo..=(hi - 1) - p1.cand_lo]);
+            let pair = _mm_madd_epi16(dcnt, _mm_set1_epi16(1));
+            let s1 = _mm_add_epi32(pair, _mm_shuffle_epi32(pair, 0x4E));
+            let s2 = _mm_add_epi32(s1, _mm_shuffle_epi32(s1, 0xB1));
+            dropped += _mm_cvtsi128_si32(s2) as u32 as u64;
+        }
+        let m1 = _mm_max_epi16(vmx, _mm_shuffle_epi32(vmx, 0x4E));
+        let m2 = _mm_max_epi16(m1, _mm_shuffle_epi32(m1, 0xB1));
+        let m3 = _mm_max_epi16(m2, _mm_shufflelo_epi16(m2, 0xB1));
+        mx = _mm_cvtsi128_si32(m3) as i16;
+        let n1 = _mm_min_epi16(vmn, _mm_shuffle_epi32(vmn, 0x4E));
+        let n2 = _mm_min_epi16(n1, _mm_shuffle_epi32(n1, 0xB1));
+        let n3 = _mm_min_epi16(n2, _mm_shufflelo_epi16(n2, 0xB1));
+        mn = _mm_cvtsi128_si32(n3) as i16;
+    }
+    sweep_row_generic(
+        r1s,
+        r2s,
+        vs,
+        hs,
+        orow,
+        vect,
+        width,
+        mat16,
+        mis16,
+        gap16,
+        thr16,
+        &mut mx,
+        &mut mn,
+        &mut dropped,
+    );
+    (mx, mn, dropped)
+}
+
+/// One row of the fused sweep (non-x86 targets): the scalar body,
+/// which the autovectorizer lanes as far as the target allows.
+#[cfg(not(target_arch = "x86_64"))]
+#[allow(clippy::too_many_arguments)]
+fn sweep_row(
+    r1s: &[i16],
+    r2s: &[i16],
+    vs: &[u8],
+    hs: &[u8],
+    orow: &mut [i16],
+    width: usize,
+    mat16: i16,
+    mis16: i16,
+    gap16: i16,
+    thr16: i16,
+) -> (i16, i16, u64) {
+    let mut mx = NEG_INF16;
+    let mut mn = i16::MAX;
+    let mut dropped = 0u64;
+    sweep_row_generic(
+        r1s,
+        r2s,
+        vs,
+        hs,
+        orow,
+        0,
+        width,
+        mat16,
+        mis16,
+        gap16,
+        thr16,
+        &mut mx,
+        &mut mn,
+        &mut dropped,
+    );
+    (mx, mn, dropped)
+}
+
+/// Advances one lane by up to [`BURST_ROUNDS`] antidiagonal rounds —
+/// prologue, fused sweep, and reductions per round, exactly the
+/// scalar reference's control flow — and returns the number of rounds
+/// executed. Stops early when the lane leaves [`LaneState::Active`]
+/// or when [`BandPolicy::Grow`] needs a wider arena pitch than
+/// `stride`: `need_stride` is raised and the paused round commits
+/// **nothing** (prologue mutations happen only once the round is sure
+/// to execute), so re-running the prologue after the re-pitch is
+/// exact.
+#[allow(clippy::too_many_arguments)]
+fn lane_burst(
+    lane: &mut Lane,
+    planes: &mut [Vec<i16>; 3],
+    rb: usize,
+    stride: usize,
+    mm: &MatchMismatch,
+    params: XDropParams,
+    policy: BandPolicy,
+    need_stride: &mut usize,
+    report: &mut BatchReport,
+) -> u64 {
+    let x = params.x;
+    let gap16 = mm.gap_penalty as i16;
+    let (mat16, mis16) = (mm.match_score as i16, mm.mismatch_score as i16);
+    let mut exec = 0u64;
+    let mut timer = PhaseTimer::start();
+    for _ in 0..BURST_ROUNDS {
+        // ---- Prologue: candidate interval and band policy on
+        // locals; nothing commits before the arena-pitch check.
+        let d = lane.d + 1;
+        if d > lane.m + lane.n {
+            lane.state = LaneState::Done;
+            break;
+        }
+        if let Some(cap) = params.max_antidiagonals {
+            if lane.stats.antidiagonals as usize >= cap {
+                lane.state = LaneState::Done;
+                break;
             }
-            // `sd`/`sim` need `i − 1 ∈ p2`: dropped cells are stored
-            // as the canonical [`NEG_INF16`], so `sd` stages as a
-            // plain shifted slice copy with no per-cell liveness
-            // branch — a dead parent's `−∞ ± sim` still lands below
-            // [`DROP16`] and loses every `max` against a live
-            // operand, exactly like the staged sentinel did. The
-            // substitution compare then runs unconditionally over
-            // the same interval: forward `V` slice against the
-            // reversed `H` copy (both forward in `i`, see
-            // [`TaskView::materialize_rev`]), a branch-free
-            // compare-select the autovectorizer handles. Bounds are
-            // geometric, not liveness-dependent: `i ≤ p2.cand_hi + 1
-            // ≤ d − 1` gives `j = d − i ≥ 1`, and `i − 1 ≥
-            // p2.cand_lo ≥ d − 2 − m + 1` keeps `j − 1 ≤ m − 1`.
-            let buf2 = &lane.bufs[cur_idx];
-            let lo = clo.max(p2.cand_lo + 1);
-            let hi = chi.min(p2.cand_hi + 1);
-            if lo <= hi {
-                let off = base + (lo - clo);
-                let run = hi - lo + 1;
-                sd[off..off + run]
-                    .copy_from_slice(&buf2[(lo - 1) - p2.cand_lo..=(hi - 1) - p2.cand_lo]);
-                let vs = &lane.vseq[lo - 1..hi];
-                let hs = &lane.hrev[lane.m + lo - d..lane.m + hi + 1 - d];
-                let sim_run = &mut sim[off..off + run];
-                for w in 0..run {
-                    sim_run[w] = if vs[w] == hs[w] { mat16 } else { mis16 };
+        }
+        let geo_lo = d.saturating_sub(lane.m);
+        let geo_hi = d.min(lane.n);
+        let mut cand_lo = lane.live_lo.max(geo_lo);
+        let mut cand_hi = (lane.live_hi + 1).min(geo_hi);
+        if cand_lo > cand_hi {
+            lane.state = LaneState::Done;
+            break;
+        }
+        let mut width = cand_hi - cand_lo + 1;
+        let band_cap = match policy {
+            BandPolicy::Exact(b) | BandPolicy::Saturate(b) => b,
+            BandPolicy::Grow(_) => lane.cap,
+        };
+        if width > band_cap {
+            match policy {
+                BandPolicy::Exact(delta_b) => {
+                    lane.state = LaneState::Failed(AlignError::BandExceeded {
+                        needed: width,
+                        delta_b,
+                        antidiagonal: d,
+                    });
+                    break;
+                }
+                BandPolicy::Grow(_) => {
+                    let new_cap = width.max(2 * lane.cap);
+                    if new_cap + 2 > stride {
+                        *need_stride = (*need_stride).max(new_cap + 2);
+                        break;
+                    }
+                    lane.cap = new_cap;
+                    lane.stats.work_bytes = 2 * new_cap * CELL_BYTES;
+                }
+                BandPolicy::Saturate(delta_b) => {
+                    let half = delta_b / 2;
+                    let lo_min = cand_lo;
+                    let lo_max = cand_hi + 1 - delta_b;
+                    let lo = lane.prev_best_i.saturating_sub(half).clamp(lo_min, lo_max);
+                    lane.stats.cells_clipped += (width - delta_b) as u64;
+                    cand_lo = lo;
+                    cand_hi = lo + delta_b - 1;
+                    width = delta_b;
                 }
             }
         }
+        lane.d = d;
+        exec += 1;
+        report.prologue_ns += timer.lap();
 
-        // Sweep: one flat branch-free pass over every lane's cells,
-        // with the X-Drop classification fused in — `st` gets the
-        // score when the cell survives (live parent, above its lane's
-        // threshold) and the canonical −∞ otherwise; `dr` flags the
-        // cells the cutoff pruned. Saturating adds are a safety net
-        // only — the guard band proves they never actually saturate
-        // on values the reduction keeps.
-        for idx in 0..slots {
-            let diag = sd[idx].saturating_add(sim[idx]);
-            let lft = sl[idx].saturating_add(gap16);
-            let up = su[idx].saturating_add(gap16);
-            let r = diag.max(lft).max(up);
-            let alive = r > DROP16;
-            let kept = alive & (r >= sth[idx]);
-            st[idx] = if kept { r } else { NEG_INF16 };
-            dr[idx] = i16::from(alive & !kept);
-        }
+        // ---- Fused sweep: one branch-free saturating pass whose
+        // operands are index-shifted views of the rows written in
+        // rounds d−1 (plane (d+2)%3) and d−2 (plane (d+1)%3), written
+        // straight into plane d%3 — no operand staging, no writeback.
+        // The substitution compare reads the sentinel-padded sequence
+        // copies directly, and the row max / live-min reductions ride
+        // in the same pass.
+        let cur = d % 3;
+        let [a, b, c] = planes;
+        // (write plane, d−1 plane, d−2 plane) for this lane's ring
+        // position.
+        let (outp, r1, r2): (&mut Vec<i16>, &Vec<i16>, &Vec<i16>) = match cur {
+            0 => (a, &*c, &*b),
+            1 => (b, &*a, &*c),
+            _ => (c, &*b, &*a),
+        };
+        // Candidate-interval monotonicity (module docs) makes both
+        // offsets non-negative and bounds every read by the source
+        // row's trailing pad.
+        let off1 = cand_lo - lane.bases[(cur + 2) % 3];
+        let off2 = cand_lo - lane.bases[(cur + 1) % 3];
+        // The lane's X-Drop threshold, clamped into the `i16` domain.
+        // Clamping is exact where it matters: below `DROP16` no live
+        // value (`> DROP16`) can sit under the threshold either way,
+        // and a threshold above `i16::MAX` (only reachable with a
+        // negative `x`) can misclassify only a cell equal to
+        // `i16::MAX` — which then sits on [`HIGH_GUARD`] and escapes
+        // to the exact scalar rerun.
+        let thr16 = (lane.t_best - x).clamp(i32::from(DROP16), i32::from(i16::MAX)) as i16;
+        // `r1s[w]` = H[d−1][i−1] (up), `r1s[w+1]` = H[d−1][i] (left),
+        // `r2s[w]` = H[d−2][i−1] (diagonal), `vs[w]` = V[i−1],
+        // `hs[w]` = H[d−i−1], for i = cand_lo + w (the sequence reads
+        // hit a [`SEQ_PAD`] exactly where the diagonal parent is a
+        // pad, so their value never matters there).
+        let r1s = &r1[rb + off1..rb + off1 + width + 1];
+        let r2s = &r2[rb + off2..rb + off2 + width];
+        let vs = &lane.vpad[cand_lo..cand_lo + width];
+        let hs = &lane.hpad[lane.m + cand_lo - d..lane.m + cand_lo - d + width];
+        let orow = &mut outp[rb..rb + width + 2];
+        let (mx, mn, dropped) =
+            sweep_row(r1s, r2s, vs, hs, orow, width, mat16, mis16, gap16, thr16);
+        orow[0] = NEG_INF16; // leading pad
+        orow[width + 1] = NEG_INF16; // trailing pad
+        lane.bases[cur] = cand_lo;
+        lane.widths[cur] = width;
+        report.lane_cells += width as u64;
+        report.sweep_ns += timer.lap();
 
-        // Reduce: per lane, three contiguous branch-free reductions
-        // (diagonal max, live min, pruned count — all vectorizable)
-        // plus short positional scans. These reproduce the scalar
+        // ---- Reduce: stats bookkeeping plus three short positional
+        // scans over the just-written row. These reproduce the scalar
         // reference's in-order reductions exactly: the first slot
         // holding the diagonal maximum is its first-max-wins argmax,
         // and the first/last live slots bound the next live interval.
-        for (kidx, lane) in ls.iter_mut().enumerate() {
-            if !lane.round_active() {
-                continue;
-            }
-            let (cand_lo, cand_hi) = (lane.cand_lo, lane.cand_hi);
-            let width = cand_hi - cand_lo + 1;
-            let base = kidx * max_w;
-            let stl = &st[base..base + width];
-            let drl = &dr[base..base + width];
-            let mut mx = NEG_INF16;
-            let mut mn = i16::MAX;
-            let mut dropped = 0u64;
-            for w in 0..width {
-                let v = stl[w];
-                mx = mx.max(v);
-                mn = mn.min(if v > DROP16 { v } else { i16::MAX });
-                dropped += drl[w] as u64;
-            }
-            lane.bufs[cur_idx][..width].copy_from_slice(stl);
-            lane.stats.cells_computed += width as u64;
-            lane.stats.cells_dropped += dropped;
-            lane.stats.antidiagonals += 1;
-            lane.metas[cur_idx] = DiagMeta { cand_lo, cand_hi };
-            if i32::from(mx) >= HIGH_GUARD || i32::from(mn) <= LOW_GUARD {
-                lane.state = LaneState::Overflowed;
-                continue;
-            }
-            if mx <= DROP16 {
-                lane.state = LaneState::Done;
-                continue;
-            }
-            let mut lo_w = 0usize;
-            while stl[lo_w] <= DROP16 {
-                lo_w += 1;
-            }
-            let mut hi_w = width - 1;
-            while stl[hi_w] <= DROP16 {
-                hi_w -= 1;
-            }
-            let best_w = stl.iter().position(|&v| v == mx).expect("live max present");
-            let smax = i32::from(mx);
-            lane.live_lo = cand_lo + lo_w;
-            lane.live_hi = cand_lo + hi_w;
-            lane.prev_best_i = cand_lo + best_w;
-            if smax > lane.best.best_score {
-                lane.best = AlignResult {
-                    best_score: smax,
-                    end_h: d - (cand_lo + best_w),
-                    end_v: cand_lo + best_w,
-                };
-            }
-            lane.stats.delta_w = lane.stats.delta_w.max(hi_w - lo_w + 1);
-            lane.t_best = lane.t_best.max(smax);
+        lane.stats.cells_computed += width as u64;
+        lane.stats.cells_dropped += dropped;
+        lane.stats.antidiagonals += 1;
+        if i32::from(mx) >= HIGH_GUARD || i32::from(mn) <= LOW_GUARD {
+            lane.state = LaneState::Overflowed;
+            break;
         }
+        if mx <= DROP16 {
+            lane.state = LaneState::Done;
+            break;
+        }
+        let mut lo_w = 0usize;
+        while orow[1 + lo_w] <= DROP16 {
+            lo_w += 1;
+        }
+        let mut hi_w = width - 1;
+        while orow[1 + hi_w] <= DROP16 {
+            hi_w -= 1;
+        }
+        let best_w = orow[1..=width]
+            .iter()
+            .position(|&v| v == mx)
+            .expect("live max present");
+        let smax = i32::from(mx);
+        lane.live_lo = cand_lo + lo_w;
+        lane.live_hi = cand_lo + hi_w;
+        lane.prev_best_i = cand_lo + best_w;
+        if smax > lane.best.best_score {
+            lane.best = AlignResult {
+                best_score: smax,
+                end_h: d - (cand_lo + best_w),
+                end_v: cand_lo + best_w,
+            };
+        }
+        lane.stats.delta_w = lane.stats.delta_w.max(hi_w - lo_w + 1);
+        lane.t_best = lane.t_best.max(smax);
+        report.reduce_ns += timer.lap();
     }
-
-    for lane in ls {
-        out[lane.task] = Some(match lane.state {
-            LaneState::Done | LaneState::Active => Ok(AlignOutput {
-                result: lane.best,
-                stats: lane.stats,
-            }),
-            LaneState::Overflowed => {
-                report.reruns += 1;
-                scalar_task(&tasks[lane.task], mm, params, policy)
-            }
-            LaneState::Failed(e) => Err(e),
-        });
-    }
+    exec
 }
 
 #[cfg(test)]
@@ -707,6 +1159,66 @@ mod tests {
 
     fn sc() -> MatchMismatch {
         MatchMismatch::dna_default()
+    }
+
+    /// Phase-profile harness: `cargo test -p xdrop-core --release \
+    /// --features batch-profile phase_profile -- --ignored --nocapture`
+    /// prints the per-phase nanosecond split over a bench-shaped pool.
+    #[test]
+    #[ignore = "profiling harness, run manually with --features batch-profile"]
+    fn phase_profile() {
+        let mut state = 0x243f_6a88_85a3_08d3_u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let pool: Vec<(Vec<u8>, Vec<u8>)> = (0..64)
+            .map(|_| {
+                let len = 1900 + (rng() % 200) as usize;
+                let h: Vec<u8> = (0..len).map(|_| (rng() % 4) as u8).collect();
+                let v: Vec<u8> = h
+                    .iter()
+                    .map(|&b| if rng() % 20 == 0 { (b + 1) % 4 } else { b })
+                    .collect();
+                (h, v)
+            })
+            .collect();
+        let tasks: Vec<BatchTask<'_>> = pool
+            .iter()
+            .map(|(h, v)| BatchTask {
+                h: TaskView::Fwd(h),
+                v: TaskView::Fwd(v),
+            })
+            .collect();
+        let params = XDropParams::new(50);
+        let policy = BandPolicy::Grow(64);
+        let mut best = BatchReport::default();
+        let mut best_ns = u64::MAX;
+        for _ in 0..20 {
+            let t0 = std::time::Instant::now();
+            let (o, report) = align_batch_with_lanes(&tasks, &sc(), params, policy, 8);
+            let total = t0.elapsed().as_nanos() as u64;
+            std::hint::black_box(&o);
+            if total < best_ns {
+                best_ns = total;
+                best = report;
+            }
+        }
+        let phases = best.prologue_ns + best.stage_ns + best.sweep_ns + best.reduce_ns;
+        println!(
+            "total {best_ns} ns | prologue {} stage {} sweep {} reduce {} (sum {phases}) \
+             | rounds {} lane_rounds {} lane_cells {} cells/lane-round {:.1}",
+            best.prologue_ns,
+            best.stage_ns,
+            best.sweep_ns,
+            best.reduce_ns,
+            best.rounds,
+            best.lane_rounds,
+            best.lane_cells,
+            best.lane_cells as f64 / best.lane_rounds.max(1) as f64,
+        );
     }
 
     fn assert_batch_matches_scalar(
@@ -722,6 +1234,10 @@ mod tests {
             let reference = scalar_task(t, scorer, params, policy);
             assert_eq!(&reference, g, "lane vs scalar, lanes={lanes}");
         }
+        // Refill timing must never leak into results: the strict
+        // no-refill bucket mode is the same batch, bit for bit.
+        let (bucketed, _) = align_batch_with_opts(tasks, scorer, params, policy, lanes, false);
+        assert_eq!(got, bucketed, "refill vs no-refill, lanes={lanes}");
         report
     }
 
@@ -829,6 +1345,7 @@ mod tests {
         );
         assert_eq!(report.fallbacks, tasks.len());
         assert_eq!(report.buckets, 0);
+        assert_eq!(report.materializations, 0, "fallbacks never materialize");
         // Oversized score steps likewise.
         let big = MatchMismatch::new(MAX_STEP + 1, -1, -1);
         let (_, report) = align_batch(&tasks, &big, XDropParams::new(9), BandPolicy::Grow(4));
@@ -915,6 +1432,113 @@ mod tests {
         );
         assert_eq!(report.buckets, 3);
         assert_eq!(report.reruns, 0);
+        // Descending length, equal lengths in submission order.
+        assert_eq!(task_order(&tasks), vec![0, 4, 2, 1, 3]);
+    }
+
+    /// The schedule tiebreak is the original task index: a batch of
+    /// all-equal lengths must keep submission order exactly, however
+    /// the contents are shuffled.
+    #[test]
+    fn equal_length_tasks_schedule_in_submission_order() {
+        let s: Vec<u8> = (0..48).map(|i| (i % 4) as u8).collect();
+        let shuffles: [&[usize]; 3] = [
+            &[0, 1, 2, 3, 4, 5],
+            &[5, 3, 1, 0, 2, 4],
+            &[2, 0, 5, 4, 3, 1],
+        ];
+        for starts in shuffles {
+            let tasks: Vec<BatchTask<'_>> = starts
+                .iter()
+                .map(|&o| BatchTask {
+                    h: TaskView::Fwd(&s[o..o + 24]),
+                    v: TaskView::Fwd(&s[o..o + 24]),
+                })
+                .collect();
+            assert_eq!(
+                task_order(&tasks),
+                (0..tasks.len()).collect::<Vec<_>>(),
+                "equal lengths must schedule by submission index"
+            );
+            assert_batch_matches_scalar(&tasks, &sc(), XDropParams::new(8), BandPolicy::Grow(4), 4);
+        }
+    }
+
+    /// One materialization per task, even when the lane overflows and
+    /// reruns through the scalar reference (the rerun runs on the
+    /// original views).
+    #[test]
+    fn rerun_does_not_rematerialize() {
+        let long: Vec<u8> = (0..i16::MAX as usize).map(|i| (i % 4) as u8).collect();
+        let short = encode_dna(b"ACGTACGTACGTACGT");
+        let tasks = [
+            BatchTask {
+                h: TaskView::Fwd(&long),
+                v: TaskView::Fwd(&long),
+            },
+            BatchTask {
+                h: TaskView::Rev(&short),
+                v: TaskView::Fwd(&short),
+            },
+        ];
+        let (got, report) =
+            align_batch_with_lanes(&tasks, &sc(), XDropParams::new(4), BandPolicy::Grow(4), 2);
+        assert_eq!(report.reruns, 1);
+        assert_eq!(
+            report.materializations,
+            tasks.len(),
+            "exactly one materialization per task, rerun included"
+        );
+        for (t, g) in tasks.iter().zip(&got) {
+            let reference = scalar_task(t, &sc(), XDropParams::new(4), BandPolicy::Grow(4));
+            assert_eq!(&reference, g);
+        }
+    }
+
+    /// Mid-flight refill keeps the pack occupied: a mixed-length
+    /// batch over few lanes must report high occupancy, count its
+    /// refills, and stage only the substitution bytes per cell.
+    #[test]
+    fn refill_keeps_occupancy_high_and_staging_lean() {
+        let s: Vec<u8> = (0..4096).map(|i| (i % 4) as u8).collect();
+        let lens = [4000usize, 600, 550, 500, 450, 400, 350, 300, 250, 200];
+        let tasks: Vec<BatchTask<'_>> = lens
+            .iter()
+            .map(|&l| BatchTask {
+                h: TaskView::Fwd(&s[..l]),
+                v: TaskView::Fwd(&s[..l]),
+            })
+            .collect();
+        let (_, report) =
+            align_batch_with_lanes(&tasks, &sc(), XDropParams::new(20), BandPolicy::Grow(8), 2);
+        assert!(report.rounds > 0);
+        assert!(
+            report.refills > 0,
+            "short lanes must refill while the long lane runs"
+        );
+        let occ = report.occupancy();
+        assert!(
+            occ > 0.9 && occ <= 1.0,
+            "refill should keep both slots busy, got {occ}"
+        );
+        assert!(report.lane_cells > 0);
+        let spc = report.staged_bytes_per_cell();
+        assert!(
+            spc < 7.0,
+            "persistent staging must beat the 14 B/cell operand-copy kernel, got {spc}"
+        );
+        // Same batch, no refill: identical results were asserted in
+        // other tests; here the occupancy penalty must be visible.
+        let (_, strict) = align_batch_with_opts(
+            &tasks,
+            &sc(),
+            XDropParams::new(20),
+            BandPolicy::Grow(8),
+            2,
+            false,
+        );
+        assert_eq!(strict.refills, 0);
+        assert!(strict.occupancy() < occ);
     }
 
     #[test]

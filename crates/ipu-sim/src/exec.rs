@@ -209,14 +209,24 @@ pub fn planning_units(w: &Workload, lr_split: bool) -> Vec<WorkUnit> {
     units
 }
 
-/// How many comparisons each queue claim should hand one worker: the
-/// batched kernel's hardware lane width under [`KernelKind::Batched`]
-/// (so every claim can fill a whole lane group — and, because claims
-/// are consecutive runs of the LPT order, its comparisons already
-/// have similar cost), 1 for the per-comparison kernels.
+/// How many consecutive LPT-order claims one worker's batch call
+/// spans, as a multiple of the lane width. The batched kernel's
+/// mid-flight refill turns the surplus beyond one lane group into a
+/// pending queue: a lane that X-Drop retires early is refilled from
+/// the same claim instead of idling, so oversizing the claim raises
+/// lane occupancy. 4× keeps the per-claim task spread inside one LPT
+/// run (similar costs) while leaving ~3 refill waves per slot.
+pub const REFILL_CLAIM_FACTOR: usize = 4;
+
+/// How many comparisons each queue claim should hand one worker:
+/// [`REFILL_CLAIM_FACTOR`] × the batched kernel's hardware lane width
+/// under [`KernelKind::Batched`] (one lane group plus a refill queue —
+/// and, because claims are consecutive runs of the LPT order, its
+/// comparisons already have similar cost), 1 for the per-comparison
+/// kernels.
 pub fn claim_grain(cfg: &ExecConfig) -> usize {
     if cfg.params.kernel == KernelKind::Batched {
-        batched::lane_width()
+        batched::lane_width() * REFILL_CLAIM_FACTOR
     } else {
         1
     }

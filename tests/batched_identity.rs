@@ -15,7 +15,9 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use xdrop_ipu::core::batched::{align_batch, align_batch_with_lanes, BatchTask, TaskView};
+use xdrop_ipu::core::batched::{
+    align_batch, align_batch_with_lanes, align_batch_with_opts, BatchTask, TaskView,
+};
 use xdrop_ipu::core::kernel::{self, KernelKind};
 use xdrop_ipu::core::scoring::MatchMismatch;
 use xdrop_ipu::core::seqview::{Fwd, Rev};
@@ -172,6 +174,65 @@ proptest! {
             prop_assert_eq!(report.fallbacks, 0);
             for (t, spec) in batch.iter().enumerate() {
                 assert_lane_identical(t, policy, &spec.scalar(p, policy), &got[t])?;
+            }
+        }
+    }
+
+    /// Mid-flight refill is invisible in the results: batches built
+    /// to churn the lane slots — a spread of short early-terminating
+    /// tasks (high divergence, tight x), plus an optional forced
+    /// `i16`-overflow lane leaving through the rerun path — are
+    /// bit-identical across lane widths {8, 16, 32} and against the
+    /// strict no-refill bucket mode, for every band policy.
+    #[test]
+    fn midflight_refill_is_bit_identical(
+        batch in task_batch(),
+        x in 0i32..12,
+        db in 1usize..16,
+        force_overflow in any::<bool>(),
+    ) {
+        let sc = MatchMismatch::dna_default();
+        let p = XDropParams::new(x);
+        let mut batch = batch;
+        if force_overflow {
+            // An all-match pair past the i16 domain: this lane leaves
+            // its slot through the overflow rerun, so refill also
+            // covers slots vacated by non-terminal exits.
+            let long: Vec<u8> = (0..34_000).map(|i| (i % 4) as u8).collect();
+            batch.insert(batch.len() / 2, TaskSpec {
+                h: long.clone(),
+                v: long,
+                h_rev: false,
+                v_rev: false,
+            });
+        }
+        let tasks: Vec<BatchTask<'_>> = batch.iter().map(TaskSpec::task).collect();
+        for policy in [
+            BandPolicy::Grow(db),
+            BandPolicy::Exact(db),
+            BandPolicy::Saturate(db),
+        ] {
+            let mut previous: Option<Vec<Result<AlignOutput>>> = None;
+            for lanes in [8usize, 16, 32] {
+                let (with_refill, report) =
+                    align_batch_with_opts(&tasks, &sc, p, policy, lanes, true);
+                let (no_refill, strict) =
+                    align_batch_with_opts(&tasks, &sc, p, policy, lanes, false);
+                prop_assert_eq!(
+                    &with_refill, &no_refill,
+                    "refill vs strict buckets, lanes={} {:?}", lanes, policy
+                );
+                prop_assert_eq!(strict.refills, 0, "strict mode must never refill");
+                if force_overflow && policy == BandPolicy::Grow(db) {
+                    prop_assert!(report.reruns >= 1, "forced lane must rerun");
+                }
+                for (t, spec) in batch.iter().enumerate() {
+                    assert_lane_identical(t, policy, &spec.scalar(p, policy), &with_refill[t])?;
+                }
+                if let Some(prev) = &previous {
+                    prop_assert_eq!(prev, &with_refill, "lane width changed results");
+                }
+                previous = Some(with_refill);
             }
         }
     }

@@ -11,13 +11,17 @@
 //! (`faults`); v4 adds the `batched` kernel rows and the batched
 //! lanes × length-dispersion section (`batched`); v5 adds the
 //! fleet-scale strong-scaling section (`scaling`) with the
-//! host-link-contention device sweep. Regenerate the kernel rows and
+//! host-link-contention device sweep; v6 adds the batched rows'
+//! `occupancy` / `staged_bytes_per_cell` / `refills` / `rounds`
+//! counters from the persistent-staging + mid-flight-refill kernel,
+//! gated here against the pre-refill kernel's ~14 B/cell staging
+//! traffic. Regenerate the kernel rows and
 //! the batched section with `cargo run --release -p xdrop-bench
 //! --bin experiments -- bench --bench-json` and the
 //! e2e/partition/faults/scaling rows with the same command using
 //! `e2e`, `partition`, `faults` or `scaling`.
 
-use xdrop_bench::exp::batchbench::BATCHED_REPRO_COMMAND;
+use xdrop_bench::exp::batchbench::{BATCHED_REPRO_COMMAND, V5_STAGED_BYTES_PER_CELL};
 use xdrop_bench::exp::e2e::E2E_REPRO_COMMAND;
 use xdrop_bench::exp::faultbench::{FAULTS_REPRO_COMMAND, FAULT_DEVICES};
 use xdrop_bench::exp::fleetscale::{
@@ -260,6 +264,16 @@ fn batched_section_is_well_formed() {
                 "bench pool scores fit i16; a rerun flags a guard-band bug"
             );
             assert!(r.hw_lanes >= 1 && r.host_cores >= 1);
+            // v6 counters: occupancy is a fraction, and the staging
+            // and round counters must have actually been measured.
+            assert!(
+                r.occupancy > 0.0 && r.occupancy <= 1.0,
+                "{}: occupancy {} out of (0, 1]",
+                r.config,
+                r.occupancy
+            );
+            assert!(r.rounds > 0, "{}", r.config);
+            assert!(r.staged_bytes_per_cell > 0.0, "{}", r.config);
         }
     }
     let disps: Vec<u32> = file
@@ -268,6 +282,47 @@ fn batched_section_is_well_formed() {
         .map(|b| b[0].dispersion_pct)
         .collect();
     assert_eq!(disps, vec![0, 25, 75]);
+}
+
+/// The v6 acceptance gates on the persistent-staging kernel's own
+/// counters. Both are host-independent (they count deterministic
+/// bytes and rounds, not wall-clock), so they hold unconditionally:
+/// staging traffic per scored cell must be at least halved versus the
+/// v5 operand-copy kernel's ≈14 B/cell, and mid-flight refill must
+/// hold mean lane occupancy at ≥ 0.8 on the high-dispersion buckets
+/// it exists for.
+#[test]
+fn committed_baseline_shows_staging_reduction_and_occupancy() {
+    let file = load();
+    assert!(!file.batched.is_empty());
+    for r in &file.batched {
+        assert!(
+            r.staged_bytes_per_cell <= V5_STAGED_BYTES_PER_CELL / 2.0,
+            "{}: staged {} B/cell, above half the v5 kernel's {} B/cell",
+            r.config,
+            r.staged_bytes_per_cell,
+            V5_STAGED_BYTES_PER_CELL
+        );
+    }
+    let high_disp: Vec<_> = file
+        .batched
+        .iter()
+        .filter(|r| r.dispersion_pct >= 75)
+        .collect();
+    assert!(!high_disp.is_empty(), "high-dispersion block missing");
+    for r in high_disp {
+        assert!(
+            r.occupancy >= 0.8,
+            "{}: mean lane occupancy {:.3} below the 0.8 refill bar",
+            r.config,
+            r.occupancy
+        );
+        assert!(
+            r.refills > 0,
+            "{}: dispersed buckets must exercise mid-flight refill",
+            r.config
+        );
+    }
 }
 
 #[test]
@@ -290,12 +345,15 @@ fn committed_baseline_shows_batched_win() {
     } else {
         // Small-host baseline (e.g. the 1-core container that produced
         // the committed file): claim-grain batching across cores can't
-        // help, so the bar is the single-threaded kernel itself. With
-        // the cutoff fused into the flat i16 sweep and the per-lane
-        // bookkeeping reduced branch-free, the lane packing must beat
-        // the scalar loop even on one thread (committed best ~2.5-3x).
+        // help, so the bar is the single-threaded kernel itself. The
+        // gather-free persistent-staging engine (explicit SSE2 i16
+        // lanes, fused sweep, burst scheduling) must beat the scalar
+        // loop by a wide margin even on one thread — the committed
+        // v6 baseline measures ~4.5-4.9x, up from ~2.3-3.2x for the
+        // v5 staged kernel, so 3x leaves headroom for host noise
+        // without letting a staging regression slip through.
         assert!(
-            best >= 1.0,
+            best >= 3.0,
             "batched kernel must beat the scalar loop single-threaded \
              on a {}-core host (avx2={}), best was {best:.2}x",
             r.host_cores,
