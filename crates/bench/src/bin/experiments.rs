@@ -17,6 +17,9 @@
 //!   pastis     §6.3.2   PASTIS alignment step CPU vs IPU
 //!   bench      host-kernel A/B (scalar/chunked/simd/batched)
 //!              plus the batched lanes x dispersion sweep
+//!   sweep-backends  print the fused-sweep register backends this
+//!              host supports, one per line (CI loops over them
+//!              with XDROP_SWEEP forced to each)
 //!   e2e        host pipeline: streaming vs barriered wall-clock
 //!   faults     fault recovery: fault-free vs one device lost
 //!   scaling    fleet scaling: windowed out-of-core pipeline,
@@ -102,7 +105,7 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}\n");
     }
     eprintln!(
-        "usage: experiments <table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|sec61|partition|elba|pastis|bench|e2e|faults|scaling|all> [--scale F] [--threads N] [--iters N] [--trace] [--bench-json]\n\
+        "usage: experiments <table1|table2|fig1|fig2|fig3|fig4|fig5|fig6|fig7|sec61|partition|elba|pastis|bench|sweep-backends|e2e|faults|scaling|all> [--scale F] [--threads N] [--iters N] [--trace] [--bench-json]\n\
          \n\
          --iters       with `bench`/`e2e`/`partition`/`faults`: timing\n\
          \x20             iterations per configuration (default 3;\n\
@@ -128,6 +131,16 @@ fn scaled(kind: DatasetKind, mult: f64) -> Dataset {
 
 fn main() {
     let args = parse_args();
+    if args.name == "sweep-backends" {
+        // Bare lines, no banner or timing: bench-smoke CI does
+        // `for b in $(experiments sweep-backends); do
+        //    XDROP_SWEEP=$b ... bench ...; done`
+        // and shell word-splitting must see only backend names.
+        for b in xdrop_core::batched::SweepBackend::supported() {
+            println!("{}", b.name());
+        }
+        return;
+    }
     let names: Vec<&str> = if args.name == "all" {
         vec![
             "table2",

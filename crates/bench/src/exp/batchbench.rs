@@ -74,6 +74,12 @@ pub struct BatchedRow {
     /// Whether the producing host had AVX2 (x86_64 only; lane packing
     /// falls back to narrow sweeps without it).
     pub avx2: bool,
+    /// Which fused-sweep backend actually ran
+    /// (`BatchReport::sweep_backend`): `generic`, `sse2`, `avx2`, or
+    /// `avx512bw`. The lanes × dispersion rows record whatever the
+    /// host (or `XDROP_SWEEP`) resolved to; the `backend-*` rows pin
+    /// one backend each so the file holds a per-backend baseline.
+    pub sweep_backend: String,
 }
 
 fn host_cores() -> usize {
@@ -147,6 +153,9 @@ pub fn run(scale: f64, iters: usize) -> Vec<BatchedRow> {
     let hw = batched::lane_width();
 
     let mut rows = Vec::new();
+    // Appended after the sweep so the lanes × dispersion block stays
+    // contiguous in the committed JSON.
+    let mut backend_rows = Vec::new();
     for disp in [0u32, 25, 75] {
         let pool = batch_pool(base, disp, comparisons);
         let tasks: Vec<BatchTask<'_>> = pool
@@ -218,9 +227,48 @@ pub fn run(scale: f64, iters: usize) -> Vec<BatchedRow> {
                 hw_lanes: hw,
                 host_cores: cores,
                 avx2,
+                sweep_backend: report.sweep_backend.name().to_string(),
             });
         }
+        // One row per supported register backend on the realistic
+        // disp25 bucket at the widest lane count, each pinned
+        // explicitly so the committed file carries a full per-backend
+        // baseline regardless of what the host auto-resolves.
+        if disp == 25 {
+            let lanes = 16usize;
+            for &b in &batched::SweepBackend::supported() {
+                let (_, report) =
+                    batched::align_batch_with_backend(&tasks, &sc, params, policy, lanes, true, b);
+                let seconds_batched = time_batch(iters, || {
+                    let (o, _) = batched::align_batch_with_backend(
+                        &tasks, &sc, params, policy, lanes, true, b,
+                    );
+                    std::hint::black_box(&o);
+                });
+                backend_rows.push(BatchedRow {
+                    config: format!("backend-{}/disp{disp}", b.name()),
+                    lanes,
+                    dispersion_pct: disp,
+                    len: base,
+                    comparisons,
+                    cells,
+                    seconds_scalar,
+                    seconds_batched,
+                    speedup_vs_scalar: seconds_scalar / seconds_batched,
+                    reruns: report.reruns as u64,
+                    occupancy: report.occupancy(),
+                    staged_bytes_per_cell: report.staged_bytes_per_cell(),
+                    refills: report.refills as u64,
+                    rounds: report.rounds,
+                    hw_lanes: hw,
+                    host_cores: cores,
+                    avx2,
+                    sweep_backend: report.sweep_backend.name().to_string(),
+                });
+            }
+        }
     }
+    rows.extend(backend_rows);
     rows
 }
 
@@ -236,11 +284,11 @@ pub fn render(rows: &[BatchedRow]) -> String {
     let cores = rows.first().map_or(0, |r| r.host_cores);
     let avx2 = rows.first().is_some_and(|r| r.avx2);
     let mut s = format!(
-        "config           lanes   disp%   cells/batch    s scalar   s batched   vs scalar   occup   B/cell   ({cores} cores, avx2={avx2})\n"
+        "config                 lanes   disp%   cells/batch    s scalar   s batched   vs scalar   occup   B/cell   backend   ({cores} cores, avx2={avx2})\n"
     );
     for r in rows {
         s.push_str(&format!(
-            "{:<16} {:>5} {:>7} {:>13} {:>11.6} {:>11.6} {:>10.2}x {:>7.3} {:>8.2}\n",
+            "{:<22} {:>5} {:>7} {:>13} {:>11.6} {:>11.6} {:>10.2}x {:>7.3} {:>8.2}   {}\n",
             r.config,
             r.lanes,
             r.dispersion_pct,
@@ -249,7 +297,8 @@ pub fn render(rows: &[BatchedRow]) -> String {
             r.seconds_batched,
             r.speedup_vs_scalar,
             r.occupancy,
-            r.staged_bytes_per_cell
+            r.staged_bytes_per_cell,
+            r.sweep_backend
         ));
     }
     s
@@ -266,9 +315,33 @@ mod tests {
 
     #[test]
     fn sweep_covers_lanes_and_dispersion() {
+        let backends = batched::SweepBackend::supported();
         let rows = run(0.02, 1);
-        assert_eq!(rows.len(), 9, "3 lane counts × 3 dispersions");
+        assert_eq!(
+            rows.len(),
+            9 + backends.len(),
+            "3 lane counts × 3 dispersions plus one pinned row per supported backend"
+        );
+        let names: Vec<&str> = backends.iter().map(|b| b.name()).collect();
+        for b in &names {
+            let label = format!("backend-{b}/disp25");
+            let row = rows
+                .iter()
+                .find(|r| r.config == label)
+                .unwrap_or_else(|| panic!("missing pinned row {label}"));
+            assert_eq!(
+                row.sweep_backend.as_str(),
+                *b,
+                "pinned row must record the backend it was forced to"
+            );
+        }
         for r in &rows {
+            assert!(
+                names.contains(&r.sweep_backend.as_str()),
+                "row {} ran unsupported backend {}",
+                r.config,
+                r.sweep_backend
+            );
             assert!(r.cells > 0);
             assert!(r.seconds_scalar > 0.0 && r.seconds_batched > 0.0);
             assert!(r.speedup_vs_scalar > 0.0);

@@ -59,6 +59,12 @@ pub struct BenchFile {
     pub command: String,
     /// What `KernelKind::detect()` picked on the producing host.
     pub detected_kernel: String,
+    /// The widest SIMD capability `kernel::host_simd()` detected on
+    /// the producing host (`"avx512bw"`, `"avx2"`, `"sse4.1"`,
+    /// `"sse2"`, `"neon"`, or `"generic"`). Readers gate
+    /// absolute-speedup expectations on this, not on core counts:
+    /// the batched kernel's win is lane-level and single-threaded.
+    pub host_simd: String,
     /// The kernel measurements.
     pub rows: Vec<Row>,
     /// The command that regenerates the end-to-end section.
@@ -90,6 +96,84 @@ pub struct BenchFile {
     /// without host-link contention, produced through the windowed
     /// out-of-core pipeline.
     pub scaling: super::fleetscale::ScalingSection,
+}
+
+/// The batched-row shape of schema v6, before the fused sweep grew
+/// explicit per-backend dispatch and the rows a `sweep_backend`
+/// column. Parsed only to recognize a v6 file; the rows measured the
+/// row-granular SSE2-only dispatch kernel and are dropped on upgrade
+/// so the documented command regenerates per-backend rows.
+#[derive(Debug, Clone, serde::Deserialize)]
+#[allow(dead_code)]
+struct LegacyBatchedRowV6 {
+    config: String,
+    lanes: usize,
+    dispersion_pct: u32,
+    len: usize,
+    comparisons: usize,
+    cells: u64,
+    seconds_scalar: f64,
+    seconds_batched: f64,
+    speedup_vs_scalar: f64,
+    reruns: u64,
+    occupancy: f64,
+    staged_bytes_per_cell: f64,
+    refills: u64,
+    rounds: u64,
+    hw_lanes: usize,
+    host_cores: usize,
+    avx2: bool,
+}
+
+/// The v6 on-disk shape: same sections as v7, but no top-level
+/// `host_simd` capability field and batched rows without the
+/// `sweep_backend` column (the vendored serde has no
+/// `#[serde(default)]`, so the missing fields fail the v7 parse).
+/// The stale batched rows are dropped on upgrade — an empty section
+/// forces regeneration via the documented command — while every
+/// other section is preserved; `host_simd` is stamped from the
+/// current host's detection, which is the host any regeneration runs
+/// on.
+#[derive(Debug, Clone, serde::Deserialize)]
+struct LegacyBenchFileV6 {
+    #[allow(dead_code)]
+    schema: String,
+    command: String,
+    detected_kernel: String,
+    rows: Vec<Row>,
+    e2e_command: String,
+    e2e: Vec<super::e2e::E2eRow>,
+    partition_command: String,
+    partition: Vec<super::partbench::PartitionBenchRow>,
+    faults_command: String,
+    faults: Vec<super::faultbench::FaultBenchRow>,
+    batched_command: String,
+    #[allow(dead_code)]
+    batched: Vec<LegacyBatchedRowV6>,
+    scaling_command: String,
+    scaling: super::fleetscale::ScalingSection,
+}
+
+impl From<LegacyBenchFileV6> for BenchFile {
+    fn from(v6: LegacyBenchFileV6) -> Self {
+        BenchFile {
+            schema: SCHEMA.to_string(),
+            command: v6.command,
+            detected_kernel: v6.detected_kernel,
+            host_simd: kernel::host_simd().to_string(),
+            rows: v6.rows,
+            e2e_command: v6.e2e_command,
+            e2e: v6.e2e,
+            partition_command: v6.partition_command,
+            partition: v6.partition,
+            faults_command: v6.faults_command,
+            faults: v6.faults,
+            batched_command: v6.batched_command,
+            batched: Vec::new(),
+            scaling_command: v6.scaling_command,
+            scaling: v6.scaling,
+        }
+    }
 }
 
 /// The batched-row shape of schema v5, before the persistent-staging
@@ -146,6 +230,7 @@ impl From<LegacyBenchFileV5> for BenchFile {
             schema: SCHEMA.to_string(),
             command: v5.command,
             detected_kernel: v5.detected_kernel,
+            host_simd: kernel::host_simd().to_string(),
             rows: v5.rows,
             e2e_command: v5.e2e_command,
             e2e: v5.e2e,
@@ -189,6 +274,7 @@ impl From<LegacyBenchFileV4> for BenchFile {
             schema: SCHEMA.to_string(),
             command: v4.command,
             detected_kernel: v4.detected_kernel,
+            host_simd: kernel::host_simd().to_string(),
             rows: v4.rows,
             e2e_command: v4.e2e_command,
             e2e: v4.e2e,
@@ -227,6 +313,7 @@ impl From<LegacyBenchFileV3> for BenchFile {
             schema: SCHEMA.to_string(),
             command: v3.command,
             detected_kernel: v3.detected_kernel,
+            host_simd: kernel::host_simd().to_string(),
             rows: v3.rows,
             e2e_command: v3.e2e_command,
             e2e: v3.e2e,
@@ -263,6 +350,7 @@ impl From<LegacyBenchFileV2> for BenchFile {
             schema: SCHEMA.to_string(),
             command: v2.command,
             detected_kernel: v2.detected_kernel,
+            host_simd: kernel::host_simd().to_string(),
             rows: v2.rows,
             e2e_command: v2.e2e_command,
             e2e: v2.e2e,
@@ -428,8 +516,10 @@ pub const REPRO_COMMAND: &str =
 /// inter-sequence kernel section and the `batched` kernel rows, v5
 /// the fleet-scale `scaling` section, v6 the batched rows'
 /// `occupancy`/`staged_bytes_per_cell`/`refills`/`rounds` counters
-/// from the persistent-staging kernel).
-pub const SCHEMA: &str = "xdrop-kernel-bench/v6";
+/// from the persistent-staging kernel, v7 the top-level `host_simd`
+/// capability string and the batched rows' `sweep_backend` column
+/// from the multiversioned sweep dispatch).
+pub const SCHEMA: &str = "xdrop-kernel-bench/v7";
 
 fn bench_json_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_xdrop.json")
@@ -443,6 +533,11 @@ fn read_existing() -> Option<BenchFile> {
     let text = std::fs::read_to_string(bench_json_path()).ok()?;
     serde_json::from_str::<BenchFile>(&text)
         .ok()
+        .or_else(|| {
+            serde_json::from_str::<LegacyBenchFileV6>(&text)
+                .ok()
+                .map(BenchFile::from)
+        })
         .or_else(|| {
             serde_json::from_str::<LegacyBenchFileV5>(&text)
                 .ok()
@@ -482,6 +577,7 @@ fn base_file() -> BenchFile {
         schema: SCHEMA.to_string(),
         command: REPRO_COMMAND.to_string(),
         detected_kernel: KernelKind::detect().name().to_string(),
+        host_simd: kernel::host_simd().to_string(),
         rows: Vec::new(),
         e2e_command: super::e2e::E2E_REPRO_COMMAND.to_string(),
         e2e: Vec::new(),
@@ -495,6 +591,9 @@ fn base_file() -> BenchFile {
         scaling: super::fleetscale::ScalingSection::default(),
     });
     file.schema = SCHEMA.to_string();
+    // Any write happens on the current host, so the capability string
+    // always reflects the machine that last touched the baseline.
+    file.host_simd = kernel::host_simd().to_string();
     file
 }
 

@@ -213,6 +213,9 @@ pub struct BatchTask<'a> {
 pub struct BatchReport {
     /// Lane count used (vector width in `i16` cells).
     pub lanes: usize,
+    /// Register backend the fused sweep ran at ([`SweepBackend`];
+    /// results are backend-independent, only wall-clock moves).
+    pub sweep_backend: SweepBackend,
     /// Nominal length-bucket count, `⌈tasks / lanes⌉` — the number of
     /// lane groups the pre-refill kernel would have executed (kept
     /// for report compatibility; with mid-flight refill the engine
@@ -319,6 +322,162 @@ pub fn lane_width() -> usize {
     8
 }
 
+/// Environment variable forcing the fused-sweep register backend,
+/// overriding hardware detection: `generic`, `sse2`, `avx2`,
+/// `avx512`, or `auto`. A backend the host cannot run (or an unknown
+/// value) produces a loud one-time stderr warning and falls back to
+/// detection — never a crash, and never a silent misconfiguration.
+/// Resolved once per process and cached; intended for the
+/// differential test suites and for per-backend bench rows.
+pub const SWEEP_ENV: &str = "XDROP_SWEEP";
+
+/// Which register width the fused `sweep_row` pass runs at.
+///
+/// All backends execute the identical per-cell arithmetic (saturating
+/// `i16` adds, `max` chains, and the X-Drop classification are
+/// lanewise-exact operations), so every backend is bit-identical to
+/// the scalar reference — the choice moves host wall-clock only.
+/// Enforced by `tests/batched_identity.rs`, which runs every backend
+/// the host supports through the differential suites.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum SweepBackend {
+    /// The portable scalar body ([`sweep_row_generic`]), lanes as far
+    /// as the autovectorizer allows.
+    #[default]
+    Generic,
+    /// Explicit 128-bit SSE2 lanes (8 × `i16`) — x86-64 baseline,
+    /// always available there.
+    Sse2,
+    /// Explicit 256-bit AVX2 lanes (16 × `i16`) with
+    /// `vpmovmskb`-based classify counting.
+    Avx2,
+    /// Explicit 512-bit AVX-512BW lanes (32 × `i16`): k-register
+    /// masked compare/select classify and masked tail loads/stores,
+    /// so ragged row widths need no scalar epilogue.
+    Avx512,
+}
+
+impl SweepBackend {
+    /// Every backend, narrowest first (bench/report ordering).
+    pub const ALL: [SweepBackend; 4] = [
+        SweepBackend::Generic,
+        SweepBackend::Sse2,
+        SweepBackend::Avx2,
+        SweepBackend::Avx512,
+    ];
+
+    /// Stable lower-case name (`generic` / `sse2` / `avx2` /
+    /// `avx512`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepBackend::Generic => "generic",
+            SweepBackend::Sse2 => "sse2",
+            SweepBackend::Avx2 => "avx2",
+            SweepBackend::Avx512 => "avx512",
+        }
+    }
+
+    /// Parses a backend name as accepted by [`SWEEP_ENV`]. `auto`
+    /// resolves through hardware detection; unknown names are `None`
+    /// (the env reader warns loudly and falls back to detection).
+    pub fn parse(s: &str) -> Option<SweepBackend> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "generic" => Some(SweepBackend::Generic),
+            "sse2" => Some(SweepBackend::Sse2),
+            "avx2" => Some(SweepBackend::Avx2),
+            "avx512" | "avx512bw" => Some(SweepBackend::Avx512),
+            "auto" => Some(SweepBackend::detect()),
+            _ => None,
+        }
+    }
+
+    /// Whether this host can execute the backend.
+    pub fn is_supported(self) -> bool {
+        match self {
+            SweepBackend::Generic => true,
+            #[cfg(target_arch = "x86_64")]
+            SweepBackend::Sse2 => true,
+            #[cfg(target_arch = "x86_64")]
+            SweepBackend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            SweepBackend::Avx512 => std::arch::is_x86_feature_detected!("avx512bw"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// Every backend this host can execute, narrowest first.
+    pub fn supported() -> Vec<SweepBackend> {
+        SweepBackend::ALL
+            .into_iter()
+            .filter(|b| b.is_supported())
+            .collect()
+    }
+
+    /// Hardware detection: the widest supported backend.
+    pub fn detect() -> SweepBackend {
+        *SweepBackend::supported()
+            .last()
+            .expect("generic always runs")
+    }
+
+    /// The widest supported backend at or below this one — the
+    /// dispatch guarantee that an explicitly requested (or
+    /// env-forced) backend never executes intrinsics the host lacks.
+    pub fn clamp_to_host(self) -> SweepBackend {
+        if self.is_supported() {
+            return self;
+        }
+        let mut best = SweepBackend::Generic;
+        for b in SweepBackend::ALL {
+            if b == self {
+                break;
+            }
+            if b.is_supported() {
+                best = b;
+            }
+        }
+        best
+    }
+
+    /// [`SweepBackend::detect`] unless [`SWEEP_ENV`] forces a
+    /// backend, resolved once per process and cached. Unknown or
+    /// host-unsupported values warn on stderr (once) and fall back —
+    /// the silent-fallback failure mode of the historical
+    /// `XDROP_KERNEL` reader is explicitly not reproduced here.
+    pub fn resolved() -> SweepBackend {
+        static RESOLVED: std::sync::OnceLock<SweepBackend> = std::sync::OnceLock::new();
+        *RESOLVED.get_or_init(|| match std::env::var(SWEEP_ENV) {
+            Ok(v) => match SweepBackend::parse(&v) {
+                Some(b) => {
+                    let clamped = b.clamp_to_host();
+                    if clamped != b {
+                        eprintln!(
+                            "warning: {SWEEP_ENV}={v} requests the {} sweep backend but this \
+                             host cannot run it; using {}",
+                            b.name(),
+                            clamped.name()
+                        );
+                    }
+                    clamped
+                }
+                None => {
+                    let det = SweepBackend::detect();
+                    eprintln!(
+                        "warning: unknown {SWEEP_ENV} value {v:?} (expected generic, sse2, \
+                         avx2, avx512, or auto); using auto-detected {}",
+                        det.name()
+                    );
+                    det
+                }
+            },
+            Err(_) => SweepBackend::detect(),
+        })
+    }
+}
+
 /// Whether `scorer` can run in `i16` lanes: a plain match/mismatch
 /// scheme whose scores fit the guard-band arithmetic. `gap ≤ 0` is
 /// required because a positive gap could walk a canonical dropped
@@ -419,9 +578,37 @@ pub fn align_batch_with_opts<S: Scorer>(
     lanes: usize,
     refill: bool,
 ) -> (Vec<Result<AlignOutput>>, BatchReport) {
+    align_batch_with_backend(
+        tasks,
+        scorer,
+        params,
+        policy,
+        lanes,
+        refill,
+        SweepBackend::resolved(),
+    )
+}
+
+/// [`align_batch_with_opts`] with the fused-sweep register backend
+/// pinned explicitly (differential tests and per-backend bench rows;
+/// results never depend on the backend, only wall-clock does). A
+/// backend the host cannot execute is clamped to the widest supported
+/// one at or below it — the report records what actually ran.
+#[allow(clippy::too_many_arguments)]
+pub fn align_batch_with_backend<S: Scorer>(
+    tasks: &[BatchTask<'_>],
+    scorer: &S,
+    params: XDropParams,
+    policy: BandPolicy,
+    lanes: usize,
+    refill: bool,
+    backend: SweepBackend,
+) -> (Vec<Result<AlignOutput>>, BatchReport) {
     let lanes = lanes.max(1);
+    let backend = backend.clamp_to_host();
     let mut report = BatchReport {
         lanes,
+        sweep_backend: backend,
         ..Default::default()
     };
     let mut out: Vec<Option<Result<AlignOutput>>> = (0..tasks.len()).map(|_| None).collect();
@@ -437,6 +624,7 @@ pub fn align_batch_with_opts<S: Scorer>(
                 policy,
                 lanes,
                 refill,
+                backend,
                 &mut out,
                 &mut report,
             );
@@ -665,6 +853,7 @@ fn run_engine(
     policy: BandPolicy,
     k: usize,
     refill: bool,
+    backend: SweepBackend,
     out: &mut [Option<Result<AlignOutput>>],
     report: &mut BatchReport,
 ) {
@@ -738,6 +927,7 @@ fn run_engine(
                 mm,
                 params,
                 policy,
+                backend,
                 &mut need_stride,
                 report,
             );
@@ -784,14 +974,77 @@ fn run_engine(
     }
 }
 
+/// [`LOW_GUARD`] in the `i16` domain, for in-register guard tests.
+/// The cast is exact: `DROP16 + MAX_STEP = −3072` is well inside
+/// `i16` range.
+#[allow(clippy::cast_possible_truncation)]
+const LOW_GUARD16: i16 = LOW_GUARD as i16;
+
+/// Everything one fused-sweep row hands back to the reduce step.
+///
+/// `low_hit` replaces the old live-minimum reduction: the reduce step
+/// only ever compared that minimum against [`LOW_GUARD`], so the
+/// sweep now answers the question directly ("did any kept cell land
+/// at or under the guard?") instead of carrying a horizontal `min`
+/// chain per row. `lo_w`/`hi_w` are the first/last kept slots (the
+/// next round's live interval) **when the backend's classify masks
+/// expose positions for free** (the k-register AVX-512 path); the
+/// narrow backends leave the `usize::MAX` sentinel and the reduce
+/// step recovers the bounds with [`live_bounds`]' end scans, which
+/// are O(1) on the typical almost-fully-live row.
+#[derive(Debug, Clone, Copy)]
+struct RowSweep {
+    /// Row maximum over stored values ([`NEG_INF16`] if none kept).
+    mx: i16,
+    /// Whether any kept cell is `≤ LOW_GUARD` (≡ old `mn ≤ LOW_GUARD`).
+    low_hit: bool,
+    /// Cells alive before classification but under the X-Drop
+    /// threshold (`stats.cells_dropped` contribution).
+    dropped: u64,
+    /// First kept slot; `usize::MAX` if none kept or not tracked.
+    lo_w: usize,
+    /// Last kept slot; meaningless unless `lo_w` is set.
+    hi_w: usize,
+}
+
+impl RowSweep {
+    fn new() -> Self {
+        RowSweep {
+            mx: NEG_INF16,
+            low_hit: false,
+            dropped: 0,
+            lo_w: usize::MAX,
+            hi_w: 0,
+        }
+    }
+}
+
+/// First/last kept slot of a stored row, scanned from both ends.
+/// Kept slots are exactly the slots `> DROP16`, so this reproduces
+/// the scalar reference's live-interval scans. Caller guarantees at
+/// least one kept slot (`mx > DROP16`).
+#[inline(always)]
+fn live_bounds(row: &[i16]) -> (usize, usize) {
+    let mut lo = 0usize;
+    while row[lo] <= DROP16 {
+        lo += 1;
+    }
+    let mut hi = row.len() - 1;
+    while row[hi] <= DROP16 {
+        hi -= 1;
+    }
+    (lo, hi)
+}
+
 /// One row of the fused sweep, scalar: per cell `i = cand_lo + w`,
 /// substitution compare, saturating DP `max`, X-Drop classification,
 /// and store — with the row maximum, live minimum, and pruned count
-/// accumulated in the same pass. Returns `(mx, mn, dropped)` folded
-/// into the accumulators passed in. This is the reference body; the
-/// x86-64 [`sweep_row`] lanes the identical per-cell arithmetic
-/// (saturating adds, `max` chains and the classification are all
-/// lanewise-exact operations, so the two are bit-identical).
+/// accumulated in the same pass. The body is branch-free so the
+/// autovectorizer can lane it on targets without an explicit backend.
+/// This is the reference body; the wide backends lane the identical
+/// per-cell arithmetic (saturating adds, `max` chains and the
+/// classification are all lanewise-exact operations, so every backend
+/// is bit-identical).
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
 fn sweep_row_generic(
@@ -822,23 +1075,25 @@ fn sweep_row_generic(
         orow[w + 1] = v;
         *dropped += u64::from(alive & !kept);
         *mx = (*mx).max(v);
-        *mn = (*mn).min(if v > DROP16 { v } else { i16::MAX });
+        *mn = (*mn).min(if kept { r } else { i16::MAX });
     }
 }
 
 /// One row of the fused sweep over explicit SSE2 `i16` lanes — SSE2
-/// is x86-64 baseline, so there is no runtime dispatch. Eight cells
-/// per step: byte compare → select, three `paddsw`, two `pmaxsw`,
-/// classification by mask, and the row max / live min / pruned count
-/// reduced in-register (the count via `-=` of the all-ones mask,
-/// flushed to the wide accumulator every 2¹⁶ cells so the `i16`
-/// segment counters cannot wrap). The autovectorizer refused this
-/// factor on its own: the `u64` count accumulator pins loop-wide
-/// vectorization at two lanes, which is why the kernel lanes the body
-/// by hand exactly like [`crate::kernel`]'s `isa` modules do.
+/// is x86-64 baseline, so this backend is always available. Eight
+/// cells per step: byte compare → select, three `paddsw`, two
+/// `pmaxsw`, classification by mask, and the row max / low-guard hit
+/// / pruned count reduced in-register (the count via `-=` of the
+/// all-ones mask, flushed to the wide accumulator every 2¹⁶ cells so
+/// the `i16` segment counters cannot wrap). The autovectorizer
+/// refused this factor on its own: the `u64` count accumulator pins
+/// loop-wide vectorization at two lanes, which is why the kernel
+/// lanes the body by hand exactly like [`crate::kernel`]'s `isa`
+/// modules do.
 #[cfg(target_arch = "x86_64")]
 #[allow(clippy::too_many_arguments)]
-fn sweep_row(
+#[inline]
+fn sweep_row_sse2(
     r1s: &[i16],
     r2s: &[i16],
     vs: &[u8],
@@ -849,13 +1104,11 @@ fn sweep_row(
     mis16: i16,
     gap16: i16,
     thr16: i16,
-) -> (i16, i16, u64) {
+) -> RowSweep {
     use std::arch::x86_64::*;
-    debug_assert!(r1s.len() >= width + 1 && r2s.len() >= width);
+    debug_assert!(r1s.len() > width && r2s.len() >= width);
     debug_assert!(vs.len() >= width && hs.len() >= width && orow.len() >= width + 2);
-    let mut mx;
-    let mut mn;
-    let mut dropped = 0u64;
+    let mut acc = RowSweep::new();
     let vect = width & !7;
     // SAFETY: every load reads at most 16 B ending at index `w + 8`
     // of `r2s`/`vs`/`hs` (length ≥ `width ≥ vect ≥ w + 8`) or
@@ -869,10 +1122,10 @@ fn sweep_row(
         let vthr = _mm_set1_epi16(thr16);
         let vdrop = _mm_set1_epi16(DROP16);
         let vneg = _mm_set1_epi16(NEG_INF16);
-        let vimax = _mm_set1_epi16(i16::MAX);
+        let vlow = _mm_set1_epi16(LOW_GUARD16);
         let zero = _mm_setzero_si128();
         let mut vmx = vneg;
-        let mut vmn = vimax;
+        let mut vlowacc = zero;
         let mut w = 0usize;
         while w < vect {
             let seg = (w + (1 << 16)).min(vect);
@@ -893,26 +1146,19 @@ fn sweep_row(
                 _mm_storeu_si128(orow.as_mut_ptr().add(w + 1).cast(), stored);
                 dcnt = _mm_sub_epi16(dcnt, _mm_and_si128(alive, below));
                 vmx = _mm_max_epi16(vmx, stored);
-                vmn = _mm_min_epi16(
-                    vmn,
-                    _mm_or_si128(_mm_and_si128(kept, r), _mm_andnot_si128(kept, vimax)),
-                );
+                // kept & (r ≤ LOW_GUARD) ≡ kept & !(r > LOW_GUARD).
+                vlowacc = _mm_or_si128(vlowacc, _mm_andnot_si128(_mm_cmpgt_epi16(r, vlow), kept));
                 w += 8;
             }
             let pair = _mm_madd_epi16(dcnt, _mm_set1_epi16(1));
             let s1 = _mm_add_epi32(pair, _mm_shuffle_epi32(pair, 0x4E));
             let s2 = _mm_add_epi32(s1, _mm_shuffle_epi32(s1, 0xB1));
-            dropped += _mm_cvtsi128_si32(s2) as u32 as u64;
+            acc.dropped += _mm_cvtsi128_si32(s2) as u32 as u64;
         }
-        let m1 = _mm_max_epi16(vmx, _mm_shuffle_epi32(vmx, 0x4E));
-        let m2 = _mm_max_epi16(m1, _mm_shuffle_epi32(m1, 0xB1));
-        let m3 = _mm_max_epi16(m2, _mm_shufflelo_epi16(m2, 0xB1));
-        mx = _mm_cvtsi128_si32(m3) as i16;
-        let n1 = _mm_min_epi16(vmn, _mm_shuffle_epi32(vmn, 0x4E));
-        let n2 = _mm_min_epi16(n1, _mm_shuffle_epi32(n1, 0xB1));
-        let n3 = _mm_min_epi16(n2, _mm_shufflelo_epi16(n2, 0xB1));
-        mn = _mm_cvtsi128_si32(n3) as i16;
+        acc.mx = hmax_epi16(vmx);
+        acc.low_hit = _mm_movemask_epi8(vlowacc) != 0;
     }
+    let mut mn = i16::MAX;
     sweep_row_generic(
         r1s,
         r2s,
@@ -925,18 +1171,20 @@ fn sweep_row(
         mis16,
         gap16,
         thr16,
-        &mut mx,
+        &mut acc.mx,
         &mut mn,
-        &mut dropped,
+        &mut acc.dropped,
     );
-    (mx, mn, dropped)
+    acc.low_hit |= mn <= LOW_GUARD16;
+    acc
 }
 
-/// One row of the fused sweep (non-x86 targets): the scalar body,
-/// which the autovectorizer lanes as far as the target allows.
-#[cfg(not(target_arch = "x86_64"))]
+/// One row of the fused sweep, portable: the scalar body, which the
+/// autovectorizer lanes as far as the target allows. The only backend
+/// on non-x86 targets; [`SweepBackend::Generic`] everywhere.
 #[allow(clippy::too_many_arguments)]
-fn sweep_row(
+#[inline]
+fn sweep_row_portable(
     r1s: &[i16],
     r2s: &[i16],
     vs: &[u8],
@@ -947,10 +1195,9 @@ fn sweep_row(
     mis16: i16,
     gap16: i16,
     thr16: i16,
-) -> (i16, i16, u64) {
-    let mut mx = NEG_INF16;
+) -> RowSweep {
+    let mut acc = RowSweep::new();
     let mut mn = i16::MAX;
-    let mut dropped = 0u64;
     sweep_row_generic(
         r1s,
         r2s,
@@ -963,11 +1210,370 @@ fn sweep_row(
         mis16,
         gap16,
         thr16,
-        &mut mx,
+        &mut acc.mx,
         &mut mn,
-        &mut dropped,
+        &mut acc.dropped,
     );
-    (mx, mn, dropped)
+    acc.low_hit = mn <= LOW_GUARD16;
+    acc
+}
+
+/// Horizontal `max` of eight `i16` lanes via the SSE2 shuffle chain.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn hmax_epi16(v: std::arch::x86_64::__m128i) -> i16 {
+    use std::arch::x86_64::*;
+    // SAFETY: SSE2 is unconditionally available on `x86_64`.
+    unsafe {
+        let m1 = _mm_max_epi16(v, _mm_shuffle_epi32(v, 0x4E));
+        let m2 = _mm_max_epi16(m1, _mm_shuffle_epi32(m1, 0xB1));
+        let m3 = _mm_max_epi16(m2, _mm_shufflelo_epi16(m2, 0xB1));
+        _mm_cvtsi128_si32(m3) as i16
+    }
+}
+
+/// One row of the fused sweep over explicit 256-bit AVX2 lanes —
+/// the SSE2 algorithm at twice the width, sixteen cells per step,
+/// with the pruned-cell count taken per step from `vpmovmskb` of the
+/// classify mask (two set bits per pruned `i16` lane) instead of the
+/// segmented `i16` counter, so there is no flush cadence to get
+/// wrong. The tail (`width & 15` cells) keeps the scalar epilogue.
+///
+/// Bit-identity: saturating adds, `max` chains, compares, and
+/// byte-blend selects are all lanewise-exact, so the row bytes and
+/// reductions equal [`sweep_row_generic`]'s.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+#[inline]
+unsafe fn sweep_row_avx2(
+    r1s: &[i16],
+    r2s: &[i16],
+    vs: &[u8],
+    hs: &[u8],
+    orow: &mut [i16],
+    width: usize,
+    mat16: i16,
+    mis16: i16,
+    gap16: i16,
+    thr16: i16,
+) -> RowSweep {
+    use std::arch::x86_64::*;
+    debug_assert!(r1s.len() > width && r2s.len() >= width);
+    debug_assert!(vs.len() >= width && hs.len() >= width && orow.len() >= width + 2);
+    let mut acc = RowSweep::new();
+    let vect = width & !15;
+    // SAFETY (in addition to the caller-proved AVX2 availability):
+    // every 32 B load ends at index `w + 16` of `r2s`/`vs`/`hs`
+    // (length ≥ `width ≥ vect ≥ w + 16`) or `w + 17` of `r1s` (length
+    // ≥ `width + 1`); the 32 B store writes `orow[w + 1 .. w + 17]`
+    // (length ≥ `width + 2 ≥ w + 18`). The byte loads read 16 B from
+    // `vs`/`hs` ending at `w + 16 ≤ width`.
+    unsafe {
+        let vmat = _mm256_set1_epi16(mat16);
+        let vmis = _mm256_set1_epi16(mis16);
+        let vgap = _mm256_set1_epi16(gap16);
+        let vthr = _mm256_set1_epi16(thr16);
+        let vdrop = _mm256_set1_epi16(DROP16);
+        let vneg = _mm256_set1_epi16(NEG_INF16);
+        let vlow = _mm256_set1_epi16(LOW_GUARD16);
+        let mut vmx = vneg;
+        let mut vlowacc = _mm256_setzero_si256();
+        let mut dropped = 0u32;
+        let mut w = 0usize;
+        while w < vect {
+            let v16 = _mm256_cvtepu8_epi16(_mm_loadu_si128(vs.as_ptr().add(w).cast()));
+            let h16 = _mm256_cvtepu8_epi16(_mm_loadu_si128(hs.as_ptr().add(w).cast()));
+            let eq = _mm256_cmpeq_epi16(v16, h16);
+            let sim = _mm256_blendv_epi8(vmis, vmat, eq);
+            let diag = _mm256_adds_epi16(_mm256_loadu_si256(r2s.as_ptr().add(w).cast()), sim);
+            let up = _mm256_adds_epi16(_mm256_loadu_si256(r1s.as_ptr().add(w).cast()), vgap);
+            let lft = _mm256_adds_epi16(_mm256_loadu_si256(r1s.as_ptr().add(w + 1).cast()), vgap);
+            let r = _mm256_max_epi16(diag, _mm256_max_epi16(lft, up));
+            let alive = _mm256_cmpgt_epi16(r, vdrop);
+            let below = _mm256_cmpgt_epi16(vthr, r); // r < thr16
+            let kept = _mm256_andnot_si256(below, alive);
+            let stored = _mm256_blendv_epi8(vneg, r, kept);
+            _mm256_storeu_si256(orow.as_mut_ptr().add(w + 1).cast(), stored);
+            let pruned = _mm256_and_si256(alive, below);
+            // Each pruned i16 lane contributes two set mask bytes.
+            dropped += (_mm256_movemask_epi8(pruned) as u32).count_ones() / 2;
+            vmx = _mm256_max_epi16(vmx, stored);
+            // kept & (r ≤ LOW_GUARD) ≡ kept & !(r > LOW_GUARD).
+            vlowacc = _mm256_or_si256(
+                vlowacc,
+                _mm256_andnot_si256(_mm256_cmpgt_epi16(r, vlow), kept),
+            );
+            w += 16;
+        }
+        acc.dropped = u64::from(dropped);
+        acc.mx = hmax_epi16(_mm_max_epi16(
+            _mm256_castsi256_si128(vmx),
+            _mm256_extracti128_si256(vmx, 1),
+        ));
+        acc.low_hit = _mm256_movemask_epi8(vlowacc) != 0;
+    }
+    let mut mn = i16::MAX;
+    sweep_row_generic(
+        r1s,
+        r2s,
+        vs,
+        hs,
+        orow,
+        vect,
+        width,
+        mat16,
+        mis16,
+        gap16,
+        thr16,
+        &mut acc.mx,
+        &mut mn,
+        &mut acc.dropped,
+    );
+    acc.low_hit |= mn <= LOW_GUARD16;
+    acc
+}
+
+/// One row of the fused sweep over explicit 512-bit AVX-512BW lanes,
+/// thirty-two cells per step, using the native facilities the
+/// narrower backends emulate:
+///
+/// * the live/drop classify is two k-register compares
+///   (`vpcmpgtw`/`vpcmpw`) combined with mask arithmetic — no wide
+///   and/andnot/blend chains;
+/// * the select of stored values is one `vpblendmw` under the kept
+///   mask, the pruned count is a `popcnt` of `alive & below`, and the
+///   first/last kept slots and the low-guard hit come straight from
+///   the k-registers;
+/// * ragged row widths need **no scalar epilogue**: the final partial
+///   step runs under the tail mask `(1 << rem) − 1` with masked
+///   loads (`vmovdqu16{z}`) and a masked store, so out-of-bounds
+///   cells are never read or written and masked lanes stay neutral in
+///   the reductions (max under `k`, positional masks under
+///   `kept ⊆ k`).
+///
+/// Bit-identity: every operation is lanewise-exact and masked lanes
+/// contribute nothing, so the row bytes and reductions equal
+/// [`sweep_row_generic`]'s.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw")]
+#[allow(clippy::too_many_arguments)]
+#[inline]
+unsafe fn sweep_row_avx512(
+    r1s: &[i16],
+    r2s: &[i16],
+    vs: &[u8],
+    hs: &[u8],
+    orow: &mut [i16],
+    width: usize,
+    mat16: i16,
+    mis16: i16,
+    gap16: i16,
+    thr16: i16,
+) -> RowSweep {
+    use std::arch::x86_64::*;
+    debug_assert!(r1s.len() > width && r2s.len() >= width);
+    debug_assert!(vs.len() >= width && hs.len() >= width && orow.len() >= width + 2);
+    let mut acc = RowSweep::new();
+    // SAFETY (in addition to the caller-proved AVX-512BW
+    // availability): every load and the store are masked by
+    // `k = (1 << min(rem, 32)) − 1`, so lane `j` is touched only when
+    // `w + j < width` — `r2s`/`vs`/`hs` indices stay `< width ≤ len`,
+    // `r1s` indices stay `< width + 1 ≤ len`, and the store writes
+    // `orow[w + 1 + j]` with `w + 1 + j ≤ width < len`. Masked lanes
+    // of `vmovdqu16{z}`/`vmovdqu8{z}` perform no memory access.
+    unsafe {
+        let vmat = _mm512_set1_epi16(mat16);
+        let vmis = _mm512_set1_epi16(mis16);
+        let vgap = _mm512_set1_epi16(gap16);
+        let vthr = _mm512_set1_epi16(thr16);
+        let vdrop = _mm512_set1_epi16(DROP16);
+        let vneg = _mm512_set1_epi16(NEG_INF16);
+        let vlow = _mm512_set1_epi16(LOW_GUARD16);
+        let mut vmx = vneg;
+        let mut lowacc: __mmask32 = 0;
+        let mut dropped = 0u32;
+        let mut w = 0usize;
+        while w < width {
+            let rem = width - w;
+            let k: __mmask32 = if rem >= 32 { !0u32 } else { (1u32 << rem) - 1 };
+            let vb = _mm512_maskz_loadu_epi8(k as u64, vs.as_ptr().add(w).cast());
+            let v16 = _mm512_cvtepu8_epi16(_mm512_castsi512_si256(vb));
+            let hb = _mm512_maskz_loadu_epi8(k as u64, hs.as_ptr().add(w).cast());
+            let h16 = _mm512_cvtepu8_epi16(_mm512_castsi512_si256(hb));
+            let eqk = _mm512_cmpeq_epi16_mask(v16, h16);
+            let sim = _mm512_mask_blend_epi16(eqk, vmis, vmat);
+            let diag =
+                _mm512_adds_epi16(_mm512_maskz_loadu_epi16(k, r2s.as_ptr().add(w).cast()), sim);
+            let up = _mm512_adds_epi16(
+                _mm512_maskz_loadu_epi16(k, r1s.as_ptr().add(w).cast()),
+                vgap,
+            );
+            let lft = _mm512_adds_epi16(
+                _mm512_maskz_loadu_epi16(k, r1s.as_ptr().add(w + 1).cast()),
+                vgap,
+            );
+            let r = _mm512_max_epi16(diag, _mm512_max_epi16(lft, up));
+            let alive = _mm512_cmpgt_epi16_mask(r, vdrop) & k;
+            let below = _mm512_cmplt_epi16_mask(r, vthr);
+            let kept = alive & !below;
+            let stored = _mm512_mask_blend_epi16(kept, vneg, r);
+            _mm512_mask_storeu_epi16(orow.as_mut_ptr().add(w + 1).cast(), k, stored);
+            dropped += (alive & below).count_ones();
+            vmx = _mm512_mask_max_epi16(vmx, k, vmx, stored);
+            lowacc |= _mm512_mask_cmple_epi16_mask(kept, r, vlow);
+            if kept != 0 {
+                if acc.lo_w == usize::MAX {
+                    acc.lo_w = w + kept.trailing_zeros() as usize;
+                }
+                acc.hi_w = w + 31 - kept.leading_zeros() as usize;
+            }
+            w += 32;
+        }
+        acc.dropped = u64::from(dropped);
+        let mx256 = _mm256_max_epi16(
+            _mm512_castsi512_si256(vmx),
+            _mm512_extracti64x4_epi64(vmx, 1),
+        );
+        acc.mx = hmax_epi16(_mm_max_epi16(
+            _mm256_castsi256_si128(mx256),
+            _mm256_extracti128_si256(mx256, 1),
+        ));
+        acc.low_hit = lowacc != 0;
+    }
+    acc
+}
+
+/// One fused-sweep row at the selected register backend. The `unsafe`
+/// intrinsic bodies are sound to call here because
+/// [`align_batch_with_backend`] clamps the backend to host support
+/// before the engine runs a single round. Marked `#[inline(always)]`
+/// so the `backend` match folds away inside the per-backend
+/// [`lane_burst`] bodies, letting the intrinsic sweeps inline into
+/// their feature-matched burst loop (which hoists the broadcast
+/// constants out of the round loop).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn sweep_row(
+    backend: SweepBackend,
+    r1s: &[i16],
+    r2s: &[i16],
+    vs: &[u8],
+    hs: &[u8],
+    orow: &mut [i16],
+    width: usize,
+    mat16: i16,
+    mis16: i16,
+    gap16: i16,
+    thr16: i16,
+) -> RowSweep {
+    #[cfg(target_arch = "x86_64")]
+    match backend {
+        // SAFETY: `clamp_to_host` admitted the backend, so the
+        // required target features were runtime-detected.
+        SweepBackend::Avx512 => unsafe {
+            sweep_row_avx512(r1s, r2s, vs, hs, orow, width, mat16, mis16, gap16, thr16)
+        },
+        // SAFETY: as above — AVX2 was runtime-detected.
+        SweepBackend::Avx2 => unsafe {
+            sweep_row_avx2(r1s, r2s, vs, hs, orow, width, mat16, mis16, gap16, thr16)
+        },
+        SweepBackend::Sse2 => {
+            sweep_row_sse2(r1s, r2s, vs, hs, orow, width, mat16, mis16, gap16, thr16)
+        }
+        SweepBackend::Generic => {
+            sweep_row_portable(r1s, r2s, vs, hs, orow, width, mat16, mis16, gap16, thr16)
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = backend;
+        sweep_row_portable(r1s, r2s, vs, hs, orow, width, mat16, mis16, gap16, thr16)
+    }
+}
+
+/// First slot of `row` equal to `mx` — the scalar reference's
+/// first-maximum-wins argmax. Caller guarantees `mx` is present.
+fn row_argmax_generic(row: &[i16], mx: i16) -> usize {
+    row.iter().position(|&v| v == mx).expect("live max present")
+}
+
+/// [`row_argmax_generic`] over 512-bit masked `vpcmpeqw`: one compare
+/// per 32 cells, position read off the k-register. After the fused
+/// sweep absorbed the live-interval scans, this argmax is the only
+/// remaining pass over the row — on narrow bands a single masked
+/// compare.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw")]
+#[inline]
+unsafe fn row_argmax_avx512(row: &[i16], mx: i16) -> usize {
+    use std::arch::x86_64::*;
+    let width = row.len();
+    // SAFETY: loads are masked by `(1 << min(rem, 32)) − 1`, so lane
+    // `j` reads `row[w + j]` only when `w + j < width`; AVX-512BW is
+    // caller-detected.
+    unsafe {
+        let vmx = _mm512_set1_epi16(mx);
+        let mut w = 0usize;
+        while w < width {
+            let rem = width - w;
+            let k: __mmask32 = if rem >= 32 { !0u32 } else { (1u32 << rem) - 1 };
+            let vals = _mm512_maskz_loadu_epi16(k, row.as_ptr().add(w).cast());
+            let eq = _mm512_mask_cmpeq_epi16_mask(k, vals, vmx);
+            if eq != 0 {
+                return w + eq.trailing_zeros() as usize;
+            }
+            w += 32;
+        }
+    }
+    unreachable!("live max present")
+}
+
+/// [`row_argmax_generic`] over 256-bit `vpcmpeqw` + `vpmovmskb` (two
+/// mask bits per `i16` lane; the position is `tzcnt/2`). The
+/// sub-16-cell tail falls back to the scalar body.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn row_argmax_avx2(row: &[i16], mx: i16) -> usize {
+    use std::arch::x86_64::*;
+    let width = row.len();
+    let vect = width & !15;
+    // SAFETY: each 32 B load ends at `row[w + 16]` with
+    // `w + 16 ≤ vect ≤ width`; AVX2 is caller-detected.
+    unsafe {
+        let vmx = _mm256_set1_epi16(mx);
+        let mut w = 0usize;
+        while w < vect {
+            let vals = _mm256_loadu_si256(row.as_ptr().add(w).cast());
+            let eq = _mm256_movemask_epi8(_mm256_cmpeq_epi16(vals, vmx)) as u32;
+            if eq != 0 {
+                return w + eq.trailing_zeros() as usize / 2;
+            }
+            w += 16;
+        }
+    }
+    vect + row_argmax_generic(&row[vect..], mx)
+}
+
+/// The first-maximum argmax scan at the selected backend. Soundness
+/// of the intrinsic paths follows from the same `clamp_to_host`
+/// guarantee as [`sweep_row`]'s.
+#[inline(always)]
+fn row_argmax(backend: SweepBackend, row: &[i16], mx: i16) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    match backend {
+        // SAFETY: `clamp_to_host` admitted the backend.
+        SweepBackend::Avx512 => unsafe { row_argmax_avx512(row, mx) },
+        // SAFETY: as above.
+        SweepBackend::Avx2 => unsafe { row_argmax_avx2(row, mx) },
+        SweepBackend::Sse2 | SweepBackend::Generic => row_argmax_generic(row, mx),
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = backend;
+        row_argmax_generic(row, mx)
+    }
 }
 
 /// Advances one lane by up to [`BURST_ROUNDS`] antidiagonal rounds —
@@ -979,6 +1585,15 @@ fn sweep_row(
 /// **nothing** (prologue mutations happen only once the round is sure
 /// to execute), so re-running the prologue after the re-pitch is
 /// exact.
+///
+/// This is the dispatcher: the burst body itself lives in
+/// [`lane_burst_impl`] and is compiled once **per backend** behind a
+/// matching `#[target_feature]` wrapper. Multiversioning the whole
+/// burst (rather than just the row sweep) is what lets LLVM inline
+/// the intrinsic sweeps into the round loop and hoist their broadcast
+/// constants across rounds — at the ~40-cell row widths the X-Drop
+/// band typically settles into, those per-row fixed costs are a
+/// double-digit fraction of the kernel.
 #[allow(clippy::too_many_arguments)]
 fn lane_burst(
     lane: &mut Lane,
@@ -988,6 +1603,158 @@ fn lane_burst(
     mm: &MatchMismatch,
     params: XDropParams,
     policy: BandPolicy,
+    backend: SweepBackend,
+    need_stride: &mut usize,
+    report: &mut BatchReport,
+) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    match backend {
+        // SAFETY: `clamp_to_host` admitted the backend, so the
+        // required target features were runtime-detected.
+        SweepBackend::Avx512 => unsafe {
+            lane_burst_avx512(
+                lane,
+                planes,
+                rb,
+                stride,
+                mm,
+                params,
+                policy,
+                need_stride,
+                report,
+            )
+        },
+        // SAFETY: as above — AVX2 was runtime-detected.
+        SweepBackend::Avx2 => unsafe {
+            lane_burst_avx2(
+                lane,
+                planes,
+                rb,
+                stride,
+                mm,
+                params,
+                policy,
+                need_stride,
+                report,
+            )
+        },
+        SweepBackend::Sse2 => lane_burst_impl(
+            lane,
+            planes,
+            rb,
+            stride,
+            mm,
+            params,
+            policy,
+            SweepBackend::Sse2,
+            need_stride,
+            report,
+        ),
+        SweepBackend::Generic => lane_burst_impl(
+            lane,
+            planes,
+            rb,
+            stride,
+            mm,
+            params,
+            policy,
+            SweepBackend::Generic,
+            need_stride,
+            report,
+        ),
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = backend;
+        lane_burst_impl(
+            lane,
+            planes,
+            rb,
+            stride,
+            mm,
+            params,
+            policy,
+            SweepBackend::Generic,
+            need_stride,
+            report,
+        )
+    }
+}
+
+/// [`lane_burst_impl`] compiled with AVX-512BW enabled, so the
+/// masked sweep and argmax inline into the burst loop.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn lane_burst_avx512(
+    lane: &mut Lane,
+    planes: &mut [Vec<i16>; 3],
+    rb: usize,
+    stride: usize,
+    mm: &MatchMismatch,
+    params: XDropParams,
+    policy: BandPolicy,
+    need_stride: &mut usize,
+    report: &mut BatchReport,
+) -> u64 {
+    lane_burst_impl(
+        lane,
+        planes,
+        rb,
+        stride,
+        mm,
+        params,
+        policy,
+        SweepBackend::Avx512,
+        need_stride,
+        report,
+    )
+}
+
+/// [`lane_burst_impl`] compiled with AVX2 enabled.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn lane_burst_avx2(
+    lane: &mut Lane,
+    planes: &mut [Vec<i16>; 3],
+    rb: usize,
+    stride: usize,
+    mm: &MatchMismatch,
+    params: XDropParams,
+    policy: BandPolicy,
+    need_stride: &mut usize,
+    report: &mut BatchReport,
+) -> u64 {
+    lane_burst_impl(
+        lane,
+        planes,
+        rb,
+        stride,
+        mm,
+        params,
+        policy,
+        SweepBackend::Avx2,
+        need_stride,
+        report,
+    )
+}
+
+/// The burst body shared by every backend; see [`lane_burst`].
+/// `#[inline(always)]` + a literal `backend` at each call site fold
+/// the [`sweep_row`]/[`row_argmax`] dispatch matches at compile time
+/// inside each `#[target_feature]` wrapper.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn lane_burst_impl(
+    lane: &mut Lane,
+    planes: &mut [Vec<i16>; 3],
+    rb: usize,
+    stride: usize,
+    mm: &MatchMismatch,
+    params: XDropParams,
+    policy: BandPolicy,
+    backend: SweepBackend,
     need_stride: &mut usize,
     report: &mut BatchReport,
 ) -> u64 {
@@ -1097,8 +1864,9 @@ fn lane_burst(
         let vs = &lane.vpad[cand_lo..cand_lo + width];
         let hs = &lane.hpad[lane.m + cand_lo - d..lane.m + cand_lo - d + width];
         let orow = &mut outp[rb..rb + width + 2];
-        let (mx, mn, dropped) =
-            sweep_row(r1s, r2s, vs, hs, orow, width, mat16, mis16, gap16, thr16);
+        let sw = sweep_row(
+            backend, r1s, r2s, vs, hs, orow, width, mat16, mis16, gap16, thr16,
+        );
         orow[0] = NEG_INF16; // leading pad
         orow[width + 1] = NEG_INF16; // trailing pad
         lane.bases[cur] = cand_lo;
@@ -1106,35 +1874,32 @@ fn lane_burst(
         report.lane_cells += width as u64;
         report.sweep_ns += timer.lap();
 
-        // ---- Reduce: stats bookkeeping plus three short positional
-        // scans over the just-written row. These reproduce the scalar
-        // reference's in-order reductions exactly: the first slot
-        // holding the diagonal maximum is its first-max-wins argmax,
-        // and the first/last live slots bound the next live interval.
+        // ---- Reduce: stats bookkeeping on the sweep's fused
+        // reductions plus one short argmax scan over the just-written
+        // row. These reproduce the scalar reference's in-order
+        // reductions exactly: the first slot holding the diagonal
+        // maximum is its first-max-wins argmax, and the first/last
+        // kept slots bound the next live interval. The argmax may
+        // start at `lo_w` because every earlier slot stores
+        // [`NEG_INF16`] `< mx`.
         lane.stats.cells_computed += width as u64;
-        lane.stats.cells_dropped += dropped;
+        lane.stats.cells_dropped += sw.dropped;
         lane.stats.antidiagonals += 1;
-        if i32::from(mx) >= HIGH_GUARD || i32::from(mn) <= LOW_GUARD {
+        if i32::from(sw.mx) >= HIGH_GUARD || sw.low_hit {
             lane.state = LaneState::Overflowed;
             break;
         }
-        if mx <= DROP16 {
+        if sw.mx <= DROP16 {
             lane.state = LaneState::Done;
             break;
         }
-        let mut lo_w = 0usize;
-        while orow[1 + lo_w] <= DROP16 {
-            lo_w += 1;
-        }
-        let mut hi_w = width - 1;
-        while orow[1 + hi_w] <= DROP16 {
-            hi_w -= 1;
-        }
-        let best_w = orow[1..=width]
-            .iter()
-            .position(|&v| v == mx)
-            .expect("live max present");
-        let smax = i32::from(mx);
+        let (lo_w, hi_w) = if sw.lo_w == usize::MAX {
+            live_bounds(&orow[1..=width])
+        } else {
+            (sw.lo_w, sw.hi_w)
+        };
+        let best_w = lo_w + row_argmax(backend, &orow[1 + lo_w..=width], sw.mx);
+        let smax = i32::from(sw.mx);
         lane.live_lo = cand_lo + lo_w;
         lane.live_hi = cand_lo + hi_w;
         lane.prev_best_i = cand_lo + best_w;

@@ -67,8 +67,9 @@ pub const CHUNK: usize = 16;
 
 /// Environment variable forcing the kernel choice, overriding
 /// hardware detection: `scalar`, `chunked`, `simd`, `batched`, or
-/// `auto`. Unknown values fall back to detection. Intended for tests
-/// and for A/B runs of the bench harness.
+/// `auto`. Unknown values fall back to detection with a one-time
+/// stderr warning. Intended for tests and for A/B runs of the bench
+/// harness.
 pub const KERNEL_ENV: &str = "XDROP_KERNEL";
 
 /// Which antidiagonal inner-loop implementation to run.
@@ -109,6 +110,64 @@ fn simd_available() -> bool {
 #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
 fn simd_available() -> bool {
     false
+}
+
+/// The widest SIMD capability detected on this host, as a stable
+/// lower-case string: `"avx512bw"`, `"avx2"`, `"sse4.1"`, `"sse2"`
+/// (x86-64), `"neon"` (aarch64), or `"generic"`. This is the
+/// *capability report* — what the hardware offers — as recorded in
+/// `BENCH_xdrop.json`'s host section and the trace meta events; which
+/// backend a kernel actually ran is reported separately (e.g.
+/// [`crate::batched::BatchReport::sweep_backend`]).
+pub fn host_simd() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512bw") {
+            "avx512bw"
+        } else if std::arch::is_x86_feature_detected!("avx2") {
+            "avx2"
+        } else if std::arch::is_x86_feature_detected!("sse4.1") {
+            "sse4.1"
+        } else {
+            "sse2"
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            "neon"
+        } else {
+            "generic"
+        }
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        "generic"
+    }
+}
+
+/// Ordinal tier of [`host_simd`], for numeric consumers (the trace
+/// meta event's args can only carry numbers): `4` = avx512bw,
+/// `3` = avx2, `2` = sse4.1/neon, `1` = sse2, `0` = generic.
+pub fn host_simd_tier() -> u32 {
+    match host_simd() {
+        "avx512bw" => 4,
+        "avx2" => 3,
+        "sse4.1" | "neon" => 2,
+        "sse2" => 1,
+        _ => 0,
+    }
+}
+
+/// Warns on stderr — once per process per variable — that an
+/// environment override held an unrecognized value and what was used
+/// instead. Silent fallback hid typos like `XDROP_KERNEL=simd128` for
+/// three releases; every env-dispatch path (kernel kind, sweep
+/// backend) now routes its unknown-value case through here.
+pub(crate) fn warn_unknown_env(once: &std::sync::Once, var: &str, value: &str, fallback: &str) {
+    once.call_once(|| {
+        eprintln!("warning: unrecognized {var}={value:?}; falling back to {fallback}");
+    });
 }
 
 impl KernelKind {
@@ -155,9 +214,17 @@ impl KernelKind {
     }
 
     /// [`KernelKind::detect`] unless [`KERNEL_ENV`] forces a kernel.
+    /// An unrecognized value still resolves through detection but now
+    /// warns loudly (once per process) instead of silently ignoring
+    /// the override.
     pub fn auto() -> KernelKind {
+        static WARNED: std::sync::Once = std::sync::Once::new();
         match std::env::var(KERNEL_ENV) {
-            Ok(v) => KernelKind::parse(&v).unwrap_or_else(KernelKind::detect),
+            Ok(v) => KernelKind::parse(&v).unwrap_or_else(|| {
+                let detected = KernelKind::detect();
+                warn_unknown_env(&WARNED, KERNEL_ENV, &v, detected.name());
+                detected
+            }),
             Err(_) => KernelKind::detect(),
         }
     }

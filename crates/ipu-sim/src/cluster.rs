@@ -318,7 +318,11 @@ impl BatchScheduler {
         let devices = devices.max(1);
         let tracer = collect_trace.then(|| {
             let mut tb = TraceBuilder::new(devices);
-            tb.host_meta(resolved_host_threads);
+            tb.host_meta(
+                resolved_host_threads,
+                xdrop_core::kernel::host_simd(),
+                xdrop_core::kernel::host_simd_tier(),
+            );
             tb
         });
         BatchScheduler {

@@ -211,12 +211,20 @@ impl TraceBuilder {
         ));
     }
 
-    /// Records host-side run metadata as a `"ph": "M"` event on the
+    /// Records host-side run metadata as `"ph": "M"` events on the
     /// link track: the *resolved* host thread count (after the
-    /// `0 = auto` default is expanded). Host threads never affect
-    /// modeled time, so this is annotation only; consumers comparing
-    /// traces across thread counts should filter `cat == "meta"`.
-    pub fn host_meta(&mut self, host_threads: usize) {
+    /// `0 = auto` default is expanded) and the host's detected SIMD
+    /// capability. Host threads and SIMD width never affect modeled
+    /// time, so this is annotation only; consumers comparing traces
+    /// across hosts should filter `cat == "meta"`.
+    ///
+    /// `host_simd` (e.g. `"avx512bw"`, from
+    /// `xdrop_core::kernel::host_simd`) rides in the **name** of a
+    /// second meta event, `host_simd:<capability>`, because
+    /// [`TraceEvent::args`] is numeric-only; the numeric tier ordinal
+    /// (`host_simd_tier`) accompanies it in the args so numeric
+    /// consumers can gate on width without parsing names.
+    pub fn host_meta(&mut self, host_threads: usize, host_simd: &str, host_simd_tier: u32) {
         let mut args = BTreeMap::new();
         args.insert("host_threads".to_string(), host_threads as f64);
         self.events.push(TraceEvent {
@@ -228,6 +236,18 @@ impl TraceBuilder {
             pid: PID_LINK,
             tid: 0,
             args,
+        });
+        let mut simd_args = BTreeMap::new();
+        simd_args.insert("simd_tier".to_string(), f64::from(host_simd_tier));
+        self.events.push(TraceEvent {
+            name: format!("host_simd:{host_simd}"),
+            cat: "meta".to_string(),
+            ph: "M".to_string(),
+            ts: 0.0,
+            dur: 0.0,
+            pid: PID_LINK,
+            tid: 0,
+            args: simd_args,
         });
     }
 

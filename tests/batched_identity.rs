@@ -16,7 +16,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use xdrop_ipu::core::batched::{
-    align_batch, align_batch_with_lanes, align_batch_with_opts, BatchTask, TaskView,
+    align_batch, align_batch_with_backend, align_batch_with_lanes, align_batch_with_opts,
+    BatchTask, SweepBackend, TaskView,
 };
 use xdrop_ipu::core::kernel::{self, KernelKind};
 use xdrop_ipu::core::scoring::MatchMismatch;
@@ -151,8 +152,10 @@ proptest! {
 
     /// The tentpole property: every lane of a mixed-length batch is
     /// bit-identical to its scalar reference, for every band policy
-    /// (Exact errors included), any lane count, and all four
-    /// direction combinations.
+    /// (Exact errors included), any lane count, all four direction
+    /// combinations, and every fused-sweep register backend the host
+    /// supports (the backends must also be bit-identical to each
+    /// other, which the shared oracle transitively enforces).
     #[test]
     fn batched_lanes_bit_match_scalar(
         batch in task_batch(),
@@ -168,12 +171,32 @@ proptest! {
             BandPolicy::Exact(db),      // may legitimately error
             BandPolicy::Saturate(db),   // exercises the clipping path
         ] {
-            let (got, report) = align_batch_with_lanes(&tasks, &sc, p, policy, lanes);
-            prop_assert_eq!(got.len(), tasks.len());
-            prop_assert_eq!(report.lanes, lanes.max(1));
-            prop_assert_eq!(report.fallbacks, 0);
-            for (t, spec) in batch.iter().enumerate() {
-                assert_lane_identical(t, policy, &spec.scalar(p, policy), &got[t])?;
+            let mut reference: Option<Vec<Result<AlignOutput>>> = None;
+            for &backend in &SweepBackend::supported() {
+                let (got, report) =
+                    align_batch_with_backend(&tasks, &sc, p, policy, lanes, true, backend);
+                prop_assert_eq!(got.len(), tasks.len());
+                prop_assert_eq!(report.lanes, lanes.max(1));
+                prop_assert_eq!(report.fallbacks, 0);
+                prop_assert_eq!(
+                    report.sweep_backend, backend,
+                    "a supported backend must run unclamped"
+                );
+                match &reference {
+                    None => {
+                        // Oracle-check the narrowest backend's lanes;
+                        // wider backends are then held to byte
+                        // equality with it.
+                        for (t, spec) in batch.iter().enumerate() {
+                            assert_lane_identical(t, policy, &spec.scalar(p, policy), &got[t])?;
+                        }
+                        reference = Some(got);
+                    }
+                    Some(reference) => prop_assert_eq!(
+                        reference, &got,
+                        "backend {:?} diverged from {:?}", backend, policy
+                    ),
+                }
             }
         }
     }
@@ -182,8 +205,9 @@ proptest! {
     /// to churn the lane slots — a spread of short early-terminating
     /// tasks (high divergence, tight x), plus an optional forced
     /// `i16`-overflow lane leaving through the rerun path — are
-    /// bit-identical across lane widths {8, 16, 32} and against the
-    /// strict no-refill bucket mode, for every band policy.
+    /// bit-identical across lane widths {8, 16, 32} × every supported
+    /// register backend and against the strict no-refill bucket mode,
+    /// for every band policy.
     #[test]
     fn midflight_refill_is_bit_identical(
         batch in task_batch(),
@@ -214,25 +238,31 @@ proptest! {
         ] {
             let mut previous: Option<Vec<Result<AlignOutput>>> = None;
             for lanes in [8usize, 16, 32] {
-                let (with_refill, report) =
-                    align_batch_with_opts(&tasks, &sc, p, policy, lanes, true);
                 let (no_refill, strict) =
                     align_batch_with_opts(&tasks, &sc, p, policy, lanes, false);
-                prop_assert_eq!(
-                    &with_refill, &no_refill,
-                    "refill vs strict buckets, lanes={} {:?}", lanes, policy
-                );
                 prop_assert_eq!(strict.refills, 0, "strict mode must never refill");
-                if force_overflow && policy == BandPolicy::Grow(db) {
-                    prop_assert!(report.reruns >= 1, "forced lane must rerun");
-                }
+                // Oracle-check the strict-bucket results once per lane
+                // width; every (backend × refill) combination is then
+                // held to byte equality with them.
                 for (t, spec) in batch.iter().enumerate() {
-                    assert_lane_identical(t, policy, &spec.scalar(p, policy), &with_refill[t])?;
+                    assert_lane_identical(t, policy, &spec.scalar(p, policy), &no_refill[t])?;
+                }
+                for &backend in &SweepBackend::supported() {
+                    let (with_refill, report) =
+                        align_batch_with_backend(&tasks, &sc, p, policy, lanes, true, backend);
+                    prop_assert_eq!(report.sweep_backend, backend);
+                    prop_assert_eq!(
+                        &with_refill, &no_refill,
+                        "refill/{:?} vs strict buckets, lanes={} {:?}", backend, lanes, policy
+                    );
+                    if force_overflow && policy == BandPolicy::Grow(db) {
+                        prop_assert!(report.reruns >= 1, "forced lane must rerun");
+                    }
                 }
                 if let Some(prev) = &previous {
-                    prop_assert_eq!(prev, &with_refill, "lane width changed results");
+                    prop_assert_eq!(prev, &no_refill, "lane width changed results");
                 }
-                previous = Some(with_refill);
+                previous = Some(no_refill);
             }
         }
     }
@@ -330,6 +360,54 @@ fn forced_overflow_lane_is_rerun_and_still_identical() {
                 "the forced lane must actually exceed the i16 domain, got {}",
                 want.result.best_score
             );
+        }
+    }
+}
+
+/// Masked-tail coverage for the register sweeps: `Saturate(w)` on
+/// identical sequences with an effectively unbounded X pins the
+/// steady row width to exactly `w` cells, so each width below
+/// exercises a specific tail shape — one lone cell, one short of a
+/// register (7/15/31), an exact register multiple (8/16/32/64), and
+/// one past it (9/17/33). Every supported backend must bit-match the
+/// scalar oracle at each width (the AVX-512 sweep has no scalar
+/// epilogue at all; a wrong tail mask corrupts the pitch pads and
+/// shows up here as a score or stats divergence).
+#[test]
+fn masked_tail_row_widths_are_bit_identical_per_backend() {
+    let sc = MatchMismatch::dna_default();
+    let p = XDropParams::new(100_000);
+    let mut rng = StdRng::seed_from_u64(97);
+    let batch: Vec<TaskSpec> = (0..6)
+        .map(|_| {
+            let h: Vec<u8> = (0..200).map(|_| rng.gen_range(0..4)).collect();
+            TaskSpec {
+                h: h.clone(),
+                v: h,
+                h_rev: false,
+                v_rev: false,
+            }
+        })
+        .collect();
+    let tasks: Vec<BatchTask<'_>> = batch.iter().map(TaskSpec::task).collect();
+    for w in [1usize, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64] {
+        let policy = BandPolicy::Saturate(w);
+        for &backend in &SweepBackend::supported() {
+            let (got, report) = align_batch_with_backend(&tasks, &sc, p, policy, 8, true, backend);
+            assert_eq!(report.sweep_backend, backend);
+            assert_eq!(report.fallbacks, 0);
+            for (t, spec) in batch.iter().enumerate() {
+                let want = spec.scalar(p, policy).expect("oracle aligns");
+                let got = got[t].clone().expect("lane aligns");
+                assert_eq!(
+                    want.result, got.result,
+                    "width {w} backend {backend:?} lane {t}"
+                );
+                assert_eq!(
+                    want.stats, got.stats,
+                    "width {w} backend {backend:?} lane {t}"
+                );
+            }
         }
     }
 }
