@@ -1,398 +1,9 @@
 //! ksw2-style affine-gap extension with z-drop.
 //!
-//! ksw2 (the aligner inside minimap2) differs from the Zhang X-Drop
-//! in two ways the paper calls out (§6.2): it uses *affine* gap
-//! costs — a long gap pays `open + k·ext`, much less per base than a
-//! linear model — and the z-drop termination is correspondingly more
-//! permissive. The consequence is a larger search space: *"ksw2
-//! penalizes long gaps less, resulting in a larger search space"*,
-//! which is why its effective GCUPS trail SeqAn's in Figure 5.
-//!
-//! This is a row-wise banded implementation with an adaptive window:
-//! each row keeps the columns whose score is within `zdrop` of the
-//! row maximum, and terminates when the global best leads the row
-//! maximum by more than `zdrop`.
+//! The engine lives in [`xdrop_core::ksw2`] so the per-request
+//! [`xdrop_core::aligner::Aligner`] facade can dispatch to it without
+//! a dependency cycle; this module re-exports it under the baselines
+//! crate's historical path. The hardware timing model that pairs with
+//! it stays here (see [`crate::models::CpuModel::epyc7763_ksw2`]).
 
-use xdrop_core::stats::{AlignOutput, AlignResult, AlignStats};
-use xdrop_core::NEG_INF;
-
-/// ksw2-style scoring parameters (minimap2-like defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-pub struct Ksw2Params {
-    /// Match score (positive).
-    pub mat: i32,
-    /// Mismatch score (negative).
-    pub mis: i32,
-    /// Gap-open penalty (negative, charged once per gap).
-    pub gap_open: i32,
-    /// Gap-extension penalty (negative, charged per gap base).
-    pub gap_ext: i32,
-    /// Z-drop threshold.
-    pub zdrop: i32,
-}
-
-impl Ksw2Params {
-    /// minimap2-flavoured defaults scaled to a z-drop comparable to
-    /// an X-Drop factor `x` under `(+1, −1, −1)` scoring: the
-    /// mismatch penalty is 4× SeqAn's (−4 vs −1), so tolerating the
-    /// same mismatch run before giving up needs `zdrop = 4x`.
-    pub fn from_x(x: i32) -> Self {
-        Self {
-            mat: 2,
-            mis: -4,
-            gap_open: -4,
-            gap_ext: -1,
-            zdrop: 4 * x,
-        }
-    }
-}
-
-#[inline(always)]
-fn dead(s: i32) -> bool {
-    s <= NEG_INF / 2
-}
-
-/// Affine-gap semi-global extension with z-drop termination.
-///
-/// Recurrence (Gotoh): `E` tracks gaps in `V` (horizontal moves),
-/// `F` gaps in `H` (vertical moves):
-///
-/// ```text
-/// E[i][j] = max(H[i][j−1] + open + ext, E[i][j−1] + ext)
-/// F[i][j] = max(H[i−1][j] + open + ext, F[i−1][j] + ext)
-/// H[i][j] = max(H[i−1][j−1] + s(i,j), E[i][j], F[i][j])
-/// ```
-#[allow(clippy::needless_range_loop)] // DP rows indexed at related offsets
-pub fn ksw2_extend(h: &[u8], v: &[u8], p: &Ksw2Params) -> AlignOutput {
-    let (m, n) = (h.len(), v.len());
-    let width = m + 1;
-    let oe = p.gap_open + p.gap_ext;
-    let mut hprev = vec![NEG_INF; width];
-    let mut fprev = vec![NEG_INF; width];
-    let mut hrow = vec![NEG_INF; width];
-    let mut frow = vec![NEG_INF; width];
-
-    // Row 0: gap-in-H border, alive while within zdrop of 0.
-    hprev[0] = 0;
-    let mut cells = 1u64;
-    let mut en0 = 0usize;
-    for j in 1..=m {
-        let s = oe + (j as i32 - 1) * p.gap_ext;
-        if -s > p.zdrop {
-            break;
-        }
-        hprev[j] = s;
-        en0 = j;
-        cells += 1;
-    }
-
-    let mut best = AlignResult::empty();
-    let (mut st, mut en) = (0usize, en0.max(1).min(m));
-    let mut rows = 0u64;
-    let mut max_window = en - st + 1;
-
-    for i in 1..=n {
-        if st > en {
-            break;
-        }
-        // Clear the window plus one guard cell on each side so that
-        // window expansion in the next row reads −∞, not stale data.
-        let clear_lo = st.saturating_sub(1);
-        let clear_hi = (en + 1).min(m);
-        for j in clear_lo..=clear_hi {
-            hrow[j] = NEG_INF;
-            frow[j] = NEG_INF;
-        }
-        let mut e = NEG_INF; // E[i][st−1]
-        let mut row_max = NEG_INF;
-        let mut row_arg = st;
-        for j in st..=en {
-            let score = if j == 0 {
-                // Column 0: gap-in-V border.
-                let f = hprev[0]
-                    .saturating_add(oe)
-                    .max(fprev[0].saturating_add(p.gap_ext));
-                frow[0] = f;
-                f
-            } else {
-                e = hrow[j - 1]
-                    .saturating_add(oe)
-                    .max(e.saturating_add(p.gap_ext));
-                let f = hprev[j]
-                    .saturating_add(oe)
-                    .max(fprev[j].saturating_add(p.gap_ext));
-                frow[j] = f;
-                let diag = if dead(hprev[j - 1]) {
-                    NEG_INF
-                } else {
-                    hprev[j - 1] + if v[i - 1] == h[j - 1] { p.mat } else { p.mis }
-                };
-                diag.max(e).max(f)
-            };
-            hrow[j] = score;
-            cells += 1;
-            if score > row_max {
-                row_max = score;
-                row_arg = j;
-            }
-            if score > best.best_score {
-                best = AlignResult {
-                    best_score: score,
-                    end_h: j,
-                    end_v: i,
-                };
-            }
-        }
-        rows += 1;
-        if dead(row_max) || best.best_score - row_max > p.zdrop {
-            break; // z-drop: this row has fallen hopelessly behind
-        }
-        // Adapt the window: keep columns within zdrop of the row max,
-        // and allow one cell of growth on the right (and none on the
-        // left — the live region of an extension never moves left).
-        let keep = |s: i32| !dead(s) && row_max - s <= p.zdrop;
-        let mut new_st = row_arg;
-        while new_st > st && keep(hrow[new_st - 1]) {
-            new_st -= 1;
-        }
-        let mut new_en = row_arg;
-        while new_en < en && keep(hrow[new_en + 1]) {
-            new_en += 1;
-        }
-        st = new_st;
-        en = (new_en + 1).min(m);
-        max_window = max_window.max(en - st + 1);
-        std::mem::swap(&mut hrow, &mut hprev);
-        std::mem::swap(&mut frow, &mut fprev);
-    }
-    let delta = m.min(n) + 1;
-    AlignOutput {
-        result: best,
-        stats: AlignStats {
-            cells_computed: cells,
-            antidiagonals: rows,
-            delta_w: max_window.min(delta.max(1)),
-            delta,
-            work_bytes: 4 * width * 4,
-            cells_dropped: 0,
-            cells_clipped: 0,
-        },
-    }
-}
-
-/// Full-matrix affine-gap semi-global extension — quadratic-space
-/// ground truth for [`ksw2_extend`]'s windowed implementation. No
-/// pruning: equals ksw2 with a generous z-drop.
-pub fn affine_extend_full(h: &[u8], v: &[u8], p: &Ksw2Params) -> AlignResult {
-    let (m, n) = (h.len(), v.len());
-    let width = m + 1;
-    let oe = p.gap_open + p.gap_ext;
-    let mut hmat = vec![NEG_INF; (n + 1) * width];
-    let mut emat = vec![NEG_INF; (n + 1) * width];
-    let mut fmat = vec![NEG_INF; (n + 1) * width];
-    hmat[0] = 0;
-    let mut best = AlignResult::empty();
-    for j in 1..=m {
-        emat[j] = hmat[j - 1]
-            .saturating_add(oe)
-            .max(emat[j - 1].saturating_add(p.gap_ext));
-        hmat[j] = emat[j];
-    }
-    for i in 1..=n {
-        let row = i * width;
-        let prev = (i - 1) * width;
-        fmat[row] = hmat[prev]
-            .saturating_add(oe)
-            .max(fmat[prev].saturating_add(p.gap_ext));
-        hmat[row] = fmat[row];
-        for j in 1..=m {
-            emat[row + j] = hmat[row + j - 1]
-                .saturating_add(oe)
-                .max(emat[row + j - 1].saturating_add(p.gap_ext));
-            fmat[row + j] = hmat[prev + j]
-                .saturating_add(oe)
-                .max(fmat[prev + j].saturating_add(p.gap_ext));
-            let diag = if dead(hmat[prev + j - 1]) {
-                NEG_INF
-            } else {
-                hmat[prev + j - 1] + if v[i - 1] == h[j - 1] { p.mat } else { p.mis }
-            };
-            let s = diag.max(emat[row + j]).max(fmat[row + j]);
-            hmat[row + j] = s;
-            if s > best.best_score {
-                best = AlignResult {
-                    best_score: s,
-                    end_h: j,
-                    end_v: i,
-                };
-            }
-        }
-    }
-    best
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use xdrop_core::alphabet::encode_dna;
-
-    fn p(x: i32) -> Ksw2Params {
-        Ksw2Params::from_x(x)
-    }
-
-    #[test]
-    fn identical_sequences_score_full_match() {
-        let s = encode_dna(b"ACGTACGTACGTACGT");
-        let out = ksw2_extend(&s, &s, &p(20));
-        assert_eq!(out.result.best_score, 2 * 16);
-        assert_eq!(out.result.end_h, 16);
-        assert_eq!(out.result.end_v, 16);
-    }
-
-    #[test]
-    fn single_mismatch_costs_mis() {
-        let h = encode_dna(b"ACGTACGTACGTACGT");
-        let mut vv = h.clone();
-        vv[8] = (vv[8] + 1) % 4;
-        let out = ksw2_extend(&h, &vv, &p(20));
-        assert_eq!(out.result.best_score, 2 * 15 - 4);
-    }
-
-    #[test]
-    fn long_gap_cheaper_than_linear_equivalent() {
-        // 20-base insertion in V: affine cost 4 + 20·1 = 24; the
-        // aligner must extend through it.
-        let h = encode_dna(b"ACGTACGTACGTACGTACGT").repeat(2); // 40
-        let v: Vec<u8> = {
-            let mut t = h[..20].to_vec();
-            t.extend_from_slice(&encode_dna(b"TTTTGGGGTTTTGGGGTTTT"));
-            t.extend_from_slice(&h[20..]);
-            t
-        };
-        let out = ksw2_extend(&h, &v, &p(40));
-        assert_eq!(out.result.best_score, 2 * 40 - 24);
-        assert_eq!(out.result.end_h, 40);
-        assert_eq!(out.result.end_v, 60);
-    }
-
-    #[test]
-    fn deletion_gap_also_handled() {
-        // 5-base deletion in V (gap in V = horizontal E moves). The
-        // sequence is non-repetitive so no alternative alignment
-        // beats the intended one.
-        let h = encode_dna(b"ACGTTGCACAGTCCATGGAT"); // 20
-        let v: Vec<u8> = [&h[..10], &h[15..]].concat(); // 15
-        let out = ksw2_extend(&h, &v, &p(30));
-        assert_eq!(out.result.best_score, 2 * 15 - (4 + 5));
-        assert_eq!(out.result.end_h, 20);
-        assert_eq!(out.result.end_v, 15);
-    }
-
-    #[test]
-    fn zdrop_terminates_on_divergence() {
-        // Pseudo-random 400-mer (LCG) so the diverged tail has no
-        // accidental alignment with the prefix.
-        let mut x = 12345u64;
-        let h: Vec<u8> = (0..400)
-            .map(|_| {
-                x = x
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                ((x >> 33) % 4) as u8
-            })
-            .collect();
-        let mut v = h.clone();
-        for b in v.iter_mut().skip(100) {
-            *b = (*b + 2) % 4;
-        }
-        let out = ksw2_extend(&h, &v, &p(10));
-        assert_eq!(out.result.best_score, 200);
-        // Divergence starts at row 100; z = 40 with net −2.5/row in
-        // the diverged region stops the scan well before the end.
-        assert!(
-            (out.stats.antidiagonals as usize) < 250,
-            "zdrop must stop early, ran {} rows",
-            out.stats.antidiagonals
-        );
-    }
-
-    #[test]
-    fn search_space_larger_than_xdrop() {
-        use xdrop_core::scoring::MatchMismatch;
-        use xdrop_core::{xdrop3, XDropParams};
-        let h = encode_dna(b"ACGTACGTACGTACGT").repeat(16); // 256
-        let mut v = h.clone();
-        for i in (13..v.len()).step_by(17) {
-            v[i] = (v[i] + 1) % 4;
-        }
-        let x = 10;
-        let xd = xdrop3::align(&h, &v, &MatchMismatch::dna_default(), XDropParams::new(x));
-        let ks = ksw2_extend(&h, &v, &p(x));
-        assert!(
-            ks.stats.cells_computed > xd.stats.cells_computed,
-            "ksw2 {} cells vs xdrop {}",
-            ks.stats.cells_computed,
-            xd.stats.cells_computed
-        );
-    }
-
-    #[test]
-    fn empty_inputs() {
-        let s = encode_dna(b"ACGT");
-        assert_eq!(ksw2_extend(&s, &[], &p(10)).result.best_score, 0);
-        assert_eq!(ksw2_extend(&[], &[], &p(10)).result.best_score, 0);
-    }
-
-    #[test]
-    fn windowed_matches_full_affine_reference_with_generous_zdrop() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0x2277);
-        for case in 0..30 {
-            let len = rng.gen_range(1..150);
-            let h: Vec<u8> = (0..len).map(|_| rng.gen_range(0..4)).collect();
-            let mut v = Vec::new();
-            for &b in &h {
-                match rng.gen_range(0..10) {
-                    0 => v.push(rng.gen_range(0..4)),
-                    1 => {
-                        v.push(rng.gen_range(0..4));
-                        v.push(b);
-                    }
-                    2 => {}
-                    _ => v.push(b),
-                }
-            }
-            // z-drop large enough to disable pruning on these sizes.
-            let params = Ksw2Params {
-                zdrop: 10_000,
-                ..p(10)
-            };
-            let win = ksw2_extend(&h, &v, &params);
-            let full = affine_extend_full(&h, &v, &params);
-            assert_eq!(
-                win.result.best_score, full.best_score,
-                "case {case}: windowed {} vs full {}",
-                win.result.best_score, full.best_score
-            );
-        }
-    }
-
-    #[test]
-    fn zdrop_never_overreports_reference() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0x2278);
-        for _ in 0..20 {
-            let len = rng.gen_range(1..120);
-            let h: Vec<u8> = (0..len).map(|_| rng.gen_range(0..4)).collect();
-            let v: Vec<u8> = (0..len).map(|_| rng.gen_range(0..4)).collect();
-            for x in [5, 20] {
-                let params = p(x);
-                let win = ksw2_extend(&h, &v, &params);
-                let full = affine_extend_full(&h, &v, &params);
-                assert!(win.result.best_score <= full.best_score);
-            }
-        }
-    }
-}
+pub use xdrop_core::ksw2::{affine_extend_full, ksw2_extend, Ksw2Params};

@@ -28,9 +28,12 @@ pub const WARP: usize = 32;
 /// LOGAN's fixed band width for a given X-Drop factor: the window
 /// must cover the score range a path can fall behind by (`≈ X /
 /// gap` on each side) with head-room, rounded up to whole warps.
+///
+/// The formula lives in [`xdrop_core::aligner::logan_band_width`] so
+/// the facade's `AlignerKind::LoganBand` and this baseline runner
+/// agree by construction.
 pub fn band_width(x: i32) -> usize {
-    let cells = (8 * x.max(1) as usize).clamp(64, 4096);
-    cells.div_ceil(WARP) * WARP
+    xdrop_core::aligner::logan_band_width(x)
 }
 
 /// Outcome of one LOGAN alignment: the (possibly band-clipped)

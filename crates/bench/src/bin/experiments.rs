@@ -441,6 +441,7 @@ fn run_one(name: &str, args: &Args) {
                 },
                 overlap: OverlapConfig::elba(17),
                 x: 15,
+                aligner: xdrop_core::aligner::AlignerKind::XDrop2,
                 min_identity: 0.7,
                 fuzz: 60,
             };

@@ -210,6 +210,7 @@ mod tests {
             },
             overlap: OverlapConfig::elba(17),
             x: 15,
+            aligner: xdrop_core::aligner::AlignerKind::XDrop2,
             min_identity: 0.7,
             fuzz: 60,
         }

@@ -102,6 +102,7 @@ pub fn exec_for<S: Scorer + Sync>(w: &Workload, scorer: &S, cfg: &IpuRunConfig) 
     let exec_cfg = ExecConfig {
         params: XDropParams::new(cfg.x),
         policy: BandPolicy::Grow(cfg.delta_b),
+        aligner: xdrop_core::aligner::AlignerKind::XDrop2,
         lr_split: cfg.flags.lr_split,
         host_threads: cfg.host_threads,
     };

@@ -9,7 +9,9 @@
 //! or reversed, and a single resident copy serves any number of seeds
 //! (§4.1.1).
 
+use crate::aligner::{self, AlignerKind};
 use crate::error::{AlignError, Result};
+use crate::ksw2::Ksw2Params;
 use crate::scoring::Scorer;
 use crate::seqview::{Fwd, Rev};
 use crate::stats::{AlignOutput, AlignStats};
@@ -54,6 +56,45 @@ pub enum Backend {
     TwoDiag(BandPolicy),
     /// The classical three-antidiagonal kernel.
     ThreeDiag,
+    /// Any other engine of the [`crate::aligner`] facade (affine,
+    /// Hirschberg, ksw2, …), dispatched per side through
+    /// [`aligner::extend_views`].
+    Aligner(AlignerKind),
+}
+
+impl Backend {
+    /// Maps a facade [`AlignerKind`] onto the extension backend that
+    /// implements it. The X-Drop family stays on its dedicated fast
+    /// paths — `XDrop2` keeps the caller's band `policy`, `XDrop3`
+    /// has its intrinsic `3δ` band, and `LoganBand` is `XDrop2` under
+    /// LOGAN's fixed saturating window for the given `x` — while the
+    /// remaining engines route through the facade dispatcher.
+    pub fn for_kind(kind: AlignerKind, x: i32, policy: BandPolicy) -> Backend {
+        match kind {
+            AlignerKind::XDrop2 => Backend::TwoDiag(policy),
+            AlignerKind::XDrop3 => Backend::ThreeDiag,
+            AlignerKind::LoganBand => {
+                Backend::TwoDiag(BandPolicy::Saturate(aligner::logan_band_width(x)))
+            }
+            other => Backend::Aligner(other),
+        }
+    }
+
+    /// Scores the seed region in the backend's own scoring scale.
+    ///
+    /// Every engine but ksw2 shares the caller's [`Scorer`]; ksw2
+    /// scores in its own fixed scale, so its seed must be scored with
+    /// the same `mat` constant its extensions use or the
+    /// left + seed + right sum would mix scales. Like minimap2, the
+    /// ksw2 convention trusts the seed (`k·mat`) rather than
+    /// re-scoring its symbols — the baselines runner does the same,
+    /// which keeps the facade and runner score-identical.
+    fn seed_score<S: Scorer>(&self, x: i32, h_seed: &[u8], v_seed: &[u8], scorer: &S) -> i32 {
+        match self {
+            Backend::Aligner(AlignerKind::Ksw2) => h_seed.len() as i32 * Ksw2Params::from_x(x).mat,
+            _ => scorer.seed_score(h_seed, v_seed),
+        }
+    }
 }
 
 /// Result of extending one seed in both directions.
@@ -169,9 +210,33 @@ impl Extender {
                     &mut self.ws3,
                 ),
             ),
+            Backend::Aligner(kind) => (
+                aligner::extend_views(
+                    kind,
+                    &Rev(h_left),
+                    &Rev(v_left),
+                    scorer,
+                    self.params,
+                    BandPolicy::Grow(64),
+                    &mut self.ws2,
+                    &mut self.ws3,
+                )?,
+                aligner::extend_views(
+                    kind,
+                    &Fwd(h_right),
+                    &Fwd(v_right),
+                    scorer,
+                    self.params,
+                    BandPolicy::Grow(64),
+                    &mut self.ws2,
+                    &mut self.ws3,
+                )?,
+            ),
         };
 
-        let seed_score = scorer.seed_score(h_seed, v_seed);
+        let seed_score = self
+            .backend
+            .seed_score(self.params.x, h_seed, v_seed, scorer);
         Ok(ExtendOutcome {
             score: left.result.best_score + seed_score + right.result.best_score,
             seed_score,
@@ -235,6 +300,26 @@ impl Extender {
                 self.params,
                 &mut self.ws3,
             )),
+            (Side::Left, Backend::Aligner(kind)) => aligner::extend_views(
+                kind,
+                &Rev(h_left),
+                &Rev(v_left),
+                scorer,
+                self.params,
+                BandPolicy::Grow(64),
+                &mut self.ws2,
+                &mut self.ws3,
+            ),
+            (Side::Right, Backend::Aligner(kind)) => aligner::extend_views(
+                kind,
+                &Fwd(h_right),
+                &Fwd(v_right),
+                scorer,
+                self.params,
+                BandPolicy::Grow(64),
+                &mut self.ws2,
+                &mut self.ws3,
+            ),
         }
     }
 }
@@ -487,6 +572,58 @@ mod tests {
         assert_eq!(pool.idle(), 2);
         let _e = pool.checkout();
         assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn for_kind_maps_the_xdrop_family_to_fast_paths() {
+        let policy = BandPolicy::Grow(8);
+        assert_eq!(
+            Backend::for_kind(AlignerKind::XDrop2, 10, policy),
+            Backend::TwoDiag(policy)
+        );
+        assert_eq!(
+            Backend::for_kind(AlignerKind::XDrop3, 10, policy),
+            Backend::ThreeDiag
+        );
+        assert_eq!(
+            Backend::for_kind(AlignerKind::LoganBand, 10, policy),
+            Backend::TwoDiag(BandPolicy::Saturate(aligner::logan_band_width(10)))
+        );
+        assert_eq!(
+            Backend::for_kind(AlignerKind::Ksw2, 10, policy),
+            Backend::Aligner(AlignerKind::Ksw2)
+        );
+    }
+
+    #[test]
+    fn affine_linear_backend_matches_xdrop_on_generous_x() {
+        let h = encode_dna(b"ACGTACGTAAGGTACGTACGTACGTTTGGACGT");
+        let v = encode_dna(b"ACGTACGAAAGGTACGTACGTACTTTTGGACGA");
+        let seed = SeedMatch::new(12, 12, 8);
+        let p = XDropParams::new(100);
+        let mut three = Extender::new(p, Backend::ThreeDiag);
+        let mut aff = Extender::new(p, Backend::Aligner(AlignerKind::Affine));
+        let a = three.extend(&h, &v, seed, &sc()).unwrap();
+        let b = aff.extend(&h, &v, seed, &sc()).unwrap();
+        assert_eq!(a.score, b.score);
+        assert_eq!(a.h_span, b.h_span);
+        assert_eq!(a.v_span, b.v_span);
+    }
+
+    #[test]
+    fn ksw2_backend_scores_seed_in_its_own_scale() {
+        let s = encode_dna(b"ACGTACGTACGTACGTACGT");
+        let seed = SeedMatch::new(8, 8, 4);
+        let mut e = Extender::new(params(), Backend::Aligner(AlignerKind::Ksw2));
+        let out = e.extend(&s, &s, seed, &sc()).unwrap();
+        // ksw2's scale is mat=2 per matching seed symbol, not the
+        // caller scorer's +1 — and the total must stay in one scale.
+        assert_eq!(out.seed_score, 2 * seed.k as i32);
+        assert_eq!(
+            out.score,
+            out.left.result.best_score + out.seed_score + out.right.result.best_score
+        );
+        assert_eq!(out.h_span, (0, s.len()));
     }
 
     #[test]

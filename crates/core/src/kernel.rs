@@ -214,18 +214,40 @@ impl KernelKind {
     }
 
     /// [`KernelKind::detect`] unless [`KERNEL_ENV`] forces a kernel.
-    /// An unrecognized value still resolves through detection but now
-    /// warns loudly (once per process) instead of silently ignoring
-    /// the override.
+    ///
+    /// The environment variable is read **once per process** and the
+    /// resolution cached (same discipline as
+    /// [`crate::batched::SweepBackend::resolved`]): mutating
+    /// `XDROP_KERNEL` at runtime — e.g. from one test while another
+    /// builds an [`XDropParams`] on a sibling thread — cannot change
+    /// which kernel later calls select. Programmatic selection goes
+    /// through [`XDropParams::with_kernel`] or a per-request
+    /// [`crate::aligner::AlignRequest`].
     pub fn auto() -> KernelKind {
+        static RESOLVED: std::sync::OnceLock<KernelKind> = std::sync::OnceLock::new();
+        *RESOLVED.get_or_init(KernelKind::resolve_env)
+    }
+
+    /// Uncached resolution of [`KERNEL_ENV`]: what [`KernelKind::auto`]
+    /// caches on first use. Exposed so tests can pin the env-value →
+    /// kernel mapping without mutating process state.
+    pub fn resolve_env() -> KernelKind {
+        KernelKind::resolve_env_value(std::env::var(KERNEL_ENV).ok().as_deref())
+    }
+
+    /// Pure form of [`KernelKind::resolve_env`]: resolves an override
+    /// value as if `XDROP_KERNEL` held it (`None` = unset). An
+    /// unrecognized value resolves through detection but warns loudly
+    /// (once per process) instead of silently ignoring the override.
+    pub fn resolve_env_value(value: Option<&str>) -> KernelKind {
         static WARNED: std::sync::Once = std::sync::Once::new();
-        match std::env::var(KERNEL_ENV) {
-            Ok(v) => KernelKind::parse(&v).unwrap_or_else(|| {
+        match value {
+            Some(v) => KernelKind::parse(v).unwrap_or_else(|| {
                 let detected = KernelKind::detect();
-                warn_unknown_env(&WARNED, KERNEL_ENV, &v, detected.name());
+                warn_unknown_env(&WARNED, KERNEL_ENV, v, detected.name());
                 detected
             }),
-            Err(_) => KernelKind::detect(),
+            None => KernelKind::detect(),
         }
     }
 }
@@ -1085,18 +1107,29 @@ mod tests {
     }
 
     #[test]
-    fn env_knob_forces_kernel() {
-        // Serialized within this one test; other tests never read the
-        // variable mid-alignment (and all kernels are bit-identical,
-        // so even a racing reader could not observe a result change).
-        std::env::set_var(KERNEL_ENV, "scalar");
-        assert_eq!(KernelKind::auto(), KernelKind::Scalar);
-        std::env::set_var(KERNEL_ENV, "chunked");
-        assert_eq!(KernelKind::auto(), KernelKind::Chunked);
-        std::env::set_var(KERNEL_ENV, "definitely-not-a-kernel");
-        assert_eq!(KernelKind::auto(), KernelKind::detect());
-        std::env::remove_var(KERNEL_ENV);
-        assert_eq!(KernelKind::auto(), KernelKind::detect());
+    fn env_knob_resolution_is_pure() {
+        // The override → kernel mapping, without `set_var`: mutating
+        // the real environment from a test leaks into sibling threads
+        // (`XDropParams::new` reads the cached resolution), so the
+        // mapping is pinned through the pure resolver instead. The
+        // end-to-end env path runs in a subprocess from
+        // `tests/kernel_identity.rs`.
+        assert_eq!(
+            KernelKind::resolve_env_value(Some("scalar")),
+            KernelKind::Scalar
+        );
+        assert_eq!(
+            KernelKind::resolve_env_value(Some("chunked")),
+            KernelKind::Chunked
+        );
+        assert_eq!(
+            KernelKind::resolve_env_value(Some("definitely-not-a-kernel")),
+            KernelKind::detect()
+        );
+        assert_eq!(KernelKind::resolve_env_value(None), KernelKind::detect());
+        // And the cached reader agrees with an uncached resolution of
+        // the (unmutated) process environment.
+        assert_eq!(KernelKind::auto(), KernelKind::resolve_env());
     }
 
     #[test]

@@ -44,12 +44,14 @@
 
 pub mod affine;
 pub mod algorithm1;
+pub mod aligner;
 pub mod alphabet;
 pub mod batched;
 pub mod error;
 pub mod extension;
 pub mod hirschberg;
 pub mod kernel;
+pub mod ksw2;
 pub mod packing;
 pub mod reference;
 pub mod scorety;
@@ -63,6 +65,9 @@ pub mod xdrop3;
 
 /// Convenient re-exports of the types needed for everyday use.
 pub mod prelude {
+    pub use crate::aligner::{
+        AlignOutcome, AlignRequest, Aligner, AlignerKind, Direction, ScoreKind,
+    };
     pub use crate::alphabet::{decode_dna, encode_dna, encode_protein, Alphabet};
     pub use crate::error::{AlignError, Result};
     pub use crate::extension::{extend_seed, ExtendOutcome, SeedMatch};

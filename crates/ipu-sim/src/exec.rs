@@ -12,6 +12,7 @@ use crate::pool::{resolve_threads, IndexQueue, SharedSlots};
 use crossbeam::thread;
 use std::cmp::Reverse;
 use std::sync::Mutex;
+use xdrop_core::aligner::AlignerKind;
 use xdrop_core::batched::{self, BatchTask, TaskView};
 use xdrop_core::error::{AlignError, Result};
 use xdrop_core::extension::{Backend, Extender, ExtenderPool, Side};
@@ -32,6 +33,10 @@ pub struct ExecConfig {
     pub params: XDropParams,
     /// Band policy for the memory-restricted kernel.
     pub policy: BandPolicy,
+    /// Which alignment engine serves the extensions (per-request
+    /// engine selection of the [`xdrop_core::aligner`] facade).
+    /// Defaults to the paper's [`AlignerKind::XDrop2`].
+    pub aligner: AlignerKind,
     /// Emit two work units (left, right) per comparison instead of
     /// one fused unit — the LR-splitting optimization (§4.1.2).
     pub lr_split: bool,
@@ -42,15 +47,28 @@ pub struct ExecConfig {
 }
 
 impl ExecConfig {
-    /// Defaults: X = 15, growing band from δ_b = 256, LR split on,
-    /// host threads auto-detected.
+    /// Defaults: X = 15, growing band from δ_b = 256, the paper's
+    /// two-antidiagonal engine, LR split on, host threads
+    /// auto-detected.
     pub fn new(params: XDropParams) -> Self {
         Self {
             params,
             policy: BandPolicy::Grow(256),
+            aligner: AlignerKind::XDrop2,
             lr_split: true,
             host_threads: 0,
         }
+    }
+
+    /// Selects the alignment engine.
+    pub fn with_aligner(mut self, aligner: AlignerKind) -> Self {
+        self.aligner = aligner;
+        self
+    }
+
+    /// The extension backend this configuration resolves to.
+    pub fn backend(&self) -> Backend {
+        Backend::for_kind(self.aligner, self.params.x, self.policy)
     }
 }
 
@@ -225,9 +243,11 @@ pub const REFILL_CLAIM_FACTOR: usize = 4;
 /// comparisons already have similar cost), 1 for the per-comparison
 /// kernels.
 pub fn claim_grain(cfg: &ExecConfig) -> usize {
-    if cfg.params.kernel == KernelKind::Batched {
+    if cfg.params.kernel == KernelKind::Batched && cfg.aligner == AlignerKind::XDrop2 {
         batched::lane_width() * REFILL_CLAIM_FACTOR
     } else {
+        // The batched lane kernel implements the two-antidiagonal
+        // engine only; every other engine runs per-comparison.
         1
     }
 }
@@ -366,7 +386,7 @@ fn exec_range<S: Scorer + Sync>(
     cfg: &ExecConfig,
     range: std::ops::Range<usize>,
 ) -> Result<(Vec<WorkUnit>, Vec<UnitResult>)> {
-    let mut ext = Extender::new(cfg.params, Backend::TwoDiag(cfg.policy));
+    let mut ext = Extender::new(cfg.params, cfg.backend());
     let mut units = Vec::with_capacity(range.len() * if cfg.lr_split { 2 } else { 1 });
     let mut results = Vec::with_capacity(range.len());
     for ci in range {
@@ -472,7 +492,7 @@ pub fn execute_workload<S: Scorer + Sync>(
     let queue = IndexQueue::with_order(lpt_order(w));
     let units = SharedSlots::new(n * upc, WorkUnit::default());
     let results = SharedSlots::new(n, UnitResult::default());
-    let extenders = ExtenderPool::new(cfg.params, Backend::TwoDiag(cfg.policy));
+    let extenders = ExtenderPool::new(cfg.params, cfg.backend());
     let errors: Mutex<Vec<(u32, AlignError)>> = Mutex::new(Vec::new());
     thread::scope(|s| {
         for _ in 0..threads {
@@ -577,6 +597,7 @@ mod tests {
         ExecConfig {
             params: XDropParams::new(15),
             policy: BandPolicy::Grow(64),
+            aligner: AlignerKind::XDrop2,
             lr_split: lr,
             host_threads: 4,
         }

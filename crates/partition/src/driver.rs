@@ -18,6 +18,7 @@ use crate::plan::PlanConfig;
 use ipu_sim::cost::{CostModel, OptFlags};
 use ipu_sim::exec::{ExecConfig, UnitResult};
 use ipu_sim::spec::IpuSpec;
+use xdrop_core::aligner::AlignerKind;
 use xdrop_core::scoring::Scorer;
 use xdrop_core::workload::Workload;
 use xdrop_core::xdrop2::BandPolicy;
@@ -39,6 +40,9 @@ pub struct IpuSystem {
     /// Band policy for the kernels (defaults to growing — the exact
     /// tile discipline is `BandPolicy::Exact(delta_b)`).
     pub policy: BandPolicy,
+    /// Which alignment engine serves the extensions (defaults to the
+    /// paper's two-antidiagonal X-Drop).
+    pub aligner: AlignerKind,
     /// Graph-based sequence partitioning on/off.
     pub partitioned: bool,
     /// Minimum batch count for multi-device pipelining.
@@ -57,6 +61,7 @@ impl IpuSystem {
             cost: CostModel::default(),
             delta_b: 512,
             policy: BandPolicy::Grow(512),
+            aligner: AlignerKind::XDrop2,
             partitioned: true,
             min_batches: 2,
             host_threads: 0,
@@ -78,6 +83,12 @@ impl IpuSystem {
         self
     }
 
+    /// Selects the alignment engine run on every tile.
+    pub fn with_aligner(mut self, aligner: AlignerKind) -> Self {
+        self.aligner = aligner;
+        self
+    }
+
     /// Runs every comparison of `w` and returns exact results plus
     /// modeled timing.
     pub fn align<S: Scorer + Sync>(
@@ -95,6 +106,7 @@ impl IpuSystem {
             exec: ExecConfig {
                 params: XDropParams::new(x),
                 policy: self.policy,
+                aligner: self.aligner,
                 lr_split: self.flags.lr_split,
                 host_threads: self.host_threads,
             },
@@ -201,6 +213,23 @@ mod tests {
         let s4: Vec<i32> = four.results.iter().map(|r| r.score).collect();
         assert_eq!(s1, s4);
         assert!(four.seconds <= one.seconds * 1.3);
+    }
+
+    #[test]
+    fn aligner_parameter_selects_score_identical_engine() {
+        // XDrop2 and XDrop3 are score-identical under a sufficient
+        // band, so swapping engines through the driver must change
+        // no score.
+        let w = workload();
+        let sc = MatchMismatch::dna_default();
+        let two = IpuSystem::bow().align(&w, &sc, 15).unwrap();
+        let three = IpuSystem::bow()
+            .with_aligner(AlignerKind::XDrop3)
+            .align(&w, &sc, 15)
+            .unwrap();
+        let s2: Vec<i32> = two.results.iter().map(|r| r.score).collect();
+        let s3: Vec<i32> = three.results.iter().map(|r| r.score).collect();
+        assert_eq!(s2, s3);
     }
 
     #[test]

@@ -53,7 +53,7 @@ use ipu_sim::spec::IpuSpec;
 use ipu_sim::trace::ChromeTrace;
 use std::sync::{mpsc, OnceLock};
 use xdrop_core::error::AlignError;
-use xdrop_core::extension::{Backend, ExtenderPool};
+use xdrop_core::extension::ExtenderPool;
 use xdrop_core::scoring::Scorer;
 use xdrop_core::workload::Workload;
 
@@ -256,7 +256,7 @@ pub fn run_pipeline_faulty<S: Scorer + Sync>(
     let units = SharedSlots::new(n * upc, WorkUnit::default());
     let results = SharedSlots::new(n, UnitResult::default());
     let ready = ReadyQueue::new();
-    let extenders = ExtenderPool::new(exec_cfg.params, Backend::TwoDiag(exec_cfg.policy));
+    let extenders = ExtenderPool::new(exec_cfg.params, exec_cfg.backend());
     let batches_cell: OnceLock<Vec<Batch>> = OnceLock::new();
     let (tx, rx) = mpsc::channel::<Msg>();
 

@@ -14,6 +14,7 @@
 use crate::overlap::{detect_overlaps, OverlapConfig};
 use rand::Rng;
 use seqdata::reads::{simulate_reads, ReadSimParams, SimulatedReads};
+use xdrop_core::aligner::AlignerKind;
 use xdrop_core::alphabet::Alphabet;
 use xdrop_core::extension::{Backend, Extender};
 use xdrop_core::scoring::MatchMismatch;
@@ -30,6 +31,10 @@ pub struct ElbaConfig {
     pub overlap: OverlapConfig,
     /// X-Drop factor for the alignment phase (paper: {10, 15, 20}).
     pub x: i32,
+    /// Alignment engine for stage 3 (any score-identical or
+    /// score-compatible [`AlignerKind`]; the paper's pipelines use
+    /// the two-antidiagonal X-Drop).
+    pub aligner: AlignerKind,
     /// Accept an overlap when `score ≥ min_identity × aligned_len`
     /// (match = +1 scoring makes score/length an identity proxy).
     pub min_identity: f64,
@@ -44,6 +49,7 @@ impl ElbaConfig {
             read_sim: ReadSimParams::small(),
             overlap: OverlapConfig::elba(17),
             x: 15,
+            aligner: AlignerKind::XDrop2,
             min_identity: 0.7,
             fuzz: 60,
         }
@@ -113,7 +119,7 @@ pub fn run_elba_from_workload(
     let scorer = MatchMismatch::dna_default();
     let mut ext = Extender::new(
         XDropParams::new(cfg.x),
-        Backend::TwoDiag(BandPolicy::Grow(256)),
+        Backend::for_kind(cfg.aligner, cfg.x, BandPolicy::Grow(256)),
     );
 
     // Stage 3: alignment + filtering of false matches.
@@ -287,9 +293,31 @@ mod tests {
             },
             overlap: OverlapConfig::elba(17),
             x: 15,
+            aligner: AlignerKind::XDrop2,
             min_identity: 0.7,
             fuzz: 60,
         }
+    }
+
+    #[test]
+    fn config_selected_engine_reproduces_default_scores() {
+        // The alignment stage is engine-configurable; the
+        // score-identical XDrop3 engine must accept exactly the same
+        // overlaps and produce the same scores as the default.
+        let mut rng = StdRng::seed_from_u64(25);
+        let c2 = cfg(MutationProfile::hifi());
+        let sim = simulate_reads(&mut rng, &c2.read_sim);
+        let mut seqs = SeqSet::new(Alphabet::Dna);
+        for r in &sim.reads {
+            seqs.push(r.clone());
+        }
+        let w = detect_overlaps(&seqs, &c2.overlap);
+        let mut c3 = c2;
+        c3.aligner = AlignerKind::XDrop3;
+        let run2 = run_elba_from_workload(sim.clone(), w.clone(), &c2);
+        let run3 = run_elba_from_workload(sim, w, &c3);
+        assert_eq!(run2.scores, run3.scores);
+        assert_eq!(run2.accepted, run3.accepted);
     }
 
     #[test]

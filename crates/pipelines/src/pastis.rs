@@ -10,6 +10,7 @@
 use crate::overlap::{detect_overlaps, OverlapConfig};
 use rand::Rng;
 use seqdata::gen::{mutate, random_seq, MutationProfile};
+use xdrop_core::aligner::AlignerKind;
 use xdrop_core::alphabet::Alphabet;
 use xdrop_core::extension::{Backend, Extender};
 use xdrop_core::scoring::Blosum62;
@@ -32,6 +33,8 @@ pub struct PastisConfig {
     pub overlap: OverlapConfig,
     /// X-Drop factor (paper: 49).
     pub x: i32,
+    /// Alignment engine for the candidate-pair alignments.
+    pub aligner: AlignerKind,
     /// Linear gap penalty (paper: −2).
     pub gap: i32,
     /// Keep pairs whose normalized score `score / min_len` clears
@@ -49,6 +52,7 @@ impl PastisConfig {
             divergence: 0.25,
             overlap: OverlapConfig::pastis(),
             x: 49,
+            aligner: AlignerKind::XDrop2,
             gap: -2,
             min_score_per_len: 0.8,
         }
@@ -156,7 +160,7 @@ pub fn run_pastis_from_workload(
     let scorer = Blosum62::new(cfg.gap);
     let mut ext = Extender::new(
         XDropParams::new(cfg.x),
-        Backend::TwoDiag(BandPolicy::Grow(256)),
+        Backend::for_kind(cfg.aligner, cfg.x, BandPolicy::Grow(256)),
     );
     let mut scores = Vec::with_capacity(workload.comparisons.len());
     let mut accepted = Vec::new();
@@ -236,6 +240,23 @@ mod tests {
         assert!(!run.accepted.is_empty(), "homologs accepted");
         assert!(run.precision() > 0.95, "precision {}", run.precision());
         assert!(run.recall() > 0.7, "recall {}", run.recall());
+    }
+
+    #[test]
+    fn config_selected_engine_reproduces_default_scores() {
+        // Engine selection is a config knob: the score-identical
+        // XDrop3 engine must accept the same homologs with the same
+        // BLOSUM62 scores as the default two-antidiagonal engine.
+        let mut rng = StdRng::seed_from_u64(36);
+        let cfg2 = PastisConfig::small(40);
+        let (seqs, families) = generate_families(&mut rng, &cfg2);
+        let w = detect_overlaps(&seqs, &cfg2.overlap);
+        let mut cfg3 = cfg2;
+        cfg3.aligner = AlignerKind::XDrop3;
+        let run2 = run_pastis_from_workload(w.clone(), families.clone(), &cfg2);
+        let run3 = run_pastis_from_workload(w, families, &cfg3);
+        assert_eq!(run2.scores, run3.scores);
+        assert_eq!(run2.accepted, run3.accepted);
     }
 
     #[test]

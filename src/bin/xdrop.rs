@@ -5,7 +5,7 @@
 //!             [--delta-b N] [--exact] [--traceback]
 //! xdrop simulate --genome-len N [--coverage C] [--read-len L]
 //!                [--error hifi|noisy|exact] [--seed S] --out reads.fa
-//! xdrop assemble <reads.fasta> [--x N] [--k K] [--out contigs.fa]
+//! xdrop assemble <reads.fasta> [--x N] [--k K] [--aligner KIND] [--out contigs.fa]
 //! xdrop stats <seqs.fasta> [--protein]
 //! ```
 //!
@@ -33,7 +33,7 @@ use xdrop_ipu::pipelines::overlap::{detect_overlaps, OverlapConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  xdrop align <a.fasta> <b.fasta> [--x N] [--protein] [--affine O,E] [--delta-b N] [--exact] [--traceback]\n  xdrop simulate --genome-len N [--coverage C] [--read-len L] [--error hifi|noisy|exact] [--seed S] --out reads.fa\n  xdrop assemble <reads.fasta> [--x N] [--k K] [--out contigs.fa]\n  xdrop stats <seqs.fasta> [--protein]"
+        "usage:\n  xdrop align <a.fasta> <b.fasta> [--x N] [--protein] [--affine O,E] [--delta-b N] [--exact] [--traceback]\n  xdrop simulate --genome-len N [--coverage C] [--read-len L] [--error hifi|noisy|exact] [--seed S] --out reads.fa\n  xdrop assemble <reads.fasta> [--x N] [--k K] [--aligner xdrop2|xdrop3|affine|logan-band|ksw2] [--out contigs.fa]\n  xdrop stats <seqs.fasta> [--protein]"
     );
     exit(2)
 }
@@ -287,6 +287,11 @@ fn cmd_assemble(args: &[String]) {
         .get("k")
         .map(|v| v.parse().unwrap_or_else(|_| usage()))
         .unwrap_or(17);
+    let aligner = o
+        .flags
+        .get("aligner")
+        .map(|v| AlignerKind::parse(v).unwrap_or_else(|| usage()))
+        .unwrap_or(AlignerKind::XDrop2);
     let records = read_fasta_file(&o.positional[0]);
     let set =
         fasta::records_to_seqset(&records, Alphabet::Dna).unwrap_or_else(|e| fail(&format!("{e}")));
@@ -310,6 +315,7 @@ fn cmd_assemble(args: &[String]) {
         },
         overlap,
         x,
+        aligner,
         min_identity: 0.7,
         fuzz: 60,
     };

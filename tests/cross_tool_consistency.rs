@@ -1,17 +1,36 @@
 //! Cross-tool consistency: the simulated-IPU kernel (memory-
 //! restricted two-antidiagonal), the SeqAn-style baseline (classical
-//! three-antidiagonal), and the LOGAN model (saturating band) are
-//! three independent code paths that must agree on alignment scores
-//! whenever their search spaces coincide.
+//! three-antidiagonal), the LOGAN model (saturating band) and the
+//! ksw2 model (affine z-drop) are independent code paths that must
+//! agree on alignment scores whenever their search spaces coincide.
+//!
+//! Backend selection routes through the `Aligner` facade: the
+//! pipeline picks engines via `ExecConfig::with_aligner`
+//! ([`xdrop_ipu::core::aligner::AlignerKind`]), and each facade
+//! engine is pinned against the corresponding standalone baseline
+//! runner ([`xdrop_ipu::baselines::runner`]).
 
 use xdrop_ipu::baselines::runner::{run_workload, ToolKind};
+use xdrop_ipu::core::aligner::AlignerKind;
 use xdrop_ipu::prelude::*;
-use xdrop_ipu::sim::{execute_workload, ExecConfig};
+use xdrop_ipu::sim::execute_workload;
+use xdrop_ipu::sim::ExecConfig;
 
 fn workload() -> Workload {
     Dataset::new(DatasetKind::Ecoli, 0.01)
         .with_max_comparisons(80)
         .generate()
+}
+
+fn facade_scores(w: &Workload, kind: AlignerKind, x: i32) -> Vec<i32> {
+    let sc = MatchMismatch::dna_default();
+    let cfg = ExecConfig::new(XDropParams::new(x)).with_aligner(kind);
+    execute_workload(w, &sc, &cfg)
+        .unwrap()
+        .results
+        .iter()
+        .map(|r| r.score)
+        .collect()
 }
 
 #[test]
@@ -22,10 +41,36 @@ fn ipu_and_seqan_scores_identical() {
     let w = workload();
     let sc = MatchMismatch::dna_default();
     for x in [5, 15] {
-        let ipu = execute_workload(&w, &sc, &ExecConfig::new(XDropParams::new(x))).unwrap();
+        let ipu = facade_scores(&w, AlignerKind::XDrop2, x);
         let seqan = run_workload(&w, ToolKind::SeqAn, x, &sc, 4, 1);
-        let ipu_scores: Vec<i32> = ipu.results.iter().map(|r| r.score).collect();
-        assert_eq!(ipu_scores, seqan.scores, "x={x}");
+        assert_eq!(ipu, seqan.scores, "x={x}");
+    }
+}
+
+/// Every facade engine with a standalone baseline runner must score
+/// the whole workload identically to that runner: same seed-and-
+/// extend convention, same band geometry, same scoring scale. This
+/// pins the facade's engine wiring against three independently
+/// written tool models.
+#[test]
+fn facade_backends_match_baseline_runners() {
+    let w = workload();
+    let sc = MatchMismatch::dna_default();
+    let pairs = [
+        (AlignerKind::XDrop3, ToolKind::SeqAn),
+        (AlignerKind::LoganBand, ToolKind::Logan),
+        (AlignerKind::Ksw2, ToolKind::Ksw2),
+    ];
+    for (kind, tool) in pairs {
+        let facade = facade_scores(&w, kind, 15);
+        let runner = run_workload(&w, tool, 15, &sc, 4, 1);
+        assert_eq!(
+            facade,
+            runner.scores,
+            "facade {} vs runner {}",
+            kind.name(),
+            tool.name()
+        );
     }
 }
 
@@ -54,16 +99,25 @@ fn logan_scores_never_exceed_exact() {
         "{same}/{} identical",
         exact.scores.len()
     );
+    // The same one-sided law holds through the facade, which shares
+    // the runner's band geometry by construction.
+    let facade_exact = facade_scores(&w, AlignerKind::XDrop3, x);
+    let facade_logan = facade_scores(&w, AlignerKind::LoganBand, x);
+    for (ci, (e, l)) in facade_exact.iter().zip(&facade_logan).enumerate() {
+        assert!(l <= e, "comparison {ci}: facade LOGAN {l} > exact {e}");
+    }
 }
 
 #[test]
 fn ksw2_finds_homology_where_xdrop_does() {
     // Different scoring scale, same biology: pairs that score well
-    // under exact X-Drop must also score well under ksw2.
+    // under exact X-Drop must also score well under ksw2 — whether
+    // ksw2 runs as the standalone tool model or as a facade engine.
     let w = workload();
     let sc = MatchMismatch::dna_default();
     let exact = run_workload(&w, ToolKind::SeqAn, 15, &sc, 4, 1);
     let ksw2 = run_workload(&w, ToolKind::Ksw2, 15, &sc, 4, 1);
+    let facade_ksw2 = facade_scores(&w, AlignerKind::Ksw2, 15);
     for (ci, c) in w.comparisons.iter().enumerate() {
         let min_len = w.seqs.seq_len(c.h).min(w.seqs.seq_len(c.v)) as i32;
         if exact.scores[ci] > min_len / 2 {
@@ -72,6 +126,10 @@ fn ksw2_finds_homology_where_xdrop_does() {
                 "comparison {ci}: xdrop {} but ksw2 {}",
                 exact.scores[ci],
                 ksw2.scores[ci]
+            );
+            assert_eq!(
+                facade_ksw2[ci], ksw2.scores[ci],
+                "comparison {ci}: facade ksw2 diverged from runner"
             );
         }
     }

@@ -153,35 +153,87 @@ proptest! {
     }
 }
 
-/// The `XDROP_KERNEL` environment knob forces the kernel selected by
-/// `XDropParams::new`, and a forced run still matches the reference.
-/// (Lives here, not in the proptest block, so the env mutation
-/// happens exactly once.)
-#[test]
-fn env_knob_end_to_end() {
-    let sc = MatchMismatch::dna_default();
+/// A deterministic fixture pair shared by the env-knob probe and its
+/// driver: both processes must compute it identically.
+fn env_probe_pair() -> (Vec<u8>, Vec<u8>) {
     let mut rng = StdRng::seed_from_u64(0xBEEF);
     let h: Vec<u8> = (0..200).map(|_| rng.gen_range(0..4)).collect();
     let mut v = h.clone();
     for i in (5..v.len()).step_by(9) {
         v[i] = (v[i] + 1) % 4;
     }
-    let reference = xdrop2::align(
+    (h, v)
+}
+
+/// Subprocess body for [`env_knob_end_to_end`]: runs with
+/// `XDROP_KERNEL` inherited from the parent and checks (a) the env
+/// value resolved into `XDropParams::new`, and (b) the env-forced run
+/// is bit-identical to the programmatically-forced one. `#[ignore]`d
+/// so it never runs in a normal sweep — only re-invoked by name.
+#[test]
+#[ignore = "subprocess probe driven by env_knob_end_to_end"]
+fn env_probe() {
+    let name = std::env::var(KERNEL_ENV).expect("driver sets XDROP_KERNEL");
+    let p = XDropParams::new(20);
+    assert_eq!(p.kernel, KernelKind::parse(&name).unwrap(), "{name}");
+    let sc = MatchMismatch::dna_default();
+    let (h, v) = env_probe_pair();
+    let via_env = xdrop2::align(&h, &v, &sc, p, BandPolicy::Grow(8)).unwrap();
+    let via_api = xdrop2::align(
         &h,
         &v,
         &sc,
-        XDropParams::new(20).with_kernel(KernelKind::Scalar),
+        XDropParams::new(20).with_kernel(p.kernel),
         BandPolicy::Grow(8),
     )
     .unwrap();
+    assert_eq!(via_env.result, via_api.result, "{name}");
+    assert_eq!(via_env.stats, via_api.stats, "{name}");
+}
+
+/// The `XDROP_KERNEL` environment knob forces the kernel selected by
+/// `XDropParams::new`, and the env path is bit-identical to the
+/// programmatic `with_kernel` path.
+///
+/// The knob is read **once per process** (`KernelKind::auto` caches
+/// the resolution so overrides cannot leak between tests), so an
+/// in-process `set_var` can no longer exercise it; each value is
+/// instead probed in a fresh subprocess re-running this binary with
+/// the env set at spawn ([`env_probe`]).
+#[test]
+fn env_knob_end_to_end() {
+    let exe = std::env::current_exe().expect("test binary path");
     for name in ["scalar", "chunked", "simd", "batched"] {
-        std::env::set_var(KERNEL_ENV, name);
-        let p = XDropParams::new(20);
-        assert_eq!(p.kernel, KernelKind::parse(name).unwrap(), "{name}");
-        let got = xdrop2::align(&h, &v, &sc, p, BandPolicy::Grow(8)).unwrap();
-        assert_eq!(reference.result, got.result, "{name}");
-        assert_eq!(reference.stats, got.stats, "{name}");
+        let out = std::process::Command::new(&exe)
+            .args(["--exact", "env_probe", "--ignored"])
+            .env(KERNEL_ENV, name)
+            .output()
+            .expect("spawn env probe");
+        assert!(
+            out.status.success(),
+            "env probe failed for {name}:\n{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
     }
-    std::env::remove_var(KERNEL_ENV);
+    // Unset: the resolution falls back to detection.
+    let out = std::process::Command::new(&exe)
+        .args(["--exact", "detect_probe", "--ignored"])
+        .env_remove(KERNEL_ENV)
+        .output()
+        .expect("spawn detect probe");
+    assert!(
+        out.status.success(),
+        "detect probe failed:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+/// Subprocess body asserting the no-override fallback.
+#[test]
+#[ignore = "subprocess probe driven by env_knob_end_to_end"]
+fn detect_probe() {
+    assert!(std::env::var(KERNEL_ENV).is_err());
     assert_eq!(XDropParams::new(20).kernel, KernelKind::detect());
 }

@@ -30,6 +30,7 @@ fn elba_cfg() -> ElbaConfig {
         },
         overlap: OverlapConfig::elba(17),
         x: 15,
+        aligner: xdrop_ipu::core::aligner::AlignerKind::XDrop2,
         min_identity: 0.7,
         fuzz: 60,
     }

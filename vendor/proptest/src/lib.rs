@@ -342,16 +342,37 @@ pub mod test_runner {
     }
 
     impl ProptestConfig {
-        /// Config requiring `cases` passing cases.
+        /// Config requiring `cases` passing cases — still scaled by a
+        /// `PROPTEST_CASES` override if one is set, matching the real
+        /// crate's env-var behaviour so CI smoke jobs can run reduced
+        /// sweeps without touching the source defaults.
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases: env_cases().unwrap_or(cases),
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 256 }
+            ProptestConfig {
+                cases: env_cases().unwrap_or(256),
+            }
         }
+    }
+
+    /// The `PROPTEST_CASES` override: parsed once per process (same
+    /// discipline as the workspace's kernel/sweep env knobs — an
+    /// in-process `set_var` after the first config is built has no
+    /// effect, so overrides cannot leak between tests).
+    fn env_cases() -> Option<u32> {
+        static RESOLVED: std::sync::OnceLock<Option<u32>> = std::sync::OnceLock::new();
+        *RESOLVED.get_or_init(|| {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse::<u32>().ok())
+                .filter(|&n| n > 0)
+        })
     }
 
     /// Why a single case did not pass.
